@@ -1,0 +1,247 @@
+package ruu_test
+
+import (
+	"sync"
+	"testing"
+
+	"ruu"
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/livermore"
+	"ruu/internal/machine"
+)
+
+// The benchmarks mirror the paper's evaluation one-to-one: BenchmarkTableN
+// exercises the machine configuration of Table N over the full kernel
+// suite and reports the table's headline numbers (relative speedup and
+// issue rate) as benchmark metrics, so `go test -bench .` regenerates the
+// measured results alongside simulator throughput. `go run ./cmd/tables`
+// prints the full row-by-row tables.
+
+var baselineCyclesOnce sync.Once
+var baselineCycles int64
+
+func baseline(b *testing.B) int64 {
+	baselineCyclesOnce.Do(func() {
+		runs, err := ruu.RunKernels(ruu.Config{Engine: ruu.EngineSimple})
+		if err != nil {
+			panic(err)
+		}
+		baselineCycles = ruu.Totals(runs).Cycles
+	})
+	return baselineCycles
+}
+
+// benchConfig runs the whole kernel suite under cfg once per iteration
+// and reports simulated cycles/second plus the table's speedup and issue
+// rate.
+func benchConfig(b *testing.B, cfg ruu.Config) {
+	b.Helper()
+	base := baseline(b)
+	var total ruu.KernelRun
+	for i := 0; i < b.N; i++ {
+		runs, err := ruu.RunKernels(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = ruu.Totals(runs)
+	}
+	b.ReportMetric(float64(total.Cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+	b.ReportMetric(float64(base)/float64(total.Cycles), "speedup")
+	b.ReportMetric(total.IssueRate(), "issue-rate")
+}
+
+// BenchmarkTable1 is the baseline: simple issue over LLL1-LLL14.
+func BenchmarkTable1(b *testing.B) {
+	benchConfig(b, ruu.Config{Engine: ruu.EngineSimple})
+}
+
+// BenchmarkTable2 is the RSTU at the paper's knee size (10 entries); the
+// full size sweep is cmd/tables -table 2.
+func BenchmarkTable2(b *testing.B) {
+	benchConfig(b, ruu.Config{Engine: ruu.EngineRSTU, Entries: 10})
+}
+
+// BenchmarkTable2Sweep regenerates every row of Table 2 per iteration.
+func BenchmarkTable2Sweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ruu.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3 is the two-dispatch-path RSTU.
+func BenchmarkTable3(b *testing.B) {
+	benchConfig(b, ruu.Config{Engine: ruu.EngineRSTU, Entries: 10, Paths: 2})
+}
+
+// BenchmarkTable4 is the RUU with bypass logic at the paper's
+// recommended size (10-12 entries).
+func BenchmarkTable4(b *testing.B) {
+	benchConfig(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12, Bypass: ruu.BypassFull})
+}
+
+// BenchmarkTable5 is the RUU without bypass logic.
+func BenchmarkTable5(b *testing.B) {
+	benchConfig(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12, Bypass: ruu.BypassNone})
+}
+
+// BenchmarkTable6 is the RUU with the A-register future file.
+func BenchmarkTable6(b *testing.B) {
+	benchConfig(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12, Bypass: ruu.BypassLimited})
+}
+
+// BenchmarkTable7 is the §7 extension: speculative RUU.
+func BenchmarkTable7(b *testing.B) {
+	cfg := ruu.Config{Engine: ruu.EngineRUU, Entries: 20, Bypass: ruu.BypassFull}
+	cfg.Machine.Speculate = true
+	benchConfig(b, cfg)
+}
+
+// BenchmarkAblationRSOrganisation exercises the §3 organisation ladder
+// (Tomasulo → TU → pool → RSTU → RUU) once per iteration.
+func BenchmarkAblationRSOrganisation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ruu.AblationRSOrganisation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCounterWidth sweeps the NI/LI counter width.
+func BenchmarkAblationCounterWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ruu.AblationCounterWidth(15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLoadRegs sweeps the load-register count.
+func BenchmarkAblationLoadRegs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ruu.AblationLoadRegs(15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- simulator component throughput ---------------------------------------
+
+// BenchmarkSimulatorRUU measures raw RUU simulation speed on one kernel.
+func BenchmarkSimulatorRUU(b *testing.B) {
+	benchKernelEngine(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12})
+}
+
+// BenchmarkSimulatorRUUSpeculative measures the speculative RUU.
+func BenchmarkSimulatorRUUSpeculative(b *testing.B) {
+	cfg := ruu.Config{Engine: ruu.EngineRUU, Entries: 12}
+	cfg.Machine = machine.Config{Speculate: true}
+	benchKernelEngine(b, cfg)
+}
+
+// BenchmarkSimulatorRSTU measures RSTU simulation speed.
+func BenchmarkSimulatorRSTU(b *testing.B) {
+	benchKernelEngine(b, ruu.Config{Engine: ruu.EngineRSTU, Entries: 10})
+}
+
+// BenchmarkSimulatorSimple measures baseline-engine simulation speed.
+func BenchmarkSimulatorSimple(b *testing.B) {
+	benchKernelEngine(b, ruu.Config{Engine: ruu.EngineSimple})
+}
+
+func benchKernelEngine(b *testing.B, cfg ruu.Config) {
+	b.Helper()
+	k := livermore.ByName("LLL1")
+	unit, err := k.Unit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		m, err := ruu.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := k.NewState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run(unit.Prog, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+}
+
+// BenchmarkFunctionalExecutor measures the golden-reference interpreter.
+func BenchmarkFunctionalExecutor(b *testing.B) {
+	k := livermore.ByName("LLL3")
+	unit, err := k.Unit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n int64
+	for i := 0; i < b.N; i++ {
+		st, err := k.NewState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := st.Run(unit.Prog, 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n = res.Executed
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkAssembler measures assembly throughput on the largest kernel.
+func BenchmarkAssembler(b *testing.B) {
+	src := livermore.ByName("LLL8").Source
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreciseInterruptRoundTrip measures fault-flush-resume cost.
+func BenchmarkPreciseInterruptRoundTrip(b *testing.B) {
+	k := livermore.ByName("LLL12")
+	unit, err := k.Unit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := ruu.NewMachine(ruu.Config{Engine: ruu.EngineRUU, Entries: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		m.SetFaultInjector(func(pc int, addr int64) *exec.Trap {
+			count++
+			if count == 500 {
+				return &exec.Trap{Kind: exec.TrapPageFault, PC: pc, Addr: addr}
+			}
+			return nil
+		})
+		m.SetHandler(func(st *exec.State, ev ruu.InterruptEvent) ruu.InterruptAction {
+			return ruu.InterruptAction{Resume: true, ResumePC: ev.Trap.PC}
+		})
+		st, err := k.NewState()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run(unit.Prog, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trap != nil || res.Stats.Interrupts != 1 {
+			b.Fatalf("unexpected outcome: trap=%v interrupts=%d", res.Trap, res.Stats.Interrupts)
+		}
+	}
+}

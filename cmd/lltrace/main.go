@@ -1,0 +1,125 @@
+// Command lltrace is the workbench for programs of the model
+// architecture: it assembles, disassembles, dumps parcel encodings, and
+// produces dynamic traces the way the paper's CRAY-1 trace tools [15]
+// fed its simulators.
+//
+// Usage:
+//
+//	lltrace -kernel LLL1 -dis          # disassemble a built-in kernel
+//	lltrace -kernel LLL1 -parcels      # dump the 16-bit parcel encoding
+//	lltrace -kernel LLL3 -trace -n 40  # first 40 dynamic instructions
+//	lltrace prog.s -dis                # same for an assembly file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ruu"
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/livermore"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lltrace: ")
+	var (
+		kernel  = flag.String("kernel", "", "use a built-in Livermore kernel (LLL1..LLL14)")
+		dis     = flag.Bool("dis", false, "print the disassembly")
+		parcels = flag.Bool("parcels", false, "print the 16-bit parcel encoding")
+		trace   = flag.Bool("trace", false, "print the dynamic instruction trace")
+		n       = flag.Int("n", 100, "maximum trace entries to print")
+		stats   = flag.Bool("stats", false, "print static and dynamic statistics")
+	)
+	flag.Parse()
+
+	var (
+		unit *ruu.Unit
+		st   *exec.State
+		err  error
+	)
+	switch {
+	case *kernel != "":
+		k := livermore.ByName(*kernel)
+		if k == nil {
+			log.Fatalf("unknown kernel %q", *kernel)
+		}
+		unit, err = k.Unit()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err = k.NewState()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		unit, err = ruu.Assemble(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = ruu.NewState(unit)
+	default:
+		log.Fatal("need -kernel NAME or an assembly file argument")
+	}
+
+	initial := st.Clone()
+
+	if !*dis && !*parcels && !*trace && !*stats {
+		*dis = true
+	}
+
+	if *dis {
+		fmt.Print(asm.Disassemble(unit.Prog))
+	}
+	if *parcels {
+		ps, err := isa.Encode(unit.Prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, p := range ps {
+			fmt.Printf("%04x", uint16(p))
+			if i%8 == 7 {
+				fmt.Println()
+			} else {
+				fmt.Print(" ")
+			}
+		}
+		if len(ps)%8 != 0 {
+			fmt.Println()
+		}
+		fmt.Printf("; %d parcels, %d instructions\n", len(ps), len(unit.Prog.Instructions))
+	}
+	if *trace {
+		count := 0
+		_, err := st.Run(unit.Prog, 0, func(pc int, ins isa.Instruction) {
+			if count < *n {
+				fmt.Printf("%6d  pc=%-4d %s\n", count, pc, ins)
+			}
+			count++
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if count > *n {
+			fmt.Printf("... (%d more)\n", count-*n)
+		}
+	}
+	if *stats {
+		res, err := initial.Run(unit.Prog, 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, total := unit.Prog.ParcelAddrs()
+		fmt.Printf("static  : %d instructions, %d parcels\n", len(unit.Prog.Instructions), total)
+		fmt.Printf("dynamic : %d instructions, %d branches (%d taken), %d loads, %d stores\n",
+			res.Executed, res.Branches, res.Taken, res.Loads, res.Stores)
+	}
+}

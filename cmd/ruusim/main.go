@@ -1,0 +1,192 @@
+// Command ruusim runs a program — an assembly file or a built-in
+// Livermore kernel — on a chosen issue mechanism and prints the run
+// statistics.
+//
+// Usage:
+//
+//	ruusim -kernel LLL1                          # built-in kernel, RUU
+//	ruusim -engine rstu -entries 20 -kernel LLL5
+//	ruusim -engine ruu -bypass none prog.s       # assembly file
+//	ruusim -speculate -kernel LLL3               # §7 conditional execution
+//	ruusim -list                                 # list built-in kernels
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ruu"
+	"ruu/internal/exec"
+	"ruu/internal/issue"
+	"ruu/internal/livermore"
+	"ruu/internal/machine"
+)
+
+// limitWriter passes through the first N lines and drops the rest.
+type limitWriter struct {
+	w     *os.File
+	lines int
+}
+
+func (lw *limitWriter) Write(p []byte) (int, error) {
+	if lw.lines <= 0 {
+		return len(p), nil
+	}
+	lw.lines--
+	return lw.w.Write(p)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ruusim: ")
+	var (
+		engine    = flag.String("engine", "ruu", "issue mechanism: simple, tomasulo, tagunit, rspool, rstu, ruu, reorder, reorder-bypass, reorder-future")
+		entries   = flag.Int("entries", 12, "RSTU/RUU entries (or stations per unit)")
+		paths     = flag.Int("paths", 1, "RSTU dispatch paths")
+		bypass    = flag.String("bypass", "full", "RUU bypass: full, none, limited")
+		counter   = flag.Int("counterbits", 3, "RUU NI/LI counter width")
+		loadRegs  = flag.Int("loadregs", 6, "number of load registers")
+		speculate = flag.Bool("speculate", false, "enable branch prediction + conditional execution (RUU)")
+		kernel    = flag.String("kernel", "", "run a built-in Livermore kernel (LLL1..LLL14)")
+		list      = flag.Bool("list", false, "list built-in kernels")
+		verify    = flag.Bool("verify", true, "check the final state against the functional reference")
+		pipetrace = flag.Int("pipetrace", 0, "print a per-cycle pipeline trace for the first N cycles")
+		ibuf      = flag.Bool("ibuf", false, "model CRAY-1-style instruction buffers instead of ideal fetch")
+		jsonOut   = flag.Bool("json", false, "emit the run statistics as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range livermore.Kernels() {
+			fmt.Printf("%-7s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+
+	var (
+		unit *ruu.Unit
+		st   *exec.State
+		kk   *livermore.Kernel
+		err  error
+	)
+	switch {
+	case *kernel != "":
+		kk = livermore.ByName(*kernel)
+		if kk == nil {
+			log.Fatalf("unknown kernel %q (try -list)", *kernel)
+		}
+		unit, err = kk.Unit()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err = kk.NewState()
+		if err != nil {
+			log.Fatal(err)
+		}
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		unit, err = ruu.Assemble(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		st = ruu.NewState(unit)
+	default:
+		log.Fatal("need -kernel NAME or an assembly file argument (-h for help)")
+	}
+
+	cfg := ruu.Config{
+		Engine:      ruu.EngineKind(*engine),
+		Entries:     *entries,
+		Paths:       *paths,
+		Bypass:      ruu.BypassKind(*bypass),
+		CounterBits: *counter,
+		Machine:     machine.Config{LoadRegs: *loadRegs, Speculate: *speculate, InstructionBuffers: *ibuf},
+	}
+	if *pipetrace > 0 {
+		cfg.Machine.Trace = &limitWriter{w: os.Stdout, lines: *pipetrace}
+	}
+	m, err := ruu.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref, refRes, err := exec.Reference(unit.Prog, st.Clone(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := m.Run(unit.Prog, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Trap != nil {
+		log.Fatalf("trapped: %v (precise=%v)", res.Trap, res.Precise)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Engine string        `json:"engine"`
+			Stats  machine.Stats `json:"stats"`
+		}{m.Engine().Name(), res.Stats}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("engine        : %s\n", m.Engine().Name())
+	fmt.Printf("instructions  : %d\n", res.Stats.Instructions)
+	fmt.Printf("cycles        : %d\n", res.Stats.Cycles)
+	fmt.Printf("issue rate    : %.3f\n", res.Stats.IssueRate())
+	fmt.Printf("branches      : %d (%d taken", res.Stats.Branches, res.Stats.Taken)
+	if *speculate {
+		fmt.Printf(", %d mispredicted", res.Stats.Mispredicts)
+	}
+	fmt.Printf(")\n")
+	fmt.Printf("peak in-flight: %d\n", res.Stats.MaxInFlight)
+	if *ibuf {
+		fmt.Printf("ibuf misses   : %d\n", res.Stats.IBufMisses)
+	}
+	fmt.Printf("decode stalls :")
+	for r := issue.StallReason(1); r < issue.NumStallReasons; r++ {
+		if n := res.Stats.Stalls[r]; n > 0 {
+			fmt.Printf(" %s=%d", r, n)
+		}
+	}
+	fmt.Println()
+
+	if *verify {
+		ok := true
+		if res.Stats.Instructions != refRes.Executed {
+			fmt.Printf("VERIFY: instruction count %d != reference %d\n", res.Stats.Instructions, refRes.Executed)
+			ok = false
+		}
+		if !st.EqualRegs(ref) {
+			fmt.Printf("VERIFY: registers differ from reference: %v\n", st.DiffRegs(ref))
+			ok = false
+		}
+		if d := st.Mem.FirstDiff(ref.Mem); d >= 0 {
+			fmt.Printf("VERIFY: memory differs from reference at word %d\n", d)
+			ok = false
+		}
+		if kk != nil {
+			if err := kk.Verify(st); err != nil {
+				fmt.Printf("VERIFY: kernel check failed: %v\n", err)
+				ok = false
+			}
+		}
+		if ok {
+			fmt.Println("verify        : final state matches the functional reference")
+		} else {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package ruu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ruu"
+	"ruu/internal/exec"
+	"ruu/internal/livermore"
+	"ruu/internal/machine"
+)
+
+// engineMatrix is the set of configurations exercised by the
+// cross-engine correctness tests: every issue mechanism, several sizes,
+// all bypass variants, and the speculative RUU.
+func engineMatrix() []ruu.Config {
+	var cfgs []ruu.Config
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineSimple})
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineTomasulo, Entries: 2})
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineTomasulo, Entries: 4})
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineTagUnit, Entries: 2, TagUnitSize: 12})
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineRSPool, Entries: 8, TagUnitSize: 12})
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineReorder, Entries: 8})
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineReorderBypass, Entries: 8})
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineReorderFuture, Entries: 8})
+	for _, n := range []int{3, 6, 10, 25} {
+		cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineRSTU, Entries: n})
+	}
+	cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineRSTU, Entries: 10, Paths: 2})
+	for _, b := range []ruu.BypassKind{ruu.BypassFull, ruu.BypassNone, ruu.BypassLimited} {
+		for _, n := range []int{3, 8, 15, 50} {
+			cfgs = append(cfgs, ruu.Config{Engine: ruu.EngineRUU, Entries: n, Bypass: b})
+		}
+	}
+	// Speculative RUU (§7 extension).
+	for _, n := range []int{8, 20} {
+		cfgs = append(cfgs, ruu.Config{
+			Engine: ruu.EngineRUU, Entries: n, Bypass: ruu.BypassFull,
+			Machine: machine.Config{Speculate: true},
+		})
+	}
+	return cfgs
+}
+
+func cfgName(c ruu.Config) string {
+	n := fmt.Sprintf("%s-%d", c.Engine, c.Entries)
+	if c.Engine == ruu.EngineRUU {
+		b := c.Bypass
+		if b == "" {
+			b = ruu.BypassFull
+		}
+		n += "-" + string(b)
+	}
+	if c.Paths > 1 {
+		n += fmt.Sprintf("-%dp", c.Paths)
+	}
+	if c.Machine.Speculate {
+		n += "-spec"
+	}
+	return n
+}
+
+// TestEnginesMatchReference is the central architectural-equivalence
+// invariant: every engine configuration, run on every Livermore kernel,
+// must finish with register file and memory identical to the functional
+// executor, with the same dynamic instruction and branch counts.
+func TestEnginesMatchReference(t *testing.T) {
+	kernels := livermore.Kernels()
+	for _, cfg := range engineMatrix() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			for _, k := range kernels {
+				u, err := k.Unit()
+				if err != nil {
+					t.Fatalf("%s: %v", k.Name, err)
+				}
+				ref, refRes, err := exec.Reference(u.Prog, mustState(t, k), 0)
+				if err != nil {
+					t.Fatalf("%s: reference: %v", k.Name, err)
+				}
+				m, err := ruu.NewMachine(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", k.Name, err)
+				}
+				st := mustState(t, k)
+				res, err := m.Run(u.Prog, st)
+				if err != nil {
+					t.Fatalf("%s: run: %v", k.Name, err)
+				}
+				if res.Trap != nil {
+					t.Fatalf("%s: unexpected trap %v", k.Name, res.Trap)
+				}
+				if got := res.Stats.Instructions; got != refRes.Executed {
+					t.Errorf("%s: executed %d instructions, reference %d", k.Name, got, refRes.Executed)
+				}
+				if res.Stats.Branches != refRes.Branches {
+					t.Errorf("%s: %d branches, reference %d", k.Name, res.Stats.Branches, refRes.Branches)
+				}
+				if res.Stats.Taken != refRes.Taken {
+					t.Errorf("%s: %d taken, reference %d", k.Name, res.Stats.Taken, refRes.Taken)
+				}
+				if !st.EqualRegs(ref) {
+					t.Errorf("%s: register state differs from reference: %v", k.Name, st.DiffRegs(ref))
+				}
+				if d := st.Mem.FirstDiff(ref.Mem); d >= 0 {
+					t.Errorf("%s: memory differs from reference at word %d: got %#x want %#x",
+						k.Name, d, st.Mem.Peek(d), ref.Mem.Peek(d))
+				}
+				if err := k.Verify(st); err != nil {
+					t.Errorf("%s: kernel check: %v", k.Name, err)
+				}
+				if res.Stats.IssueRate() > 1.0 {
+					t.Errorf("%s: issue rate %.3f exceeds the 1/cycle decode limit", k.Name, res.Stats.IssueRate())
+				}
+			}
+		})
+	}
+}
+
+func mustState(t *testing.T, k *livermore.Kernel) *exec.State {
+	t.Helper()
+	st, err := k.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}

@@ -1,0 +1,131 @@
+// Interrupts: a demand-paging demonstration of the paper's central claim.
+//
+// A kernel's output array sits on an unmapped page. On the RUU, the first
+// store to it raises a page fault that reaches the head of the queue with
+// the architectural state precise: the handler maps the page and resumes
+// at the faulting instruction, and the program finishes with a correct
+// result. On the RSTU — which resolves dependencies just as well but
+// updates registers out of program order — the same fault leaves a state
+// that matches no instruction boundary, so execution cannot be resumed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ruu"
+	"ruu/internal/exec"
+	"ruu/internal/livermore"
+)
+
+func main() {
+	log.SetFlags(0)
+	k := livermore.ByName("LLL12")
+	unit, err := k.Unit()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== RUU: precise interrupt, demand paging works ===")
+	{
+		st, err := k.NewState()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The page holding most of the input array is not resident, so
+		// the fault strikes mid-loop with many instructions in flight.
+		faultAddr := unit.Symbols["y"] + 500
+		st.Mem.Unmap(faultAddr)
+
+		m, err := ruu.NewMachine(ruu.Config{Engine: ruu.EngineRUU, Entries: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.SetHandler(func(s *exec.State, ev ruu.InterruptEvent) ruu.InterruptAction {
+			fmt.Printf("page fault at cycle %d: pc=%d addr=%d precise=%v\n",
+				ev.Cycle, ev.Trap.PC, ev.Trap.Addr, ev.Precise)
+			fmt.Printf("  handler: mapping page and resuming at the faulting instruction\n")
+			s.Mem.Map(ev.Trap.Addr)
+			return ruu.InterruptAction{Resume: true, ResumePC: ev.Trap.PC}
+		})
+		res, err := m.Run(unit.Prog, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Trap != nil {
+			log.Fatalf("unrecovered trap: %v", res.Trap)
+		}
+		if err := k.Verify(st); err != nil {
+			log.Fatalf("wrong result after demand paging: %v", err)
+		}
+		fmt.Printf("completed: %d instructions, %d cycles, %d interrupt(s); result verified correct\n\n",
+			res.Stats.Instructions, res.Stats.Cycles, res.Stats.Interrupts)
+	}
+
+	fmt.Println("=== RSTU: the same fault is imprecise ===")
+	{
+		st, err := k.NewState()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st.Mem.Unmap(unit.Symbols["y"] + 500)
+
+		m, err := ruu.NewMachine(ruu.Config{Engine: ruu.EngineRSTU, Entries: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run(unit.Prog, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stopped at cycle %d with %v; precise=%v\n", res.Stats.Cycles, res.Trap, res.Precise)
+
+		// Show that the stop state matches no instruction boundary: run
+		// the functional reference for exactly the retired count and
+		// compare.
+		ref, err := k.NewState()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ref.Mem.Map(unit.Symbols["y"] + 500)
+		for i := int64(0); i < res.Stats.Instructions; i++ {
+			if _, trap := ref.Step(unit.Prog); trap != nil {
+				break
+			}
+		}
+		diffs := st.DiffRegs(ref)
+		fmt.Printf("registers differing from the %d-instruction boundary: %v\n", res.Stats.Instructions, diffs)
+		fmt.Println("no consistent restart point exists: the OS could not page and resume")
+	}
+
+	fmt.Println()
+	fmt.Println("=== RUU: asynchronous (timer) interrupt at a commit boundary ===")
+	{
+		st, err := k.NewState()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ruu.NewMachine(ruu.Config{Engine: ruu.EngineRUU, Entries: 12})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.ScheduleExternal(5000) // a device raises an interrupt mid-run
+		m.SetHandler(func(s *exec.State, ev ruu.InterruptEvent) ruu.InterruptAction {
+			fmt.Printf("external interrupt at cycle %d: restart pc=%d precise=%v\n",
+				ev.Cycle, ev.Trap.PC, ev.Precise)
+			fmt.Println("  handler: servicing the device and resuming exactly where commit stopped")
+			return ruu.InterruptAction{Resume: true, ResumePC: ev.Trap.PC}
+		})
+		res, err := m.Run(unit.Prog, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Trap != nil {
+			log.Fatalf("unrecovered: %v", res.Trap)
+		}
+		if err := k.Verify(st); err != nil {
+			log.Fatalf("wrong result after external interrupt: %v", err)
+		}
+		fmt.Printf("completed with a verified-correct result after %d interrupt(s)\n", res.Stats.Interrupts)
+	}
+}

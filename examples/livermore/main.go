@@ -1,0 +1,78 @@
+// Livermore: the paper's experiment end to end — run the 14 Lawrence
+// Livermore loops on every issue mechanism and print the per-kernel and
+// aggregate comparison, reproducing the structure of the paper's
+// evaluation (Tables 1-6) in one view.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ruu"
+	"ruu/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	entries := flag.Int("entries", 12, "RSTU/RUU entry count")
+	flag.Parse()
+
+	configs := []struct {
+		label string
+		cfg   ruu.Config
+	}{
+		{"simple", ruu.Config{Engine: ruu.EngineSimple}},
+		{"tomasulo", ruu.Config{Engine: ruu.EngineTomasulo, Entries: 3}},
+		{"rstu", ruu.Config{Engine: ruu.EngineRSTU, Entries: *entries}},
+		{"ruu/full", ruu.Config{Engine: ruu.EngineRUU, Entries: *entries, Bypass: ruu.BypassFull}},
+		{"ruu/none", ruu.Config{Engine: ruu.EngineRUU, Entries: *entries, Bypass: ruu.BypassNone}},
+		{"ruu/limited", ruu.Config{Engine: ruu.EngineRUU, Entries: *entries, Bypass: ruu.BypassLimited}},
+		{"ruu/spec", func() ruu.Config {
+			c := ruu.Config{Engine: ruu.EngineRUU, Entries: *entries, Bypass: ruu.BypassFull}
+			c.Machine.Speculate = true
+			return c
+		}()},
+	}
+
+	// Per-kernel cycles under every configuration.
+	perKernel := map[string][]int64{}
+	var kernels []string
+	totals := make([]int64, len(configs))
+	for ci, c := range configs {
+		runs, err := ruu.RunKernels(c.cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", c.label, err)
+		}
+		for _, r := range runs {
+			if ci == 0 {
+				kernels = append(kernels, r.Kernel)
+			}
+			perKernel[r.Kernel] = append(perKernel[r.Kernel], r.Cycles)
+		}
+		totals[ci] = ruu.Totals(runs).Cycles
+	}
+
+	cols := []string{"Kernel"}
+	for _, c := range configs {
+		cols = append(cols, c.label)
+	}
+	t := report.New(fmt.Sprintf("Cycles per kernel (%d entries); every result verified against the functional reference", *entries), cols...)
+	for _, k := range kernels {
+		row := make([]any, 0, len(configs)+1)
+		row = append(row, k)
+		for _, cyc := range perKernel[k] {
+			row = append(row, cyc)
+		}
+		t.Add(row...)
+	}
+	t.WriteText(os.Stdout)
+
+	fmt.Println()
+	t2 := report.New("Aggregate (all 14 loops)", "Configuration", "Cycles", "Speedup vs simple")
+	for ci, c := range configs {
+		t2.Add(c.label, totals[ci], float64(totals[0])/float64(totals[ci]))
+	}
+	t2.WriteText(os.Stdout)
+}

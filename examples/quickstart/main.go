@@ -1,0 +1,75 @@
+// Quickstart: assemble a small program, run it on a 12-entry Register
+// Update Unit, and print the run statistics — the minimal end-to-end use
+// of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ruu"
+)
+
+// A dot product in the model architecture's assembly: the loop counter
+// counts down in A0 (the CRAY-style branch register), the index runs in
+// A1, and the sum accumulates in S1.
+const src = `
+.equ  n 64
+.array x 64
+.array y 64
+.word result 0
+
+    lai   A7, 0
+    lai   A1, 0          ; index
+    lai   A0, =n         ; loop countdown
+    lsi   S1, 0          ; sum
+loop:
+    lds   S2, =x(A1)
+    lds   S3, =y(A1)
+    fmul  S2, S2, S3
+    addai A0, A0, -1
+    fadd  S1, S1, S2
+    addai A1, A1, 1
+    janz  loop
+    sts   S1, =result(A7)
+    halt
+`
+
+func main() {
+	unit, err := ruu.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fill the input arrays (the assembler's data image only reserves
+	// them).
+	st := ruu.NewState(unit)
+	x, y := unit.Symbols["x"], unit.Symbols["y"]
+	for i := int64(0); i < 64; i++ {
+		st.Mem.Poke(x+i, ruu.FloatBits(float64(i)*0.25))
+		st.Mem.Poke(y+i, ruu.FloatBits(2.0))
+	}
+
+	m, err := ruu.NewMachine(ruu.Config{
+		Engine:  ruu.EngineRUU,
+		Entries: 12,
+		Bypass:  ruu.BypassFull,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run(unit.Prog, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Trap != nil {
+		log.Fatalf("trapped: %v", res.Trap)
+	}
+
+	fmt.Printf("result        = %g\n", ruu.Float(st.Mem.Peek(unit.Symbols["result"])))
+	fmt.Printf("instructions  = %d\n", res.Stats.Instructions)
+	fmt.Printf("cycles        = %d\n", res.Stats.Cycles)
+	fmt.Printf("issue rate    = %.3f instructions/cycle\n", res.Stats.IssueRate())
+	fmt.Printf("branches      = %d (%d taken)\n", res.Stats.Branches, res.Stats.Taken)
+	fmt.Printf("peak RUU fill = %d entries\n", res.Stats.MaxInFlight)
+}

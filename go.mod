@@ -1,0 +1,3 @@
+module ruu
+
+go 1.22

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the RUU's internal state for debugging: one line per
+// occupied slot from head to tail, plus the memory-order frontier.
+func (u *RUU) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RUU %s size=%d head=%d tail=%d count=%d\n",
+		u.cfg.Bypass, u.cfg.Size, u.head, u.tail, u.count)
+	u.forEach(func(pos int, s *slot) {
+		flags := ""
+		if s.dispatched {
+			flags += "D"
+		}
+		if s.executed {
+			flags += "X"
+		}
+		if s.resolved {
+			flags += "R"
+		}
+		if s.fault != nil {
+			flags += "F"
+		}
+		mem := ""
+		switch s.phase {
+		case memUnbound:
+			mem = " mem:unbound"
+		case memBound:
+			mem = fmt.Sprintf(" mem:bound@%d toMem=%v bind=%+v", s.addr, s.toMem, s.binding)
+		}
+		fmt.Fprintf(&b, "  [%2d] seq=%-5d pc=%-4d %-24s op1{r=%v reg=%d inst=%d} op2{r=%v reg=%d inst=%d} %-3s%s\n",
+			pos, s.seq, s.pc, s.ins.String(),
+			s.op1.ready, s.op1.reg, s.op1.inst,
+			s.op2.ready, s.op2.reg, s.op2.inst,
+			flags, mem)
+	})
+	fmt.Fprintf(&b, "  memQueue=%v loadRegsInUse=%d\n", u.memQueue, u.ctx.LoadRegs.InUse())
+	return b.String()
+}

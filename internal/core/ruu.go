@@ -1,0 +1,700 @@
+// Package core implements the paper's primary contribution: the Register
+// Update Unit (§5). The RUU is the RSTU constrained to commit
+// instructions in program order — it is managed as a circular queue with
+// RUU_Head and RUU_Tail pointers — which simultaneously
+//
+//   - resolves data dependencies (each entry is a reservation station
+//     monitoring the result bus),
+//   - implements precise interrupts (the register file and memory are
+//     updated only at commit, in program order), and
+//   - simplifies tag management: because results return to the registers
+//     in order, the associative "latest copy" search of the RSTU is
+//     replaced by two small counters per register — the Number of
+//     Instances (NI) and the Latest Instance (LI) — and a register tag is
+//     just the register number appended with its LI counter.
+//
+// Three bypass organisations reproduce the paper's §6:
+//
+//   - BypassFull (Table 4): associative read of completed results from
+//     the RUU at issue time.
+//   - BypassNone (Table 5): no bypass; waiting operands monitor both the
+//     result bus and the commit bus (RUU → register file).
+//   - BypassLimited (Table 6): no RUU bypass, but the A register file is
+//     duplicated as a future file so branch-condition chains through A
+//     registers do not wait for commit.
+//
+// The package also implements the §7 extension: branch prediction with
+// conditional execution, using the RUU's nullification capability to
+// squash wrong-path entries.
+package core
+
+import (
+	"fmt"
+
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/issue"
+	"ruu/internal/memsys"
+)
+
+// Bypass selects the RUU's operand-bypass organisation.
+type Bypass uint8
+
+const (
+	// BypassFull reads completed-but-uncommitted results straight out of
+	// the RUU at issue time (Table 4).
+	BypassFull Bypass = iota
+	// BypassNone provides no bypass: a value is obtained from the
+	// register file, from the result bus, or from the commit bus
+	// (Table 5).
+	BypassNone
+	// BypassLimited duplicates the A register file as a future file
+	// (Table 6); other files behave as in BypassNone.
+	BypassLimited
+)
+
+func (b Bypass) String() string {
+	switch b {
+	case BypassFull:
+		return "full"
+	case BypassNone:
+		return "none"
+	case BypassLimited:
+		return "limited"
+	default:
+		return "bypass?"
+	}
+}
+
+// Config parameterises the RUU.
+type Config struct {
+	// Size is the number of RUU entries.
+	Size int
+	// Bypass selects the operand-bypass organisation.
+	Bypass Bypass
+	// CounterBits is the width n of the NI/LI counters; up to 2^n - 1
+	// instances of a destination register may be in the RUU (default 3,
+	// the paper's configuration).
+	CounterBits int
+	// CommitWidth is the number of instructions that may update the
+	// architectural state per cycle (default 1: a single path from the
+	// RUU to the register file).
+	CommitWidth int
+	// SelfCheck, when set, validates the queue and counter invariants
+	// every cycle (test support; panics on violation).
+	SelfCheck bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Size <= 0 {
+		c.Size = 12
+	}
+	if c.CounterBits <= 0 {
+		c.CounterBits = 3
+	}
+	if c.CounterBits > 8 {
+		c.CounterBits = 8
+	}
+	if c.CommitWidth <= 0 {
+		c.CommitWidth = 1
+	}
+}
+
+type operand struct {
+	ready bool
+	reg   int16 // flat register index of the awaited instance
+	inst  uint8 // awaited LI value
+	value int64
+}
+
+type memPhase uint8
+
+const (
+	memNone memPhase = iota
+	memUnbound
+	memBound
+)
+
+type slot struct {
+	used       bool
+	seq        int64
+	pc         int
+	ins        isa.Instruction
+	issueCycle int64
+	// readyAt is the cycle in which the last waiting operand was gated
+	// in from a bus; dispatch is possible only in a later cycle.
+	readyAt int64
+
+	op1, op2 operand
+
+	hasDest  bool
+	dest     isa.Reg
+	destInst uint8
+
+	dispatched bool
+	executed   bool
+	result     int64
+
+	phase      memPhase
+	isStore    bool
+	addr       int64
+	binding    memsys.Binding
+	toMem      bool
+	memChecked bool // trap check performed (exactly once per operation)
+	fault      *exec.Trap
+
+	// §7 extension fields.
+	isBranch     bool
+	predTaken    bool
+	resolved     bool
+	taken        bool
+	mispredicted bool
+}
+
+type pendingResult struct {
+	cycle int64
+	pos   int // ring position
+	seq   int64
+}
+
+type busEvent struct {
+	reg   int16
+	inst  uint8
+	value int64
+}
+
+// RUU is the Register Update Unit issue engine.
+type RUU struct {
+	cfg Config
+	ctx *issue.Context
+
+	slots []slot
+	head  int
+	tail  int
+	count int
+
+	nextSeq int64
+
+	ni [isa.NumRegs]uint8
+	li [isa.NumRegs]uint8
+
+	// Future file for the A registers (BypassLimited).
+	ff      [isa.NumA]int64
+	ffInst  [isa.NumA]uint8
+	ffValid [isa.NumA]bool
+
+	memQueue []int // ring positions of unbound memory ops, program order
+	pending  []pendingResult
+
+	// cycleEvents lists this cycle's result-bus broadcasts, for the
+	// decode-stage branch that is "monitoring the bus" (non-speculative
+	// BypassNone/BypassLimited resolution).
+	cycleEvents []busEvent
+
+	retired  int64
+	trap     *exec.Trap
+	outcomes []outcomeRec
+
+	// Architectural branch counters (committed branches only).
+	comBranches, comTaken, comMispredicts int64
+}
+
+// New returns an RUU engine with the given configuration.
+func New(cfg Config) *RUU {
+	cfg.fillDefaults()
+	return &RUU{cfg: cfg}
+}
+
+// Name implements issue.Engine.
+func (u *RUU) Name() string { return "ruu-" + u.cfg.Bypass.String() }
+
+// Size returns the number of RUU entries.
+func (u *RUU) Size() int { return u.cfg.Size }
+
+// ConfigValue returns the effective configuration.
+func (u *RUU) ConfigValue() Config { return u.cfg }
+
+// maxInstances returns 2^n - 1.
+func (u *RUU) maxInstances() uint8 { return uint8(1<<u.cfg.CounterBits) - 1 }
+
+func (u *RUU) instMask() uint8 { return uint8(1<<u.cfg.CounterBits) - 1 }
+
+// Reset implements issue.Engine.
+func (u *RUU) Reset(ctx *issue.Context) {
+	u.ctx = ctx
+	u.slots = make([]slot, u.cfg.Size)
+	u.head, u.tail, u.count = 0, 0, 0
+	u.nextSeq = 0
+	u.ni = [isa.NumRegs]uint8{}
+	u.li = [isa.NumRegs]uint8{}
+	u.ff = [isa.NumA]int64{}
+	u.ffInst = [isa.NumA]uint8{}
+	u.ffValid = [isa.NumA]bool{}
+	u.memQueue = u.memQueue[:0]
+	u.pending = u.pending[:0]
+	u.cycleEvents = u.cycleEvents[:0]
+	u.retired = 0
+	u.trap = nil
+	u.outcomes = u.outcomes[:0]
+	u.comBranches, u.comTaken, u.comMispredicts = 0, 0, 0
+	ctx.Bus.Reset()
+	ctx.LoadRegs.Reset()
+}
+
+// BeginCycle implements issue.Engine: result-bus broadcasts first, then
+// in-order commit from the head.
+func (u *RUU) BeginCycle(c int64) {
+	u.cycleEvents = u.cycleEvents[:0]
+	u.broadcastResults(c)
+	u.commit(c)
+	if u.cfg.SelfCheck {
+		if err := u.SelfCheck(); err != nil {
+			panic(fmt.Sprintf("cycle %d: %v\n%s", c, err, u.Dump()))
+		}
+	}
+}
+
+// broadcastResults delivers results whose functional-unit latency expires
+// this cycle: the producing slot is marked executed, waiting reservation
+// stations gate in the value, and (in BypassLimited) the A future file is
+// updated. The register file is NOT touched — that happens at commit.
+func (u *RUU) broadcastResults(c int64) {
+	out := u.pending[:0]
+	for _, p := range u.pending {
+		if p.cycle != c {
+			out = append(out, p)
+			continue
+		}
+		s := &u.slots[p.pos]
+		if !s.used || s.seq != p.seq {
+			continue // squashed while in flight; discard the result
+		}
+		s.executed = true
+		if s.hasDest {
+			u.deliver(p.cycle, s.dest, s.destInst, s.result)
+			u.cycleEvents = append(u.cycleEvents, busEvent{int16(s.dest.Flat()), s.destInst, s.result})
+			if u.cfg.Bypass == BypassLimited && s.dest.File == isa.FileA {
+				u.ff[s.dest.Idx] = s.result
+				u.ffInst[s.dest.Idx] = s.destInst
+				u.ffValid[s.dest.Idx] = true
+			}
+		}
+		if s.binding.Valid() && !s.isStore {
+			// A load's value becomes forwardable to younger chained
+			// loads, and its load-register claim ends.
+			u.ctx.LoadRegs.SetData(s.binding, s.result)
+			u.ctx.LoadRegs.Release(s.binding)
+			s.binding = memsys.Invalid
+		}
+	}
+	u.pending = out
+}
+
+// deliver gates a broadcast value into every waiting operand with a
+// matching (register, instance) tag, and resolves branch slots waiting on
+// the value.
+func (u *RUU) deliver(c int64, r isa.Reg, inst uint8, v int64) {
+	flat := int16(r.Flat())
+	u.forEach(func(pos int, s *slot) {
+		if !s.op1.ready && s.op1.reg == flat && s.op1.inst == inst {
+			s.op1.ready, s.op1.value = true, v
+			s.readyAt = c
+		}
+		if !s.op2.ready && s.op2.reg == flat && s.op2.inst == inst {
+			s.op2.ready, s.op2.value = true, v
+			s.readyAt = c
+		}
+		if s.isBranch && !s.resolved && s.op1.ready {
+			u.resolveBranch(pos, s)
+		}
+	})
+}
+
+// forEach visits used slots from head to tail (program order). The
+// visitor must not change the queue shape; squashes are performed only in
+// resolveBranch, which truncates behind the iteration point.
+func (u *RUU) forEach(f func(pos int, s *slot)) {
+	for i, pos := 0, u.head; i < u.count; i, pos = i+1, (pos+1)%u.cfg.Size {
+		if u.slots[pos].used {
+			f(pos, &u.slots[pos])
+		}
+	}
+}
+
+// commit updates the architectural state from the head of the queue: up
+// to CommitWidth executed instructions leave in program order. A faulting
+// instruction at the head raises its trap with the architectural state
+// precise. Committed register values are also broadcast on the commit bus
+// (the bus between the RUU and the register file), which waiting
+// reservation stations monitor in the no-bypass organisations.
+func (u *RUU) commit(c int64) {
+	for n := 0; n < u.cfg.CommitWidth && u.count > 0; n++ {
+		s := &u.slots[u.head]
+		if s.fault != nil {
+			// Precise interrupt: everything older has committed, nothing
+			// younger has touched architectural state.
+			u.trap = s.fault
+			return
+		}
+		if !s.executed {
+			return
+		}
+		if s.isStore {
+			if f := u.ctx.State.Mem.Write(s.addr, s.op2.value); f != nil {
+				panic("core: unexpected fault at store commit: " + f.Error())
+			}
+			if s.binding.Valid() {
+				u.ctx.LoadRegs.Release(s.binding)
+			}
+		}
+		if s.hasDest {
+			u.ctx.State.SetReg(s.dest, s.result)
+			f := s.dest.Flat()
+			if u.ni[f] == 0 {
+				panic(fmt.Sprintf("core: NI underflow for %s at commit", s.dest))
+			}
+			u.ni[f]--
+			// Commit bus broadcast: resolve operands that issued after
+			// this instance had already left the result bus.
+			u.deliver(c, s.dest, s.destInst, s.result)
+		}
+		if s.isBranch {
+			u.comBranches++
+			if s.taken {
+				u.comTaken++
+			}
+			if s.mispredicted {
+				u.comMispredicts++
+			}
+		}
+		*s = slot{}
+		u.head = (u.head + 1) % u.cfg.Size
+		u.count--
+		u.retired++
+	}
+}
+
+// Dispatch implements issue.Engine: the memory-address frontier advances
+// (one effective-address computation per cycle, in program order among
+// memory operations), then one ready entry dispatches to a functional
+// unit — loads and stores first, then the entry that entered the RUU
+// earliest (§5's priority rule).
+func (u *RUU) Dispatch(c int64) {
+	u.advanceMemFrontier(c)
+
+	budget := 1
+	// Pass 1: memory operations.
+	u.forEach(func(pos int, s *slot) {
+		if budget == 0 {
+			return
+		}
+		if s.phase != memBound || s.dispatched || s.issueCycle >= c || s.readyAt >= c || s.fault != nil {
+			return
+		}
+		if u.tryMemOp(c, pos, s) {
+			budget--
+		}
+	})
+	if budget == 0 {
+		return
+	}
+	// Pass 2: computational instructions, oldest first (forEach order).
+	u.forEach(func(pos int, s *slot) {
+		if budget == 0 {
+			return
+		}
+		if s.phase != memNone || s.dispatched || s.executed || s.isBranch || s.issueCycle >= c || s.readyAt >= c {
+			return
+		}
+		if !s.op1.ready || !s.op2.ready {
+			return
+		}
+		lat := int64(u.ctx.Lat.Of(s.ins.Op))
+		if !u.ctx.Bus.Reserve(c + lat) {
+			return
+		}
+		s.result = exec.ALU(s.ins, s.op1.value, s.op2.value)
+		s.dispatched = true
+		u.pending = append(u.pending, pendingResult{c + lat, pos, s.seq})
+		budget--
+	})
+}
+
+func (u *RUU) advanceMemFrontier(c int64) {
+	if u.trap != nil || len(u.memQueue) == 0 {
+		return
+	}
+	pos := u.memQueue[0]
+	s := &u.slots[pos]
+	if !s.used || s.phase != memUnbound {
+		// Squashed; drop and retry next cycle.
+		u.memQueue = u.memQueue[1:]
+		return
+	}
+	if s.issueCycle >= c || s.readyAt >= c || !s.op1.ready {
+		return
+	}
+	addr := exec.EffAddr(s.ins, s.op1.value)
+	if !s.memChecked {
+		s.memChecked = true
+		if t := issue.MemTrap(u.ctx, s.pc, addr); t != nil {
+			// The fault is recorded in the entry and raised when the
+			// entry reaches the head — that is what makes the interrupt
+			// precise.
+			s.fault = t
+			s.addr = addr
+			s.phase = memBound
+			s.executed = true
+			u.memQueue = u.memQueue[1:]
+			return
+		}
+	}
+	if !u.ctx.LoadRegs.CanBind(addr) {
+		return // no load register obtainable; retry next cycle
+	}
+	// A load with no pending same-address operation dispatches to memory
+	// as part of the address computation: it reserves the result bus here
+	// and does not compete for the RUU-to-functional-unit data path.
+	toMemory := !s.isStore && !u.ctx.LoadRegs.Pending(addr)
+	lat := int64(u.ctx.Lat[isa.UnitMem])
+	if toMemory && !u.ctx.Bus.Reserve(c+lat) {
+		return // bus slot taken; retry next cycle
+	}
+	b, toMem, ok := u.ctx.LoadRegs.Bind(addr, s.isStore)
+	if !ok {
+		return // no free load register; retry next cycle
+	}
+	s.addr = addr
+	s.binding = b
+	s.toMem = toMem
+	s.phase = memBound
+	u.memQueue = u.memQueue[1:]
+	if toMem {
+		v, f := u.ctx.State.Mem.Read(addr)
+		if f != nil {
+			panic("core: unexpected fault after bind-time check: " + f.Error())
+		}
+		s.result = v
+		s.dispatched = true
+		u.pending = append(u.pending, pendingResult{c + lat, pos, s.seq})
+	}
+}
+
+func (u *RUU) tryMemOp(c int64, pos int, s *slot) bool {
+	if s.isStore {
+		if !s.op2.ready {
+			return false
+		}
+		// A store "executes" when its address is bound and its data is
+		// ready; the buffered data is forwardable to younger loads, but
+		// memory itself is written only at commit (preciseness).
+		u.ctx.LoadRegs.SetData(s.binding, s.op2.value)
+		s.dispatched = true
+		s.executed = true
+		return true
+	}
+	// Load: only forwarded loads reach here (memory-bound loads dispatch
+	// at bind time).
+	v, ok := u.ctx.LoadRegs.Forward(s.binding)
+	if !ok {
+		return false
+	}
+	lat := int64(u.ctx.FwdLatency)
+	if !u.ctx.Bus.Reserve(c + lat) {
+		return false
+	}
+	s.result = v
+	s.dispatched = true
+	u.pending = append(u.pending, pendingResult{c + lat, pos, s.seq})
+	return true
+}
+
+// readOperand reads a source register under the configured bypass rules,
+// returning a ready operand or a tagged waiting one.
+func (u *RUU) readOperand(r isa.Reg) operand {
+	f := r.Flat()
+	if u.ni[f] == 0 {
+		return operand{ready: true, value: u.ctx.State.Reg(r)}
+	}
+	inst := u.li[f]
+	switch u.cfg.Bypass {
+	case BypassFull:
+		// Associative bypass: if the latest instance has executed, its
+		// value can be read straight out of the RUU.
+		var found *slot
+		u.forEach(func(_ int, s *slot) {
+			if s.hasDest && s.dest == r && s.destInst == inst {
+				found = s
+			}
+		})
+		if found != nil && found.executed {
+			return operand{ready: true, value: found.result}
+		}
+	case BypassLimited:
+		if r.File == isa.FileA && u.ffValid[r.Idx] && u.ffInst[r.Idx] == inst {
+			return operand{ready: true, value: u.ff[r.Idx]}
+		}
+	}
+	return operand{ready: false, reg: int16(f), inst: inst}
+}
+
+// TryIssue implements issue.Engine.
+func (u *RUU) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReason {
+	if u.trap != nil {
+		return issue.StallDrain
+	}
+	if ins.Op == isa.Trap {
+		// An explicit trap occupies an entry and faults at commit, like
+		// any other instruction-generated trap.
+		return u.issueSlot(c, pc, ins, func(s *slot) {
+			s.fault = &exec.Trap{Kind: exec.TrapExplicit, PC: pc}
+			s.executed = true
+		})
+	}
+	if ins.Op == isa.Nop {
+		return u.issueSlot(c, pc, ins, func(s *slot) {
+			s.executed = true
+		})
+	}
+	return u.issueSlot(c, pc, ins, nil)
+}
+
+// issueSlot performs the common issue path: obtain a free entry at the
+// tail, read or tag the source operands, and take a new instance of the
+// destination register (incrementing NI and LI).
+func (u *RUU) issueSlot(c int64, pc int, ins isa.Instruction, custom func(*slot)) issue.StallReason {
+	if u.count == u.cfg.Size {
+		return issue.StallEntry
+	}
+	info := ins.Op.Info()
+	dst, hasDst := ins.Dst()
+	if hasDst && u.ni[dst.Flat()] == u.maxInstances() {
+		return issue.StallDest
+	}
+
+	s := slot{
+		used:       true,
+		seq:        u.nextSeq,
+		pc:         pc,
+		ins:        ins,
+		issueCycle: c,
+		binding:    memsys.Invalid,
+		op1:        operand{ready: true},
+		op2:        operand{ready: true},
+	}
+	var srcBuf [2]isa.Reg
+	srcs := ins.Srcs(srcBuf[:0])
+	if len(srcs) > 0 {
+		s.op1 = u.readOperand(srcs[0])
+	}
+	if len(srcs) > 1 {
+		s.op2 = u.readOperand(srcs[1])
+	}
+	if info.Load || info.Store {
+		s.phase = memUnbound
+		s.isStore = info.Store
+	}
+	if hasDst {
+		s.hasDest = true
+		s.dest = dst
+		f := dst.Flat()
+		u.ni[f]++
+		u.li[f] = (u.li[f] + 1) & u.instMask()
+		s.destInst = u.li[f]
+		if u.cfg.Bypass == BypassLimited && dst.File == isa.FileA {
+			// A new instance supersedes the future-file value until its
+			// own result arrives (ffInst no longer matches LI).
+			if u.ffInst[dst.Idx] != s.destInst {
+				// Nothing to do: validity is checked against LI.
+			} else {
+				// Instance counter wrapped onto the stale future-file
+				// entry; drop it explicitly.
+				u.ffValid[dst.Idx] = false
+			}
+		}
+	}
+	if custom != nil {
+		custom(&s)
+	}
+
+	pos := u.tail
+	u.slots[pos] = s
+	u.tail = (u.tail + 1) % u.cfg.Size
+	u.count++
+	u.nextSeq++
+	if s.phase == memUnbound {
+		u.memQueue = append(u.memQueue, pos)
+	}
+	return issue.StallNone
+}
+
+// TryReadCond implements issue.Engine: the decode-stage branch obtains
+// its condition register under the bypass rules, additionally monitoring
+// the result bus (this cycle's broadcasts) in the no-bypass
+// organisations, as §6.2–6.3 describe.
+func (u *RUU) TryReadCond(_ int64, r isa.Reg) (int64, bool) {
+	op := u.readOperand(r)
+	if op.ready {
+		return op.value, true
+	}
+	for _, ev := range u.cycleEvents {
+		if ev.reg == op.reg && ev.inst == op.inst {
+			return ev.value, true
+		}
+	}
+	return 0, false
+}
+
+// Drained implements issue.Engine.
+func (u *RUU) Drained() bool { return u.count == 0 }
+
+// PendingTrap implements issue.Engine.
+func (u *RUU) PendingTrap() *exec.Trap { return u.trap }
+
+// Precise implements issue.Engine: the RUU's whole point.
+func (u *RUU) Precise() bool { return true }
+
+// Flush implements issue.Engine: discard every in-flight entry. Because
+// the register file and memory are updated only at commit, the
+// architectural state after a flush is exactly the state at the
+// trapping instruction's boundary.
+func (u *RUU) Flush() {
+	u.slots = make([]slot, u.cfg.Size)
+	u.head, u.tail, u.count = 0, 0, 0
+	u.ni = [isa.NumRegs]uint8{}
+	u.li = [isa.NumRegs]uint8{}
+	u.ffValid = [isa.NumA]bool{}
+	u.memQueue = u.memQueue[:0]
+	u.pending = u.pending[:0]
+	u.cycleEvents = u.cycleEvents[:0]
+	u.trap = nil
+	u.outcomes = u.outcomes[:0]
+	u.ctx.Bus.Clear()
+	u.ctx.LoadRegs.Reset()
+}
+
+// InFlight implements issue.Engine.
+func (u *RUU) InFlight() int { return u.count }
+
+// Retired implements issue.Engine.
+func (u *RUU) Retired() int64 { return u.retired }
+
+// NI returns the current Number-of-Instances counter for r (test support).
+func (u *RUU) NI(r isa.Reg) uint8 { return u.ni[r.Flat()] }
+
+// LI returns the current Latest-Instance counter for r (test support).
+func (u *RUU) LI(r isa.Reg) uint8 { return u.li[r.Flat()] }
+
+// Occupancy returns head, tail and count (test support for the queue
+// discipline invariants).
+func (u *RUU) Occupancy() (head, tail, count int) { return u.head, u.tail, u.count }
+
+// HeadPC returns the program counter of the oldest uncommitted
+// instruction — the precise restart point for an external interrupt
+// (each entry carries its Program Counter field for exactly this, §5).
+func (u *RUU) HeadPC() (int, bool) {
+	if u.count == 0 {
+		return 0, false
+	}
+	return u.slots[u.head].pc, true
+}

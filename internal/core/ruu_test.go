@@ -1,0 +1,413 @@
+package core_test
+
+import (
+	"testing"
+
+	"ruu/internal/asm"
+	"ruu/internal/core"
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/issue"
+	"ruu/internal/machine"
+)
+
+func newMachine(cfg core.Config, mcfg machine.Config) (*machine.Machine, *core.RUU) {
+	u := core.New(cfg)
+	return machine.New(u, mcfg), u
+}
+
+func runOn(t *testing.T, cfg core.Config, src string) (machine.Result, *exec.State, *core.RUU) {
+	t.Helper()
+	unit, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, u := newMachine(cfg, machine.Config{})
+	st := exec.NewState(unit.NewMemory())
+	res, err := m.Run(unit.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st, u
+}
+
+func TestConfigDefaults(t *testing.T) {
+	u := core.New(core.Config{})
+	cfg := u.ConfigValue()
+	if cfg.Size != 12 || cfg.CounterBits != 3 || cfg.CommitWidth != 1 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if u.Name() != "ruu-full" {
+		t.Fatalf("name = %q", u.Name())
+	}
+	if core.New(core.Config{Bypass: core.BypassNone}).Name() != "ruu-none" {
+		t.Fatal("bypass-none name")
+	}
+	if core.New(core.Config{CounterBits: 99}).ConfigValue().CounterBits != 8 {
+		t.Fatal("counter width not clamped")
+	}
+}
+
+func TestBypassStrings(t *testing.T) {
+	if core.BypassFull.String() != "full" || core.BypassNone.String() != "none" ||
+		core.BypassLimited.String() != "limited" || core.Bypass(9).String() != "bypass?" {
+		t.Fatal("Bypass strings wrong")
+	}
+}
+
+// TestQueueDisciplineAndDrain: after a run the RUU must be empty with
+// head == tail.
+func TestQueueDisciplineAndDrain(t *testing.T) {
+	_, _, u := runOn(t, core.Config{Size: 4}, `
+    lai  A1, 2
+    lai  A2, 3
+    adda A3, A1, A2
+    mula A4, A3, A3
+    halt
+`)
+	head, tail, count := u.Occupancy()
+	if count != 0 || head != tail {
+		t.Fatalf("queue not drained: head=%d tail=%d count=%d", head, tail, count)
+	}
+	if !u.Drained() {
+		t.Fatal("Drained() false after run")
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		if u.NI(isa.FromFlat(i)) != 0 {
+			t.Fatalf("NI[%v] = %d after drain", isa.FromFlat(i), u.NI(isa.FromFlat(i)))
+		}
+	}
+}
+
+// TestCommitInOrder uses a program whose fast instruction follows a slow
+// one: the fast result must not reach the register file before the slow
+// one commits (the state between must never show the young result
+// without the old one). We detect it via the architectural trap
+// boundary: trap after the slow op, with the fast op younger.
+func TestCommitInOrder(t *testing.T) {
+	unit, err := asm.Assemble(`
+    lai   A1, 4
+    frecip S1, S2     ; slow (latency 14)
+    adda  A2, A1, A1  ; fast (latency 2), younger
+    trap              ; stops commit right after adda
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := newMachine(core.Config{Size: 8}, machine.Config{})
+	sawTrap := false
+	m.SetHandler(func(st *exec.State, ev machine.InterruptEvent) machine.InterruptAction {
+		sawTrap = true
+		// At the trap, frecip and adda must both have committed (they
+		// are older), in order.
+		if st.A[2] != 8 {
+			t.Errorf("A2 = %d at trap, want 8", st.A[2])
+		}
+		return machine.InterruptAction{Resume: true, ResumePC: ev.Trap.PC + 1}
+	})
+	st := exec.NewState(unit.NewMemory())
+	if _, err := m.Run(unit.Prog, st); err != nil {
+		t.Fatal(err)
+	}
+	if !sawTrap {
+		t.Fatal("trap not taken")
+	}
+}
+
+// TestNICounterBlocksIssue: with 1-bit counters only one instance of a
+// destination register may be in flight; the machine still completes
+// correctly, and NI never exceeds 1.
+func TestNICounterBlocksIssue(t *testing.T) {
+	unit, err := asm.Assemble(`
+    lai  A1, 1
+    lai  A1, 2
+    lai  A1, 3
+    lai  A1, 4
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, u := newMachine(core.Config{Size: 8, CounterBits: 1}, machine.Config{})
+	st := exec.NewState(unit.NewMemory())
+	res, err := m.Run(unit.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.A[1] != 4 {
+		t.Fatalf("A1 = %d", st.A[1])
+	}
+	if res.Stats.Stalls[issue.StallDest] == 0 {
+		t.Fatal("expected dest-instance stalls with 1-bit counters")
+	}
+	_ = u
+}
+
+// TestManyInstancesWithWideCounters: the same program with 3-bit
+// counters issues without instance stalls (the paper: "a 3-bit counter
+// ensured that ... an instruction never blocked ... because an instance
+// of a register was unavailable").
+func TestManyInstancesWithWideCounters(t *testing.T) {
+	res, st, _ := runOn(t, core.Config{Size: 8, CounterBits: 3}, `
+    lai  A1, 1
+    lai  A1, 2
+    lai  A1, 3
+    lai  A1, 4
+    halt
+`)
+	if st.A[1] != 4 {
+		t.Fatalf("A1 = %d", st.A[1])
+	}
+	if res.Stats.Stalls[issue.StallDest] != 0 {
+		t.Fatalf("unexpected dest stalls: %d", res.Stats.Stalls[issue.StallDest])
+	}
+}
+
+// TestEntryFullBlocksIssue: a tiny RUU records entry-full stalls.
+func TestEntryFullBlocksIssue(t *testing.T) {
+	res, _, _ := runOn(t, core.Config{Size: 3}, `
+    frecip S1, S2
+    frecip S3, S4
+    frecip S5, S6
+    lai  A1, 1
+    lai  A2, 2
+    lai  A3, 3
+    halt
+`)
+	if res.Stats.Stalls[issue.StallEntry] == 0 {
+		t.Fatal("no entry-full stalls on a 3-entry RUU")
+	}
+}
+
+// TestBypassTiming: a crafted chain shows the paper's ordering
+// full <= limited <= none in cycle count. The value S1 is produced, then
+// a long gap, then read: in full-bypass the reader takes it from the
+// RUU; without bypass it waits for the commit bus.
+func TestBypassTiming(t *testing.T) {
+	src := `
+    frecip S3, S4      ; slow older work delays every younger commit
+    frecip S5, S6
+    lsi  S1, 42        ; producer: completes long before it can commit
+    lai  A1, 1         ; independent padding so the reader issues after
+    lai  A2, 2         ; the producer has executed
+    lai  A3, 3
+    frecip S7, S1      ; slow reader: its start time sets the end time
+    halt
+`
+	unit, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := exec.Reference(unit.Prog, exec.NewState(unit.NewMemory()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[core.Bypass]int64{}
+	for _, b := range []core.Bypass{core.BypassFull, core.BypassNone, core.BypassLimited} {
+		res, st, _ := runOn(t, core.Config{Size: 10, Bypass: b}, src)
+		if !st.EqualRegs(ref) {
+			t.Fatalf("%v: wrong result: %v", b, st.DiffRegs(ref))
+		}
+		cycles[b] = res.Stats.Cycles
+	}
+	if !(cycles[core.BypassFull] < cycles[core.BypassNone]) {
+		t.Errorf("full (%d) not faster than none (%d)", cycles[core.BypassFull], cycles[core.BypassNone])
+	}
+	// S registers are not covered by the limited (A future file) bypass,
+	// so limited behaves like none here.
+	if cycles[core.BypassLimited] != cycles[core.BypassNone] {
+		t.Errorf("limited (%d) != none (%d) on an S-register chain", cycles[core.BypassLimited], cycles[core.BypassNone])
+	}
+}
+
+// TestFutureFileHelpsARegisters: the same distance pattern through an A
+// register is recovered by the limited bypass.
+func TestFutureFileHelpsARegisters(t *testing.T) {
+	src := `
+    frecip S3, S4      ; slow older work delays every younger commit
+    frecip S5, S6
+    lai  A2, 42        ; producer
+    lsi  S1, 1         ; independent padding
+    lsi  S2, 2
+    lsi  S7, 3
+    mula A3, A2, A2    ; slow reader: its start time sets the end time
+    halt
+`
+	cycles := map[core.Bypass]int64{}
+	for _, b := range []core.Bypass{core.BypassFull, core.BypassNone, core.BypassLimited} {
+		res, st, _ := runOn(t, core.Config{Size: 10, Bypass: b}, src)
+		if st.A[3] != 42*42 {
+			t.Fatalf("%v: A3 = %d", b, st.A[3])
+		}
+		cycles[b] = res.Stats.Cycles
+	}
+	if !(cycles[core.BypassLimited] < cycles[core.BypassNone]) {
+		t.Errorf("future file did not help: limited=%d none=%d", cycles[core.BypassLimited], cycles[core.BypassNone])
+	}
+	if cycles[core.BypassFull] > cycles[core.BypassLimited] {
+		t.Errorf("full (%d) slower than limited (%d)", cycles[core.BypassFull], cycles[core.BypassLimited])
+	}
+}
+
+// TestCommitWidthTwoFasterOnCommitBound: widening the RUU-to-register
+// path accelerates a commit-bound program.
+func TestCommitWidthTwoFasterOnCommitBound(t *testing.T) {
+	src := `
+    lai  A1, 1
+    lai  A2, 2
+    lai  A3, 3
+    lai  A4, 4
+    lai  A5, 5
+    lsi  S1, 1
+    lsi  S2, 2
+    lsi  S3, 3
+    halt
+`
+	r1, _, _ := runOn(t, core.Config{Size: 16, CommitWidth: 1}, src)
+	r2, _, _ := runOn(t, core.Config{Size: 16, CommitWidth: 2}, src)
+	if r2.Stats.Cycles > r1.Stats.Cycles {
+		t.Fatalf("commit width 2 slower: %d vs %d", r2.Stats.Cycles, r1.Stats.Cycles)
+	}
+}
+
+// TestStoreCommitsToMemoryInOrder: a store younger than a trapping
+// instruction must not be visible in memory at the trap.
+func TestStoreCommitsToMemoryInOrder(t *testing.T) {
+	unit, err := asm.Assemble(`
+.word slot 0
+    lai  A1, 7
+    trap
+    sta  A1, =slot(A7)
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := newMachine(core.Config{Size: 8}, machine.Config{})
+	slot := unit.Symbols["slot"]
+	m.SetHandler(func(st *exec.State, ev machine.InterruptEvent) machine.InterruptAction {
+		if st.Mem.Peek(slot) != 0 {
+			t.Errorf("younger store visible at trap")
+		}
+		return machine.InterruptAction{Resume: true, ResumePC: ev.Trap.PC + 1}
+	})
+	st := exec.NewState(unit.NewMemory())
+	if _, err := m.Run(unit.Prog, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mem.Peek(slot) != 7 {
+		t.Fatalf("store lost after resume: %d", st.Mem.Peek(slot))
+	}
+}
+
+// TestStoreToLoadForwarding: a load from an address with a pending
+// (uncommitted) store must see the store's data.
+func TestStoreToLoadForwarding(t *testing.T) {
+	_, st, _ := runOn(t, core.Config{Size: 12}, `
+.word slot 5
+    lai  A1, 9
+    sta  A1, =slot(A7)   ; store, commits late
+    lda  A2, =slot(A7)   ; load must forward 9, not read stale 5
+    adda A3, A2, A2
+    halt
+`)
+	if st.A[2] != 9 || st.A[3] != 18 {
+		t.Fatalf("forwarding broken: A2=%d A3=%d", st.A[2], st.A[3])
+	}
+}
+
+// TestLoadRegisterExhaustionStall: with one load register, back-to-back
+// loads to distinct addresses serialize but complete correctly.
+func TestLoadRegisterExhaustionStall(t *testing.T) {
+	mcfg := machine.Config{LoadRegs: 1}
+	unit, err := asm.Assemble(`
+.array buf 8 3
+    lai  A1, 0
+    lds  S1, =buf(A1)
+    lds  S2, =buf+1(A1)
+    lds  S3, =buf+2(A1)
+    fadd S4, S1, S2
+    fadd S4, S4, S3
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := newMachine(core.Config{Size: 8}, mcfg)
+	st := exec.NewState(unit.NewMemory())
+	if _, err := m.Run(unit.Prog, st); err != nil {
+		t.Fatal(err)
+	}
+	want := exec.Bits(exec.F64(3) + exec.F64(3) + exec.F64(3))
+	if st.S[4] != want {
+		t.Fatalf("S4 = %#x, want %#x", st.S[4], want)
+	}
+}
+
+// TestFlushLeavesCleanState: Flush after arbitrary in-flight work leaves
+// an engine that can run a fresh program.
+func TestFlushLeavesCleanState(t *testing.T) {
+	unit, err := asm.Assemble(`
+    lai  A1, 3
+    trap
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, u := newMachine(core.Config{Size: 6}, machine.Config{})
+	m.SetHandler(func(st *exec.State, ev machine.InterruptEvent) machine.InterruptAction {
+		return machine.InterruptAction{Resume: true, ResumePC: ev.Trap.PC + 1}
+	})
+	st := exec.NewState(unit.NewMemory())
+	if _, err := m.Run(unit.Prog, st); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Drained() || u.InFlight() != 0 {
+		t.Fatal("engine not clean after flush+run")
+	}
+}
+
+// TestSelfCheckEveryCycle runs a kernel-sized workload (including
+// speculation and an interrupt) with per-cycle invariant validation.
+func TestSelfCheckEveryCycle(t *testing.T) {
+	unit, err := asm.Assemble(`
+.array buf 16 3
+    lai   A0, 10
+    lai   A1, 0
+loop:
+    addai A0, A0, -1
+    lda   A2, =buf(A1)
+    adda  A3, A3, A2
+    sta   A3, =buf(A1)
+    addai A1, A1, 1
+    janz  loop
+    trap
+    lai   A4, 5
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []bool{false, true} {
+		for _, bypass := range []core.Bypass{core.BypassFull, core.BypassNone, core.BypassLimited} {
+			u := core.New(core.Config{Size: 6, Bypass: bypass, SelfCheck: true})
+			m := machine.New(u, machine.Config{Speculate: spec})
+			m.SetHandler(func(st *exec.State, ev machine.InterruptEvent) machine.InterruptAction {
+				return machine.InterruptAction{Resume: true, ResumePC: ev.Trap.PC + 1}
+			})
+			st := exec.NewState(unit.NewMemory())
+			res, err := m.Run(unit.Prog, st)
+			if err != nil {
+				t.Fatalf("spec=%v %v: %v", spec, bypass, err)
+			}
+			if res.Trap != nil {
+				t.Fatalf("spec=%v %v: %v", spec, bypass, res.Trap)
+			}
+			if err := u.SelfCheck(); err != nil {
+				t.Fatalf("spec=%v %v: post-run: %v", spec, bypass, err)
+			}
+		}
+	}
+}

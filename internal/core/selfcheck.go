@@ -1,0 +1,82 @@
+package core
+
+import "fmt"
+
+// SelfCheck validates the RUU's structural invariants; tests run it
+// after (and, with Config.SelfCheck, during) simulation:
+//
+//  1. count is consistent with the head/tail ring positions;
+//  2. every used slot lies between head and tail, every free slot
+//     outside ("RUU slots that do not lie between RUU_Head and RUU_Tail
+//     are free");
+//  3. for every register, NI equals the number of in-flight slots
+//     destined for it, and NI never exceeds 2^n - 1;
+//  4. the LI counter equals the youngest in-flight instance of each
+//     register with NI > 0;
+//  5. slot sequence numbers strictly increase from head to tail (commit
+//     order is program order).
+func (u *RUU) SelfCheck() error {
+	// (1) + (2): ring shape.
+	want := (u.tail - u.head + u.cfg.Size) % u.cfg.Size
+	if want == 0 && u.count == u.cfg.Size {
+		want = u.cfg.Size
+	}
+	if u.count != want {
+		return fmt.Errorf("core: count=%d but head=%d tail=%d imply %d", u.count, u.head, u.tail, want)
+	}
+	inWindow := func(pos int) bool {
+		if u.count == u.cfg.Size {
+			return true
+		}
+		if u.head <= u.tail {
+			return pos >= u.head && pos < u.tail
+		}
+		return pos >= u.head || pos < u.tail
+	}
+	for pos := range u.slots {
+		if u.slots[pos].used != inWindow(pos) {
+			return fmt.Errorf("core: slot %d used=%v but window [%d,%d) count=%d",
+				pos, u.slots[pos].used, u.head, u.tail, u.count)
+		}
+	}
+
+	// (3) + (4): instance counters.
+	var ni [256]uint8
+	var lastInst [256]uint8
+	var lastSeq [256]int64
+	u.forEach(func(_ int, s *slot) {
+		if s.hasDest {
+			f := s.dest.Flat()
+			ni[f]++
+			if s.seq >= lastSeq[f] {
+				lastSeq[f] = s.seq
+				lastInst[f] = s.destInst
+			}
+		}
+	})
+	for f := range u.ni {
+		if u.ni[f] != ni[f] {
+			return fmt.Errorf("core: NI[%d]=%d but %d in-flight producers", f, u.ni[f], ni[f])
+		}
+		if u.ni[f] > u.maxInstances() {
+			return fmt.Errorf("core: NI[%d]=%d exceeds 2^n-1=%d", f, u.ni[f], u.maxInstances())
+		}
+		if ni[f] > 0 && u.li[f] != lastInst[f] {
+			return fmt.Errorf("core: LI[%d]=%d but youngest in-flight instance is %d", f, u.li[f], lastInst[f])
+		}
+	}
+
+	// (5): program order along the queue.
+	prev := int64(-1)
+	var orderErr error
+	u.forEach(func(pos int, s *slot) {
+		if orderErr != nil {
+			return
+		}
+		if s.seq <= prev {
+			orderErr = fmt.Errorf("core: slot %d seq %d not after %d", pos, s.seq, prev)
+		}
+		prev = s.seq
+	})
+	return orderErr
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/issue"
+)
+
+// This file implements the paper's §7 extension: conditional execution of
+// instructions from a predicted branch path. A predicted branch enters
+// the RUU as an ordinary entry whose single source operand is its
+// condition register; everything issued after it is conditional simply by
+// being younger in the queue. Because the queue commits in order, a
+// conditional instruction can never update the architectural state before
+// the branch it depends on has resolved and committed — the RUU's
+// nullification mechanism ("there is no hard limit to the number of
+// branches that can be predicted") is just a truncation of the queue
+// behind the mispredicted branch, with the NI/LI counters unwound and
+// speculatively bound load registers squashed.
+
+type outcomeRec struct {
+	out issue.BranchOutcome
+	seq int64
+}
+
+// IssueBranch implements issue.Speculator.
+func (u *RUU) IssueBranch(c int64, pc int, ins isa.Instruction, predictTaken bool) (int, issue.StallReason) {
+	if u.trap != nil {
+		return 0, issue.StallDrain
+	}
+	var issuedSeq int64
+	r := u.issueSlot(c, pc, ins, func(s *slot) {
+		s.isBranch = true
+		s.predTaken = predictTaken
+		issuedSeq = s.seq
+	})
+	if r != issue.StallNone {
+		return 0, r
+	}
+	// Locate the slot just issued (it is at tail-1) and resolve
+	// immediately if the condition was readable at issue.
+	pos := (u.tail - 1 + u.cfg.Size) % u.cfg.Size
+	s := &u.slots[pos]
+	if s.op1.ready && !s.resolved {
+		u.resolveBranch(pos, s)
+	}
+	return int(issuedSeq), issue.StallNone
+}
+
+// resolveBranch computes the branch's architectural direction, records
+// the outcome, and — on a misprediction — squashes every younger entry.
+func (u *RUU) resolveBranch(pos int, s *slot) {
+	taken := exec.BranchTaken(s.ins.Op, s.op1.value)
+	s.resolved = true
+	s.executed = true
+	s.taken = taken
+	target := int(s.ins.Imm)
+	if !taken {
+		target = s.pc + 1
+	}
+	mispredicted := taken != s.predTaken
+	u.outcomes = append(u.outcomes, outcomeRec{
+		out: issue.BranchOutcome{
+			ID:           int(s.seq),
+			PC:           s.pc,
+			Taken:        taken,
+			Target:       target,
+			Mispredicted: mispredicted,
+		},
+		seq: s.seq,
+	})
+	if mispredicted {
+		s.mispredicted = true
+		u.squashAfter(pos, s.seq)
+	}
+}
+
+// squashAfter nullifies every entry younger than the entry at pos: the
+// tail is rolled back, destination-register instance counters are unwound
+// in reverse issue order, speculatively bound load registers are
+// squashed, stale future-file entries are dropped, and pending outcomes
+// of squashed branches are discarded. Pending functional-unit results of
+// squashed entries are discarded when they arrive (their result-bus
+// reservations stand — the bus cycle is genuinely consumed).
+func (u *RUU) squashAfter(pos int, seq int64) {
+	// Collect younger positions from the slot after pos to the tail.
+	var victims []int
+	for p := (pos + 1) % u.cfg.Size; p != u.tail; p = (p + 1) % u.cfg.Size {
+		victims = append(victims, p)
+	}
+	// Unwind in reverse issue order so LI counters restore correctly.
+	for i := len(victims) - 1; i >= 0; i-- {
+		p := victims[i]
+		s := &u.slots[p]
+		if !s.used {
+			continue
+		}
+		if s.hasDest {
+			f := s.dest.Flat()
+			if u.ni[f] == 0 {
+				panic("core: NI underflow during squash")
+			}
+			u.ni[f]--
+			u.li[f] = (u.li[f] - 1) & u.instMask()
+			if u.cfg.Bypass == BypassLimited && s.dest.File == isa.FileA &&
+				u.ffValid[s.dest.Idx] && u.ffInst[s.dest.Idx] == s.destInst {
+				u.ffValid[s.dest.Idx] = false
+			}
+		}
+		if s.binding.Valid() {
+			u.ctx.LoadRegs.Squash(s.binding)
+		}
+		*s = slot{}
+		u.count--
+	}
+	u.tail = (pos + 1) % u.cfg.Size
+
+	// Drop squashed memory operations from the address frontier.
+	keep := u.memQueue[:0]
+	for _, p := range u.memQueue {
+		if u.slots[p].used && u.slots[p].seq <= seq {
+			keep = append(keep, p)
+		}
+	}
+	u.memQueue = keep
+
+	// Drop outcomes of squashed (wrong-path) branches.
+	keepOut := u.outcomes[:0]
+	for _, o := range u.outcomes {
+		if o.seq <= seq {
+			keepOut = append(keepOut, o)
+		}
+	}
+	u.outcomes = keepOut
+}
+
+// TakeOutcomes implements issue.Speculator.
+func (u *RUU) TakeOutcomes() []issue.BranchOutcome {
+	if len(u.outcomes) == 0 {
+		return nil
+	}
+	sort.Slice(u.outcomes, func(i, j int) bool { return u.outcomes[i].seq < u.outcomes[j].seq })
+	out := make([]issue.BranchOutcome, len(u.outcomes))
+	for i, o := range u.outcomes {
+		out[i] = o.out
+	}
+	u.outcomes = u.outcomes[:0]
+	return out
+}
+
+// BranchStats returns architectural (committed) branch counts: resolved
+// branches, taken branches, and mispredictions. Wrong-path branches that
+// were squashed before committing are never counted.
+func (u *RUU) BranchStats() (branches, taken, mispredicts int64) {
+	return u.comBranches, u.comTaken, u.comMispredicts
+}

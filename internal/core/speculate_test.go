@@ -1,0 +1,249 @@
+package core_test
+
+import (
+	"testing"
+
+	"ruu/internal/asm"
+	"ruu/internal/core"
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/machine"
+)
+
+func runSpec(t *testing.T, size int, src string) (machine.Result, *exec.State, *core.RUU) {
+	t.Helper()
+	unit, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, u := newMachine(core.Config{Size: size}, machine.Config{Speculate: true})
+	st := exec.NewState(unit.NewMemory())
+	res, err := m.Run(unit.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st, u
+}
+
+// loopSrc is a simple counted loop with a data-dependent exit.
+const loopSrc = `
+.array buf 16 3
+    lai   A0, 12
+    lai   A1, 0
+loop:
+    addai A0, A0, -1
+    lda   A2, =buf(A1)
+    adda  A3, A3, A2
+    addai A1, A1, 1
+    janz  loop
+    halt
+`
+
+// TestSpeculationCorrectness: the speculative RUU produces the same
+// architectural result and counts as the reference.
+func TestSpeculationCorrectness(t *testing.T) {
+	unit := asm.MustAssemble(loopSrc)
+	ref, refRes, err := exec.Reference(unit.Prog, exec.NewState(unit.NewMemory()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, u := runSpec(t, 12, loopSrc)
+	if !st.EqualRegs(ref) {
+		t.Fatalf("registers differ: %v", st.DiffRegs(ref))
+	}
+	if res.Stats.Instructions != refRes.Executed {
+		t.Fatalf("instructions %d, want %d", res.Stats.Instructions, refRes.Executed)
+	}
+	if res.Stats.Branches != refRes.Branches || res.Stats.Taken != refRes.Taken {
+		t.Fatalf("branch stats %d/%d, want %d/%d",
+			res.Stats.Branches, res.Stats.Taken, refRes.Branches, refRes.Taken)
+	}
+	b, taken, _ := u.BranchStats()
+	if b != refRes.Branches || taken != refRes.Taken {
+		t.Fatalf("engine BranchStats %d/%d, want %d/%d", b, taken, refRes.Branches, refRes.Taken)
+	}
+}
+
+// TestSpeculationRemovesDeadCycles: with prediction, the loop branch no
+// longer blocks the decode stage, so the loop runs faster than the
+// non-speculative RUU — §7's motivation.
+func TestSpeculationRemovesDeadCycles(t *testing.T) {
+	unit := asm.MustAssemble(loopSrc)
+	run := func(spec bool) int64 {
+		m, _ := newMachine(core.Config{Size: 16}, machine.Config{Speculate: spec})
+		st := exec.NewState(unit.NewMemory())
+		res, err := m.Run(unit.Prog, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	specCycles, plainCycles := run(true), run(false)
+	if specCycles >= plainCycles {
+		t.Fatalf("speculation not faster: %d vs %d", specCycles, plainCycles)
+	}
+}
+
+// TestMispredictionSquashRestoresCounters: a loop whose exit the
+// predictor necessarily mispredicts (trained taken, exits once) must
+// leave clean NI/LI counters and correct state.
+func TestMispredictionSquashRestoresCounters(t *testing.T) {
+	res, st, u := runSpec(t, 16, loopSrc)
+	if res.Stats.Mispredicts == 0 {
+		t.Fatal("loop exit was never mispredicted")
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		if u.NI(isa.FromFlat(i)) != 0 {
+			t.Fatalf("NI[%v] = %d after run", isa.FromFlat(i), u.NI(isa.FromFlat(i)))
+		}
+	}
+	if st.A[3] != 36 { // 12 iterations of +3
+		t.Fatalf("A3 = %d, want 36", st.A[3])
+	}
+}
+
+// TestWrongPathMemoryOpsSquashed: the wrong path contains a load and a
+// store; after the squash the store must not be architecturally visible
+// and the load registers must drain.
+func TestWrongPathMemoryOpsSquashed(t *testing.T) {
+	src := `
+.word flag 0
+.word poison 0
+.word data 7
+    lai   A0, 1          ; the predictor will guess "taken" for janz
+    lai   A1, 99
+    addai A0, A0, -1     ; A0 = 0: branch actually falls through
+    janz  wrong
+    jmp   done
+wrong:
+    sta   A1, =poison(A7)  ; wrong-path store: must never commit
+    lda   A2, =data(A7)    ; wrong-path load
+    halt
+done:
+    lda   A3, =data(A7)
+    halt
+`
+	_, st, u := runSpec(t, 16, src)
+	unit := asm.MustAssemble(src)
+	if st.Mem.Peek(unit.Symbols["poison"]) != 0 {
+		t.Fatal("wrong-path store reached memory")
+	}
+	if st.A[3] != 7 {
+		t.Fatalf("correct-path load lost: A3 = %d", st.A[3])
+	}
+	if st.A[2] != 0 {
+		t.Fatalf("wrong-path load updated A2 = %d", st.A[2])
+	}
+	if !u.Drained() {
+		t.Fatal("RUU not drained")
+	}
+}
+
+// TestMultipleOutstandingBranches: nested predicted branches ("no hard
+// limit to the number of branches that can be predicted").
+func TestMultipleOutstandingBranches(t *testing.T) {
+	src := `
+.array buf 8 5
+    lai   A0, 6
+    lai   A1, 0
+outer:
+    addai A0, A0, -1
+    lda   A2, =buf(A1)
+    adda  A4, A4, A2
+    addai A1, A1, 1
+    janz  outer
+    halt
+`
+	unit := asm.MustAssemble(src)
+	ref, _, err := exec.Reference(unit.Prog, exec.NewState(unit.NewMemory()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A large RUU lets several loop branches be outstanding at once; the
+	// frecip-free body keeps resolution fast but the window deep.
+	res, st, _ := runSpec(t, 32, src)
+	if !st.EqualRegs(ref) {
+		t.Fatalf("registers differ: %v", st.DiffRegs(ref))
+	}
+	if res.Stats.MaxInFlight <= 6 {
+		t.Logf("note: peak occupancy %d (several iterations in flight expected)", res.Stats.MaxInFlight)
+	}
+}
+
+// TestSpeculativeJmpCounted: unconditional jumps enter the RUU in
+// speculative mode and are counted exactly once.
+func TestSpeculativeJmpCounted(t *testing.T) {
+	src := `
+    lai A1, 1
+    jmp over
+    nop
+over:
+    lai A2, 2
+    halt
+`
+	unit := asm.MustAssemble(src)
+	_, refRes, err := exec.Reference(unit.Prog, exec.NewState(unit.NewMemory()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, _ := runSpec(t, 8, src)
+	if res.Stats.Instructions != refRes.Executed {
+		t.Fatalf("instructions %d, want %d", res.Stats.Instructions, refRes.Executed)
+	}
+	if res.Stats.Branches != refRes.Branches || res.Stats.Taken != refRes.Taken {
+		t.Fatalf("branches %d/%d, want %d/%d", res.Stats.Branches, res.Stats.Taken, refRes.Branches, refRes.Taken)
+	}
+}
+
+// TestSpeculationTinyRUU: a 3-entry RUU forces branches to wait for
+// entries; correctness must hold at any size.
+func TestSpeculationTinyRUU(t *testing.T) {
+	unit := asm.MustAssemble(loopSrc)
+	ref, _, err := exec.Reference(unit.Prog, exec.NewState(unit.NewMemory()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, _ := runSpec(t, 3, loopSrc)
+	if !st.EqualRegs(ref) {
+		t.Fatalf("registers differ: %v", st.DiffRegs(ref))
+	}
+}
+
+// TestWrongPathTrapNeverFires: a TRAP instruction fetched down a
+// mispredicted path is squashed before it can reach the commit head; no
+// interrupt is taken.
+func TestWrongPathTrapNeverFires(t *testing.T) {
+	src := `
+    lai   A0, 1
+    addai A0, A0, -1   ; A0 = 0: janz falls through, but is predicted taken
+    janz  wrong
+    jmp   done
+wrong:
+    trap               ; wrong path: must be nullified
+    halt
+done:
+    lai   A2, 5
+    halt
+`
+	unit := asm.MustAssemble(src)
+	u := core.New(core.Config{Size: 12, SelfCheck: true})
+	m := machine.New(u, machine.Config{Speculate: true})
+	m.SetHandler(func(st *exec.State, ev machine.InterruptEvent) machine.InterruptAction {
+		t.Errorf("wrong-path trap fired: %v", ev.Trap)
+		return machine.InterruptAction{}
+	})
+	st := exec.NewState(unit.NewMemory())
+	res, err := m.Run(unit.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil {
+		t.Fatalf("trap escaped the squash: %v", res.Trap)
+	}
+	if st.A[2] != 5 {
+		t.Fatalf("A2 = %d", st.A[2])
+	}
+	if res.Stats.Mispredicts != 1 {
+		t.Fatalf("mispredicts = %d, want 1", res.Stats.Mispredicts)
+	}
+}

@@ -1,0 +1,378 @@
+// Package exec implements the architectural semantics of the model
+// architecture: a functional executor that runs programs instruction by
+// instruction, the value-computation helpers shared with the timing
+// engines, and dynamic trace emission.
+//
+// The executor plays the role of the paper's CRAY-1 simulator [15]: it
+// defines what every instruction does, produces the dynamic instruction
+// stream, and serves as the golden reference against which every timing
+// engine's final architectural state is checked.
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"ruu/internal/isa"
+	"ruu/internal/memsys"
+)
+
+// TrapKind classifies instruction-generated traps.
+type TrapKind uint8
+
+const (
+	// TrapNone means no trap.
+	TrapNone TrapKind = iota
+	// TrapExplicit is raised by the TRAP instruction.
+	TrapExplicit
+	// TrapBadAddress is a memory access outside the memory image.
+	TrapBadAddress
+	// TrapPageFault is an access to an unmapped page.
+	TrapPageFault
+	// TrapFPOverflow is reserved for floating-point overflow; the model
+	// architecture (like our CRAY-1 model) does not raise it — IEEE
+	// infinities propagate — but the kind exists so handlers can be
+	// written against the full taxonomy.
+	TrapFPOverflow
+	// TrapBadPC is a program-counter value outside the program.
+	TrapBadPC
+	// TrapExternal is an asynchronous (device/timer) interrupt delivered
+	// at a commit boundary; it is not raised by any instruction.
+	TrapExternal
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapExplicit:
+		return "explicit-trap"
+	case TrapBadAddress:
+		return "bad-address"
+	case TrapPageFault:
+		return "page-fault"
+	case TrapFPOverflow:
+		return "fp-overflow"
+	case TrapBadPC:
+		return "bad-pc"
+	case TrapExternal:
+		return "external"
+	default:
+		return "trap?"
+	}
+}
+
+// Trap describes an instruction-generated trap: the faulting instruction's
+// program counter (instruction index) and, for memory traps, the address.
+type Trap struct {
+	Kind TrapKind
+	PC   int
+	Addr int64
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	if t.Kind == TrapBadAddress || t.Kind == TrapPageFault {
+		return fmt.Sprintf("exec: %s at pc=%d addr=%d", t.Kind, t.PC, t.Addr)
+	}
+	return fmt.Sprintf("exec: %s at pc=%d", t.Kind, t.PC)
+}
+
+// faultTrap converts a memory fault to a trap.
+func faultTrap(f *memsys.Fault, pc int) *Trap {
+	k := TrapBadAddress
+	if f.Kind == memsys.FaultPage {
+		k = TrapPageFault
+	}
+	return &Trap{Kind: k, PC: pc, Addr: f.Addr}
+}
+
+// RegState is the architectural register state of the model architecture.
+type RegState struct {
+	A [isa.NumA]int64
+	S [isa.NumS]int64
+	B [isa.NumB]int64
+	T [isa.NumT]int64
+}
+
+// Reg returns the value of register r.
+func (rs *RegState) Reg(r isa.Reg) int64 {
+	switch r.File {
+	case isa.FileA:
+		return rs.A[r.Idx]
+	case isa.FileS:
+		return rs.S[r.Idx]
+	case isa.FileB:
+		return rs.B[r.Idx]
+	case isa.FileT:
+		return rs.T[r.Idx]
+	default:
+		panic("exec: read of invalid register " + r.String())
+	}
+}
+
+// SetReg sets register r to v.
+func (rs *RegState) SetReg(r isa.Reg, v int64) {
+	switch r.File {
+	case isa.FileA:
+		rs.A[r.Idx] = v
+	case isa.FileS:
+		rs.S[r.Idx] = v
+	case isa.FileB:
+		rs.B[r.Idx] = v
+	case isa.FileT:
+		rs.T[r.Idx] = v
+	default:
+		panic("exec: write of invalid register " + r.String())
+	}
+}
+
+// State is the complete architectural state: registers, memory, and PC.
+type State struct {
+	RegState
+	Mem    *memsys.Memory
+	PC     int
+	Halted bool
+}
+
+// NewState returns a fresh state over the given memory image (a default
+// image is created when mem is nil).
+func NewState(mem *memsys.Memory) *State {
+	if mem == nil {
+		mem = memsys.NewMemory(0)
+	}
+	return &State{Mem: mem}
+}
+
+// Clone returns a deep copy of the state.
+func (st *State) Clone() *State {
+	c := *st
+	c.Mem = st.Mem.Clone()
+	return &c
+}
+
+// EqualRegs reports whether two states have identical register files.
+func (st *State) EqualRegs(o *State) bool {
+	return st.RegState == o.RegState
+}
+
+// DiffRegs returns the registers whose values differ between two states.
+func (st *State) DiffRegs(o *State) []isa.Reg {
+	var out []isa.Reg
+	for i := 0; i < isa.NumRegs; i++ {
+		r := isa.FromFlat(i)
+		if st.Reg(r) != o.Reg(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// F64 interprets an S-register value as a float64.
+func F64(bits int64) float64 { return math.Float64frombits(uint64(bits)) }
+
+// Bits converts a float64 to its S-register representation.
+func Bits(f float64) int64 { return int64(math.Float64bits(f)) }
+
+// ALU computes the result of a register-computational instruction given
+// its source values. It covers every opcode that executes in a functional
+// unit except loads and stores. src1 and src2 are the values of the
+// instruction's first and second source registers, in isa.Srcs order.
+// Moves and immediates take their single input in src1 (or none).
+func ALU(ins isa.Instruction, src1, src2 int64) int64 {
+	switch ins.Op {
+	case isa.AddA, isa.AddS:
+		return src1 + src2
+	case isa.SubA, isa.SubS:
+		return src1 - src2
+	case isa.MulA:
+		return src1 * src2
+	case isa.AddAImm:
+		return src1 + ins.Imm
+	case isa.LoadAImm, isa.LoadSImm:
+		return ins.Imm
+	case isa.AndS:
+		return src1 & src2
+	case isa.OrS:
+		return src1 | src2
+	case isa.XorS:
+		return src1 ^ src2
+	case isa.ShlS:
+		return int64(uint64(src1) << (uint64(src2) & 63))
+	case isa.ShrS:
+		return int64(uint64(src1) >> (uint64(src2) & 63))
+	case isa.ShlSImm:
+		return int64(uint64(src1) << (uint64(ins.Imm) & 63))
+	case isa.ShrSImm:
+		return int64(uint64(src1) >> (uint64(ins.Imm) & 63))
+	case isa.FAdd:
+		return Bits(F64(src1) + F64(src2))
+	case isa.FSub:
+		return Bits(F64(src1) - F64(src2))
+	case isa.FMul:
+		return Bits(F64(src1) * F64(src2))
+	case isa.FRecip:
+		return Bits(1.0 / F64(src1))
+	case isa.MovSA, isa.MovAS, isa.MovAB, isa.MovBA, isa.MovST, isa.MovTS:
+		return src1
+	case isa.Trap:
+		return 0
+	default:
+		panic(fmt.Sprintf("exec: ALU called for non-computational op %s", ins.Op))
+	}
+}
+
+// EffAddr computes the effective address of a load or store given the
+// value of its base register.
+func EffAddr(ins isa.Instruction, base int64) int64 {
+	return base + ins.Imm
+}
+
+// BranchTaken evaluates a branch's condition given the value of the
+// condition register (ignored for Jmp).
+func BranchTaken(op isa.Op, cond int64) bool {
+	switch op {
+	case isa.Jmp:
+		return true
+	case isa.BrAZ, isa.BrSZ:
+		return cond == 0
+	case isa.BrANZ, isa.BrSNZ:
+		return cond != 0
+	case isa.BrAP, isa.BrSP:
+		return cond > 0
+	case isa.BrAM, isa.BrSM:
+		return cond < 0
+	default:
+		panic(fmt.Sprintf("exec: BranchTaken called for non-branch %s", op))
+	}
+}
+
+// Step executes the instruction at st.PC, updating st. It returns the
+// executed instruction and a trap, if one was raised; on a trap the state
+// is not modified by the trapping instruction (traps are precise by
+// construction here) and PC remains at the trapping instruction.
+func (st *State) Step(p *isa.Program) (isa.Instruction, *Trap) {
+	if st.Halted {
+		return isa.Instruction{}, nil
+	}
+	if st.PC < 0 || st.PC >= len(p.Instructions) {
+		return isa.Instruction{}, &Trap{Kind: TrapBadPC, PC: st.PC}
+	}
+	ins := p.Instructions[st.PC]
+	info := ins.Op.Info()
+
+	switch {
+	case ins.Op == isa.Nop:
+		st.PC++
+	case ins.Op == isa.Halt:
+		st.Halted = true
+	case ins.Op == isa.Trap:
+		return ins, &Trap{Kind: TrapExplicit, PC: st.PC}
+	case ins.Op.IsBranch():
+		var cond int64
+		if r, ok := ins.Op.CondReg(); ok {
+			cond = st.Reg(r)
+		}
+		if BranchTaken(ins.Op, cond) {
+			st.PC = int(ins.Imm)
+		} else {
+			st.PC++
+		}
+	case info.Load:
+		base := st.Reg(isa.A(int(ins.J)))
+		addr := EffAddr(ins, base)
+		v, f := st.Mem.Read(addr)
+		if f != nil {
+			return ins, faultTrap(f, st.PC)
+		}
+		dst, _ := ins.Dst()
+		st.SetReg(dst, v)
+		st.PC++
+	case info.Store:
+		base := st.Reg(isa.A(int(ins.J)))
+		addr := EffAddr(ins, base)
+		data := st.Reg(isa.Reg{File: info.File, Idx: ins.I})
+		if f := st.Mem.Write(addr, data); f != nil {
+			return ins, faultTrap(f, st.PC)
+		}
+		st.PC++
+	default:
+		// Computational instruction.
+		var srcs [2]isa.Reg
+		ss := ins.Srcs(srcs[:0])
+		var v1, v2 int64
+		if len(ss) > 0 {
+			v1 = st.Reg(ss[0])
+		}
+		if len(ss) > 1 {
+			v2 = st.Reg(ss[1])
+		}
+		res := ALU(ins, v1, v2)
+		if dst, ok := ins.Dst(); ok {
+			st.SetReg(dst, res)
+		}
+		st.PC++
+	}
+	return ins, nil
+}
+
+// RunResult summarises a functional execution.
+type RunResult struct {
+	// Executed is the number of dynamic instructions retired (HALT
+	// included, NOPs included, the trapping instruction excluded).
+	Executed int64
+	// Trap is non-nil if execution stopped at a trap.
+	Trap *Trap
+	// Branches and Taken count dynamic branches.
+	Branches, Taken int64
+	// Loads and Stores count dynamic memory operations.
+	Loads, Stores int64
+}
+
+// DefaultMaxInstructions bounds Run against runaway programs.
+const DefaultMaxInstructions = 50_000_000
+
+// Run executes the program until HALT, a trap, or maxInstr dynamic
+// instructions (DefaultMaxInstructions if maxInstr<=0). If trace is
+// non-nil it is invoked for every retired instruction with its PC.
+func (st *State) Run(p *isa.Program, maxInstr int64, trace func(pc int, ins isa.Instruction)) (RunResult, error) {
+	if maxInstr <= 0 {
+		maxInstr = DefaultMaxInstructions
+	}
+	var res RunResult
+	for !st.Halted {
+		if res.Executed >= maxInstr {
+			return res, fmt.Errorf("exec: instruction budget %d exhausted at pc=%d (runaway program?)", maxInstr, st.PC)
+		}
+		pc := st.PC
+		ins, trap := st.Step(p)
+		if trap != nil {
+			res.Trap = trap
+			return res, nil
+		}
+		res.Executed++
+		if ins.Op.IsBranch() {
+			res.Branches++
+			if st.PC != pc+1 {
+				res.Taken++
+			}
+		}
+		if info := ins.Op.Info(); info.Load {
+			res.Loads++
+		} else if info.Store {
+			res.Stores++
+		}
+		if trace != nil {
+			trace(pc, ins)
+		}
+	}
+	return res, nil
+}
+
+// Reference runs the program functionally on a clone of the initial state
+// and returns the final state. It is the oracle used by engine tests.
+func Reference(p *isa.Program, initial *State, maxInstr int64) (*State, RunResult, error) {
+	st := initial.Clone()
+	res, err := st.Run(p, maxInstr, nil)
+	return st, res, err
+}

@@ -1,0 +1,315 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ruu/internal/isa"
+	"ruu/internal/memsys"
+)
+
+func run(t *testing.T, ins []isa.Instruction, setup func(*State)) (*State, RunResult) {
+	t.Helper()
+	p := &isa.Program{Instructions: append(ins, isa.Instruction{Op: isa.Halt})}
+	st := NewState(nil)
+	if setup != nil {
+		setup(st)
+	}
+	res, err := st.Run(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, res
+}
+
+func TestALUSemantics(t *testing.T) {
+	f := func(x float64) int64 { return Bits(x) }
+	cases := []struct {
+		name string
+		ins  isa.Instruction
+		v1   int64
+		v2   int64
+		want int64
+	}{
+		{"adda", isa.Instruction{Op: isa.AddA}, 3, 4, 7},
+		{"suba", isa.Instruction{Op: isa.SubA}, 3, 4, -1},
+		{"mula", isa.Instruction{Op: isa.MulA}, -3, 4, -12},
+		{"addai", isa.Instruction{Op: isa.AddAImm, Imm: -5}, 10, 0, 5},
+		{"lai", isa.Instruction{Op: isa.LoadAImm, Imm: 99}, 0, 0, 99},
+		{"lsi", isa.Instruction{Op: isa.LoadSImm, Imm: -7}, 0, 0, -7},
+		{"adds", isa.Instruction{Op: isa.AddS}, 1 << 40, 1, 1<<40 + 1},
+		{"subs", isa.Instruction{Op: isa.SubS}, 5, 9, -4},
+		{"ands", isa.Instruction{Op: isa.AndS}, 0b1100, 0b1010, 0b1000},
+		{"ors", isa.Instruction{Op: isa.OrS}, 0b1100, 0b1010, 0b1110},
+		{"xors", isa.Instruction{Op: isa.XorS}, 0b1100, 0b1010, 0b0110},
+		{"shls", isa.Instruction{Op: isa.ShlS}, 1, 4, 16},
+		{"shls-mod64", isa.Instruction{Op: isa.ShlS}, 1, 68, 16},
+		{"shrs-logical", isa.Instruction{Op: isa.ShrS}, -1, 60, 15},
+		{"shlsi", isa.Instruction{Op: isa.ShlSImm, Imm: 3}, 2, 0, 16},
+		{"shrsi", isa.Instruction{Op: isa.ShrSImm, Imm: 1}, 8, 0, 4},
+		{"fadd", isa.Instruction{Op: isa.FAdd}, f(1.5), f(2.25), f(3.75)},
+		{"fsub", isa.Instruction{Op: isa.FSub}, f(1.5), f(2.25), f(-0.75)},
+		{"fmul", isa.Instruction{Op: isa.FMul}, f(1.5), f(2.0), f(3.0)},
+		{"frecip", isa.Instruction{Op: isa.FRecip}, f(4.0), 0, f(0.25)},
+		{"movsa", isa.Instruction{Op: isa.MovSA}, 123, 0, 123},
+		{"movab", isa.Instruction{Op: isa.MovAB}, 77, 0, 77},
+	}
+	for _, c := range cases {
+		if got := ALU(c.ins, c.v1, c.v2); got != c.want {
+			t.Errorf("%s: ALU = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestALUPanicsOnNonComputational(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ALU accepted a branch")
+		}
+	}()
+	ALU(isa.Instruction{Op: isa.Jmp}, 0, 0)
+}
+
+func TestBranchTaken(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		cond int64
+		want bool
+	}{
+		{isa.Jmp, 0, true},
+		{isa.BrAZ, 0, true}, {isa.BrAZ, 1, false},
+		{isa.BrANZ, 0, false}, {isa.BrANZ, -2, true},
+		{isa.BrAP, 1, true}, {isa.BrAP, 0, false}, {isa.BrAP, -1, false},
+		{isa.BrAM, -1, true}, {isa.BrAM, 0, false}, {isa.BrAM, 1, false},
+		{isa.BrSZ, 0, true}, {isa.BrSNZ, 5, true},
+		{isa.BrSP, 9, true}, {isa.BrSM, -9, true},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.cond); got != c.want {
+			t.Errorf("BranchTaken(%s, %d) = %v, want %v", c.op, c.cond, got, c.want)
+		}
+	}
+}
+
+func TestStepComputationAndMoves(t *testing.T) {
+	st, res := run(t, []isa.Instruction{
+		{Op: isa.LoadAImm, I: 1, Imm: 5},
+		{Op: isa.LoadAImm, I: 2, Imm: 7},
+		{Op: isa.AddA, I: 3, J: 1, K: 2},
+		{Op: isa.MovSA, I: 4, J: 3},   // S4 = A3
+		{Op: isa.MovBA, I: 3, Imm: 9}, // B9 = A3
+		{Op: isa.MovAB, I: 5, Imm: 9}, // A5 = B9
+		{Op: isa.MovTS, I: 4, Imm: 8}, // T8 = S4
+		{Op: isa.MovST, I: 6, Imm: 8}, // S6 = T8
+	}, nil)
+	if st.A[3] != 12 || st.S[4] != 12 || st.B[9] != 12 || st.A[5] != 12 || st.T[8] != 12 || st.S[6] != 12 {
+		t.Fatalf("move chain broken: %+v", st.RegState)
+	}
+	if res.Executed != 9 {
+		t.Fatalf("executed = %d, want 9", res.Executed)
+	}
+}
+
+func TestStepMemory(t *testing.T) {
+	st, res := run(t, []isa.Instruction{
+		{Op: isa.LoadAImm, I: 1, Imm: 100},
+		{Op: isa.LoadSImm, I: 2, Imm: 55},
+		{Op: isa.StoreS, I: 2, J: 1, Imm: 3}, // M[103] = 55
+		{Op: isa.LoadS, I: 3, J: 1, Imm: 3},  // S3 = M[103]
+		{Op: isa.LoadAImm, I: 4, Imm: -9},
+		{Op: isa.StoreA, I: 4, J: 1, Imm: 4}, // M[104] = -9
+		{Op: isa.LoadA, I: 5, J: 1, Imm: 4},  // A5 = M[104]
+	}, nil)
+	if st.Mem.Peek(103) != 55 || st.S[3] != 55 {
+		t.Fatalf("S store/load broken")
+	}
+	if st.Mem.Peek(104) != -9 || st.A[5] != -9 {
+		t.Fatalf("A store/load broken")
+	}
+	if res.Loads != 2 || res.Stores != 2 {
+		t.Fatalf("loads=%d stores=%d", res.Loads, res.Stores)
+	}
+}
+
+func TestStepBranches(t *testing.T) {
+	// Countdown loop: A0 from 3 to 0, incrementing A1 each time.
+	p := &isa.Program{Instructions: []isa.Instruction{
+		{Op: isa.LoadAImm, I: 0, Imm: 3},
+		{Op: isa.AddAImm, I: 1, J: 1, Imm: 1},  // 1: loop body
+		{Op: isa.AddAImm, I: 0, J: 0, Imm: -1}, // 2
+		{Op: isa.BrANZ, Imm: 1},                // 3
+		{Op: isa.Halt},
+	}}
+	st := NewState(nil)
+	res, err := st.Run(p, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.A[1] != 3 {
+		t.Fatalf("A1 = %d, want 3", st.A[1])
+	}
+	if res.Branches != 3 || res.Taken != 2 {
+		t.Fatalf("branches=%d taken=%d, want 3/2", res.Branches, res.Taken)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	t.Run("explicit", func(t *testing.T) {
+		p := &isa.Program{Instructions: []isa.Instruction{{Op: isa.Trap}, {Op: isa.Halt}}}
+		st := NewState(nil)
+		res, err := st.Run(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap == nil || res.Trap.Kind != TrapExplicit || res.Trap.PC != 0 {
+			t.Fatalf("trap = %v", res.Trap)
+		}
+	})
+	t.Run("bad-address", func(t *testing.T) {
+		st, _ := NewState(nil), 0
+		p := &isa.Program{Instructions: []isa.Instruction{
+			{Op: isa.LoadAImm, I: 1, Imm: -1},
+			{Op: isa.LoadS, I: 2, J: 1, Imm: 0},
+			{Op: isa.Halt},
+		}}
+		res, err := st.Run(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap == nil || res.Trap.Kind != TrapBadAddress || res.Trap.Addr != -1 {
+			t.Fatalf("trap = %v", res.Trap)
+		}
+		if st.S[2] != 0 {
+			t.Fatal("faulting load modified its destination")
+		}
+	})
+	t.Run("page-fault", func(t *testing.T) {
+		mem := memsys.NewMemory(0)
+		mem.Unmap(2048)
+		st := NewState(mem)
+		p := &isa.Program{Instructions: []isa.Instruction{
+			{Op: isa.LoadAImm, I: 1, Imm: 2048},
+			{Op: isa.StoreA, I: 1, J: 1, Imm: 0},
+			{Op: isa.Halt},
+		}}
+		res, err := st.Run(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap == nil || res.Trap.Kind != TrapPageFault {
+			t.Fatalf("trap = %v", res.Trap)
+		}
+		// Map the page, resume, and finish.
+		mem.Map(2048)
+		res2, err := st.Run(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Trap != nil {
+			t.Fatalf("still trapping: %v", res2.Trap)
+		}
+		if mem.Peek(2048) != 2048 {
+			t.Fatal("store after resume missing")
+		}
+	})
+	t.Run("bad-pc", func(t *testing.T) {
+		p := &isa.Program{Instructions: []isa.Instruction{{Op: isa.Nop}}}
+		st := NewState(nil)
+		res, err := st.Run(p, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap == nil || res.Trap.Kind != TrapBadPC {
+			t.Fatalf("trap = %v", res.Trap)
+		}
+	})
+}
+
+func TestTrapError(t *testing.T) {
+	tr := &Trap{Kind: TrapPageFault, PC: 9, Addr: 4096}
+	if got := tr.Error(); got != "exec: page-fault at pc=9 addr=4096" {
+		t.Errorf("Error() = %q", got)
+	}
+	tr2 := &Trap{Kind: TrapExplicit, PC: 3}
+	if got := tr2.Error(); got != "exec: explicit-trap at pc=3" {
+		t.Errorf("Error() = %q", got)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	p := &isa.Program{Instructions: []isa.Instruction{{Op: isa.Jmp, Imm: 0}}}
+	st := NewState(nil)
+	if _, err := st.Run(p, 100, nil); err == nil {
+		t.Fatal("infinite loop not caught by budget")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	st := NewState(nil)
+	st.A[1] = 5
+	st.Mem.Poke(10, 99)
+	c := st.Clone()
+	c.A[1] = 6
+	c.Mem.Poke(10, 100)
+	if st.A[1] != 5 || st.Mem.Peek(10) != 99 {
+		t.Fatal("clone shares state with original")
+	}
+	if c.PC != st.PC || !c.EqualRegs(st) == (st.A[1] == c.A[1]) {
+		// EqualRegs must report the difference we introduced.
+		if c.EqualRegs(st) {
+			t.Fatal("EqualRegs missed a difference")
+		}
+	}
+	diffs := st.DiffRegs(c)
+	if len(diffs) != 1 || diffs[0] != (isa.Reg{File: isa.FileA, Idx: 1}) {
+		t.Fatalf("DiffRegs = %v", diffs)
+	}
+}
+
+// TestF64BitsRoundTrip via testing/quick: Bits and F64 are inverses.
+func TestF64BitsRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true // NaN payloads round-trip bitwise, checked below
+		}
+		return F64(Bits(x)) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(b int64) bool { return Bits(F64(b)) == b }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegStateAccessors(t *testing.T) {
+	var rs RegState
+	for i := 0; i < isa.NumRegs; i++ {
+		r := isa.FromFlat(i)
+		rs.SetReg(r, int64(i+1000))
+	}
+	for i := 0; i < isa.NumRegs; i++ {
+		r := isa.FromFlat(i)
+		if got := rs.Reg(r); got != int64(i+1000) {
+			t.Fatalf("%v = %d, want %d", r, got, i+1000)
+		}
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	p := &isa.Program{Instructions: []isa.Instruction{
+		{Op: isa.LoadAImm, I: 1, Imm: 1},
+		{Op: isa.Nop},
+		{Op: isa.Halt},
+	}}
+	st := NewState(nil)
+	var pcs []int
+	if _, err := st.Run(p, 0, func(pc int, ins isa.Instruction) { pcs = append(pcs, pc) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 3 || pcs[0] != 0 || pcs[1] != 1 || pcs[2] != 2 {
+		t.Fatalf("trace pcs = %v", pcs)
+	}
+}

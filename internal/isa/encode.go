@@ -1,0 +1,118 @@
+package isa
+
+import "fmt"
+
+// Parcel is a 16-bit instruction parcel, the fetch granule of the model
+// architecture. One-parcel instructions occupy a single Parcel; two-parcel
+// instructions place their immediate/displacement/target in a second one.
+type Parcel uint16
+
+// Parcel layout for the first parcel of every instruction:
+//
+//	bits 15..9  opcode (7 bits)
+//	bits  8..6  i
+//	bits  5..3  j
+//	bits  2..0  k
+//
+// FmtMove instructions with a B/T-side index (MovAB, MovBA, MovST, MovTS)
+// pack the 6-bit save-register index into the j:k fields.
+
+// Encode converts a program to its parcel representation. Branch targets
+// are emitted as parcel addresses.
+func Encode(p *Program) ([]Parcel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	addrs, total := p.ParcelAddrs()
+	out := make([]Parcel, 0, total)
+	for idx, ins := range p.Instructions {
+		first := Parcel(uint16(ins.Op)<<9 | uint16(ins.I&7)<<6 | uint16(ins.J&7)<<3 | uint16(ins.K&7))
+		info := ins.Op.Info()
+		var second Parcel
+		switch info.Fmt {
+		case FmtMove:
+			switch ins.Op {
+			case MovAB, MovBA, MovST, MovTS:
+				// 6-bit save index in j:k.
+				first = Parcel(uint16(ins.Op)<<9 | uint16(ins.I&7)<<6 | uint16(ins.Imm&63))
+			}
+		case FmtR2Imm, FmtRImm, FmtMem:
+			second = Parcel(uint16(int16(ins.Imm)))
+		case FmtBranch:
+			t := int(ins.Imm)
+			if t < 0 || t >= len(addrs) {
+				return nil, fmt.Errorf("isa: instruction %d: branch target %d out of range", idx, t)
+			}
+			pa := addrs[t]
+			if pa >= 1<<16 {
+				return nil, fmt.Errorf("isa: instruction %d: target parcel address %d exceeds 16 bits", idx, pa)
+			}
+			second = Parcel(uint16(pa))
+		}
+		out = append(out, first)
+		if info.Parcels == 2 {
+			out = append(out, second)
+		}
+	}
+	return out, nil
+}
+
+// Decode converts a parcel stream back to a Program. It is the inverse of
+// Encode for valid programs: branch targets are mapped from parcel
+// addresses back to instruction indices.
+func Decode(parcels []Parcel) (*Program, error) {
+	type pend struct{ insIdx, parcelAddr int }
+	var (
+		prog     Program
+		branches []pend
+		byAddr   = map[int]int{} // parcel address -> instruction index
+	)
+	for pc := 0; pc < len(parcels); {
+		first := parcels[pc]
+		op := Op(first >> 9)
+		if op >= NumOps {
+			return nil, fmt.Errorf("isa: parcel %d: invalid opcode %d", pc, op)
+		}
+		info := op.Info()
+		ins := Instruction{
+			Op: op,
+			I:  uint8(first >> 6 & 7),
+			J:  uint8(first >> 3 & 7),
+			K:  uint8(first & 7),
+		}
+		switch op {
+		case MovAB, MovBA, MovST, MovTS:
+			ins.Imm = int64(first & 63)
+			ins.J, ins.K = 0, 0
+		}
+		byAddr[pc] = len(prog.Instructions)
+		if info.Parcels == 2 {
+			if pc+1 >= len(parcels) {
+				return nil, fmt.Errorf("isa: parcel %d: truncated two-parcel %s", pc, info.Name)
+			}
+			second := parcels[pc+1]
+			switch info.Fmt {
+			case FmtR2Imm, FmtRImm, FmtMem:
+				ins.Imm = int64(int16(second))
+			case FmtBranch:
+				branches = append(branches, pend{len(prog.Instructions), int(second)})
+			}
+			pc += 2
+		} else {
+			pc++
+		}
+		prog.Instructions = append(prog.Instructions, ins)
+	}
+	for _, b := range branches {
+		target, ok := byAddr[b.parcelAddr]
+		if !ok {
+			return nil, fmt.Errorf("isa: branch at instruction %d targets parcel %d, which is not an instruction boundary",
+				b.insIdx, b.parcelAddr)
+		}
+		prog.Instructions[b.insIdx].Imm = int64(target)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &prog, nil
+}

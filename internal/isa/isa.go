@@ -1,0 +1,629 @@
+// Package isa defines the instruction set of the model architecture: a
+// CRAY-1-like scalar unit with four register files (8 A, 8 S, 64 B, 64 T),
+// one- and two-parcel instructions, and the operation repertoire used by
+// the paper's benchmarks (integer and floating-point arithmetic, register
+// transfers, loads/stores, and branches that test A0 or S0).
+//
+// The package is purely declarative: instruction representation, operand
+// shapes, register identities, validation, and parcel encoding. Execution
+// semantics live in internal/exec; timing lives in internal/fu and the
+// issue engines.
+package isa
+
+import "fmt"
+
+// File identifies one of the architectural register files.
+type File uint8
+
+const (
+	// FileNone marks an absent register operand.
+	FileNone File = iota
+	// FileA is the address register file (8 registers, A0-A7).
+	FileA
+	// FileS is the scalar register file (8 registers, S0-S7).
+	FileS
+	// FileB is the address-save register file (64 registers, B0-B63).
+	FileB
+	// FileT is the scalar-save register file (64 registers, T0-T63).
+	FileT
+)
+
+// Sizes of the register files.
+const (
+	NumA = 8
+	NumS = 8
+	NumB = 64
+	NumT = 64
+	// NumRegs is the total number of architectural registers (the paper's
+	// "144 registers").
+	NumRegs = NumA + NumS + NumB + NumT
+)
+
+// String returns the file's conventional single-letter name.
+func (f File) String() string {
+	switch f {
+	case FileA:
+		return "A"
+	case FileS:
+		return "S"
+	case FileB:
+		return "B"
+	case FileT:
+		return "T"
+	default:
+		return "?"
+	}
+}
+
+// Size returns the number of registers in the file.
+func (f File) Size() int {
+	switch f {
+	case FileA, FileS:
+		return 8
+	case FileB, FileT:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// Reg names one architectural register.
+type Reg struct {
+	File File
+	Idx  uint8
+}
+
+// A, S, B and T construct register names for the respective files.
+func A(i int) Reg { return Reg{FileA, uint8(i)} }
+
+// S returns the i'th scalar register.
+func S(i int) Reg { return Reg{FileS, uint8(i)} }
+
+// B returns the i'th address-save register.
+func B(i int) Reg { return Reg{FileB, uint8(i)} }
+
+// T returns the i'th scalar-save register.
+func T(i int) Reg { return Reg{FileT, uint8(i)} }
+
+// None is the absent register.
+var None = Reg{}
+
+// Valid reports whether r names an existing architectural register.
+func (r Reg) Valid() bool {
+	return r.File != FileNone && int(r.Idx) < r.File.Size()
+}
+
+// Flat returns a dense index in [0, NumRegs) for a valid register, suitable
+// for indexing per-register state tables (busy bits, NI/LI counters, tags).
+func (r Reg) Flat() int {
+	switch r.File {
+	case FileA:
+		return int(r.Idx)
+	case FileS:
+		return NumA + int(r.Idx)
+	case FileB:
+		return NumA + NumS + int(r.Idx)
+	case FileT:
+		return NumA + NumS + NumB + int(r.Idx)
+	default:
+		return -1
+	}
+}
+
+// FromFlat is the inverse of Flat.
+func FromFlat(i int) Reg {
+	switch {
+	case i < 0 || i >= NumRegs:
+		return None
+	case i < NumA:
+		return Reg{FileA, uint8(i)}
+	case i < NumA+NumS:
+		return Reg{FileS, uint8(i - NumA)}
+	case i < NumA+NumS+NumB:
+		return Reg{FileB, uint8(i - NumA - NumS)}
+	default:
+		return Reg{FileT, uint8(i - NumA - NumS - NumB)}
+	}
+}
+
+func (r Reg) String() string {
+	if !r.Valid() {
+		return "-"
+	}
+	return fmt.Sprintf("%s%d", r.File, r.Idx)
+}
+
+// Unit classifies instructions by the functional unit that executes them.
+// Latencies for each class are defined in internal/fu.
+type Unit uint8
+
+const (
+	// UnitNone marks instructions that never enter a functional unit:
+	// branches (resolved in the decode stage), NOP, and HALT.
+	UnitNone Unit = iota
+	// UnitAInt executes A-register integer add/subtract.
+	UnitAInt
+	// UnitAMul executes A-register integer multiply.
+	UnitAMul
+	// UnitSLog executes S-register logical operations.
+	UnitSLog
+	// UnitSShift executes S-register shifts.
+	UnitSShift
+	// UnitSAdd executes S-register integer add/subtract.
+	UnitSAdd
+	// UnitFAdd executes floating-point add/subtract.
+	UnitFAdd
+	// UnitFMul executes floating-point multiply.
+	UnitFMul
+	// UnitFRecip executes the floating-point reciprocal approximation.
+	UnitFRecip
+	// UnitMem executes loads and stores (memory is "a special functional
+	// unit" in the paper's words).
+	UnitMem
+	// UnitMove executes register-to-register transfers and immediates.
+	UnitMove
+
+	// NumUnits is the number of distinct unit classes.
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"none", "a-int", "a-mul", "s-log", "s-shift", "s-add",
+	"f-add", "f-mul", "f-recip", "mem", "move",
+}
+
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return "unit?"
+}
+
+// Format describes an instruction's operand shape, which determines how
+// the I/J/K/Imm fields are interpreted, assembled, and encoded.
+type Format uint8
+
+const (
+	// FmtNone has no operands (NOP, HALT).
+	FmtNone Format = iota
+	// FmtR3 is a three-register operation: dst=I, srcs=J,K (same file).
+	FmtR3
+	// FmtR2 is a two-register operation: dst=I, src=J (same file).
+	FmtR2
+	// FmtR2Imm is dst=I, src=J, plus a 16-bit immediate (second parcel).
+	FmtR2Imm
+	// FmtRImm is dst=I plus a 16-bit immediate (second parcel).
+	FmtRImm
+	// FmtMove is a cross-file transfer: dst and src files differ; the
+	// B/T-side index (0-63) is carried in Imm for MovAB/MovBA/MovST/MovTS.
+	FmtMove
+	// FmtMem is a load or store: data register I, base A-register J,
+	// 16-bit displacement (second parcel).
+	FmtMem
+	// FmtBranch is a control transfer with a parcel-address target
+	// (second parcel); conditional branches implicitly test A0 or S0.
+	FmtBranch
+	// FmtTrap is the explicit trap instruction (test support).
+	FmtTrap
+)
+
+// Op enumerates the operations of the model architecture.
+type Op uint8
+
+const (
+	// Nop does nothing.
+	Nop Op = iota
+	// Halt stops the machine.
+	Halt
+	// Trap raises an instruction-generated trap (used to exercise the
+	// precise-interrupt machinery deterministically).
+	Trap
+
+	// AddA computes Ai = Aj + Ak.
+	AddA
+	// SubA computes Ai = Aj - Ak.
+	SubA
+	// MulA computes Ai = Aj * Ak.
+	MulA
+	// AddAImm computes Ai = Aj + imm.
+	AddAImm
+	// LoadAImm sets Ai = imm.
+	LoadAImm
+
+	// AddS computes Si = Sj + Sk (integer).
+	AddS
+	// SubS computes Si = Sj - Sk (integer).
+	SubS
+	// AndS computes Si = Sj & Sk.
+	AndS
+	// OrS computes Si = Sj | Sk.
+	OrS
+	// XorS computes Si = Sj ^ Sk.
+	XorS
+	// ShlS computes Si = Sj << (Sk & 63).
+	ShlS
+	// ShrS computes Si = Sj >> (Sk & 63) (logical).
+	ShrS
+	// ShlSImm computes Si = Sj << imm.
+	ShlSImm
+	// ShrSImm computes Si = Sj >> imm (logical).
+	ShrSImm
+	// LoadSImm sets Si = imm (sign-extended 16-bit).
+	LoadSImm
+
+	// FAdd computes Si = Sj + Sk (float64).
+	FAdd
+	// FSub computes Si = Sj - Sk (float64).
+	FSub
+	// FMul computes Si = Sj * Sk (float64).
+	FMul
+	// FRecip computes Si = 1.0 / Sj (float64).
+	FRecip
+
+	// MovSA copies Si = Aj (cross-file move).
+	MovSA
+	// MovAS copies Ai = Sj.
+	MovAS
+	// MovAB copies Ai = B[imm].
+	MovAB
+	// MovBA copies B[imm] = Ai.
+	MovBA
+	// MovST copies Si = T[imm].
+	MovST
+	// MovTS copies T[imm] = Si.
+	MovTS
+
+	// LoadA loads Ai = M[Aj + disp].
+	LoadA
+	// StoreA stores M[Aj + disp] = Ai.
+	StoreA
+	// LoadS loads Si = M[Aj + disp].
+	LoadS
+	// StoreS stores M[Aj + disp] = Si.
+	StoreS
+
+	// Jmp branches unconditionally.
+	Jmp
+	// BrAZ branches if A0 == 0.
+	BrAZ
+	// BrANZ branches if A0 != 0.
+	BrANZ
+	// BrAP branches if A0 > 0.
+	BrAP
+	// BrAM branches if A0 < 0.
+	BrAM
+	// BrSZ branches if S0 == 0.
+	BrSZ
+	// BrSNZ branches if S0 != 0.
+	BrSNZ
+	// BrSP branches if S0 > 0 (signed).
+	BrSP
+	// BrSM branches if S0 < 0 (signed).
+	BrSM
+
+	// NumOps is the number of defined opcodes.
+	NumOps
+)
+
+// OpInfo is the static description of an opcode.
+type OpInfo struct {
+	Name    string
+	Fmt     Format
+	Unit    Unit
+	File    File // register file of the primary (I/J/K) operands
+	Parcels int  // 1 or 2 (16 or 32 bits)
+	Store   bool // memory write
+	Load    bool // memory read
+}
+
+var opInfos = [NumOps]OpInfo{
+	Nop:  {Name: "nop", Fmt: FmtNone, Unit: UnitNone, Parcels: 1},
+	Halt: {Name: "halt", Fmt: FmtNone, Unit: UnitNone, Parcels: 1},
+	Trap: {Name: "trap", Fmt: FmtTrap, Unit: UnitMove, Parcels: 1},
+
+	AddA:     {Name: "adda", Fmt: FmtR3, Unit: UnitAInt, File: FileA, Parcels: 1},
+	SubA:     {Name: "suba", Fmt: FmtR3, Unit: UnitAInt, File: FileA, Parcels: 1},
+	MulA:     {Name: "mula", Fmt: FmtR3, Unit: UnitAMul, File: FileA, Parcels: 1},
+	AddAImm:  {Name: "addai", Fmt: FmtR2Imm, Unit: UnitAInt, File: FileA, Parcels: 2},
+	LoadAImm: {Name: "lai", Fmt: FmtRImm, Unit: UnitMove, File: FileA, Parcels: 2},
+
+	AddS:     {Name: "adds", Fmt: FmtR3, Unit: UnitSAdd, File: FileS, Parcels: 1},
+	SubS:     {Name: "subs", Fmt: FmtR3, Unit: UnitSAdd, File: FileS, Parcels: 1},
+	AndS:     {Name: "ands", Fmt: FmtR3, Unit: UnitSLog, File: FileS, Parcels: 1},
+	OrS:      {Name: "ors", Fmt: FmtR3, Unit: UnitSLog, File: FileS, Parcels: 1},
+	XorS:     {Name: "xors", Fmt: FmtR3, Unit: UnitSLog, File: FileS, Parcels: 1},
+	ShlS:     {Name: "shls", Fmt: FmtR3, Unit: UnitSShift, File: FileS, Parcels: 1},
+	ShrS:     {Name: "shrs", Fmt: FmtR3, Unit: UnitSShift, File: FileS, Parcels: 1},
+	ShlSImm:  {Name: "shlsi", Fmt: FmtR2Imm, Unit: UnitSShift, File: FileS, Parcels: 2},
+	ShrSImm:  {Name: "shrsi", Fmt: FmtR2Imm, Unit: UnitSShift, File: FileS, Parcels: 2},
+	LoadSImm: {Name: "lsi", Fmt: FmtRImm, Unit: UnitMove, File: FileS, Parcels: 2},
+
+	FAdd:   {Name: "fadd", Fmt: FmtR3, Unit: UnitFAdd, File: FileS, Parcels: 1},
+	FSub:   {Name: "fsub", Fmt: FmtR3, Unit: UnitFAdd, File: FileS, Parcels: 1},
+	FMul:   {Name: "fmul", Fmt: FmtR3, Unit: UnitFMul, File: FileS, Parcels: 1},
+	FRecip: {Name: "frecip", Fmt: FmtR2, Unit: UnitFRecip, File: FileS, Parcels: 1},
+
+	MovSA: {Name: "movsa", Fmt: FmtMove, Unit: UnitMove, Parcels: 1},
+	MovAS: {Name: "movas", Fmt: FmtMove, Unit: UnitMove, Parcels: 1},
+	MovAB: {Name: "movab", Fmt: FmtMove, Unit: UnitMove, Parcels: 1},
+	MovBA: {Name: "movba", Fmt: FmtMove, Unit: UnitMove, Parcels: 1},
+	MovST: {Name: "movst", Fmt: FmtMove, Unit: UnitMove, Parcels: 1},
+	MovTS: {Name: "movts", Fmt: FmtMove, Unit: UnitMove, Parcels: 1},
+
+	LoadA:  {Name: "lda", Fmt: FmtMem, Unit: UnitMem, File: FileA, Parcels: 2, Load: true},
+	StoreA: {Name: "sta", Fmt: FmtMem, Unit: UnitMem, File: FileA, Parcels: 2, Store: true},
+	LoadS:  {Name: "lds", Fmt: FmtMem, Unit: UnitMem, File: FileS, Parcels: 2, Load: true},
+	StoreS: {Name: "sts", Fmt: FmtMem, Unit: UnitMem, File: FileS, Parcels: 2, Store: true},
+
+	Jmp:   {Name: "jmp", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrAZ:  {Name: "jaz", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrANZ: {Name: "janz", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrAP:  {Name: "jap", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrAM:  {Name: "jam", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrSZ:  {Name: "jsz", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrSNZ: {Name: "jsnz", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrSP:  {Name: "jsp", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+	BrSM:  {Name: "jsm", Fmt: FmtBranch, Unit: UnitNone, Parcels: 2},
+}
+
+// Info returns the static description of op.
+func (op Op) Info() OpInfo {
+	if op < NumOps {
+		return opInfos[op]
+	}
+	return OpInfo{Name: "op?", Fmt: FmtNone, Unit: UnitNone, Parcels: 1}
+}
+
+// String returns the assembler mnemonic.
+func (op Op) String() string { return op.Info().Name }
+
+// IsBranch reports whether op is a control transfer.
+func (op Op) IsBranch() bool { return op.Info().Fmt == FmtBranch }
+
+// IsConditional reports whether op is a conditional branch.
+func (op Op) IsConditional() bool { return op.IsBranch() && op != Jmp }
+
+// IsMem reports whether op accesses memory.
+func (op Op) IsMem() bool { i := op.Info(); return i.Load || i.Store }
+
+// CondReg returns the register tested by a conditional branch
+// (A0 for the JA* family, S0 for the JS* family) and ok=true, or
+// (None, false) for any other opcode.
+func (op Op) CondReg() (Reg, bool) {
+	switch op {
+	case BrAZ, BrANZ, BrAP, BrAM:
+		return A(0), true
+	case BrSZ, BrSNZ, BrSP, BrSM:
+		return S(0), true
+	default:
+		return None, false
+	}
+}
+
+// Instruction is one decoded instruction of the model architecture.
+//
+// Interpretation of the fields depends on Op's Format:
+//
+//	FmtR3     I=dst, J,K=srcs (register indices within Info().File)
+//	FmtR2     I=dst, J=src
+//	FmtR2Imm  I=dst, J=src, Imm=immediate
+//	FmtRImm   I=dst, Imm=immediate
+//	FmtMove   I=A/S-side index, Imm=B/T-side index (MovAB etc.); I=dst
+//	          index, J=src index for MovSA/MovAS
+//	FmtMem    I=data register, J=base A register, Imm=displacement
+//	FmtBranch Imm=target (instruction index within the Program)
+type Instruction struct {
+	Op   Op
+	I    uint8
+	J    uint8
+	K    uint8
+	Imm  int64
+	Line int // source line for diagnostics (0 when synthesized)
+}
+
+// Dst returns the register written by the instruction, or (None, false)
+// if it writes no register.
+func (ins Instruction) Dst() (Reg, bool) {
+	info := ins.Op.Info()
+	switch info.Fmt {
+	case FmtR3, FmtR2, FmtR2Imm, FmtRImm:
+		return Reg{info.File, ins.I}, true
+	case FmtMove:
+		switch ins.Op {
+		case MovSA:
+			return S(int(ins.I)), true
+		case MovAS:
+			return A(int(ins.I)), true
+		case MovAB:
+			return A(int(ins.I)), true
+		case MovBA:
+			return B(int(ins.Imm)), true
+		case MovST:
+			return S(int(ins.I)), true
+		case MovTS:
+			return T(int(ins.Imm)), true
+		}
+	case FmtMem:
+		if info.Load {
+			return Reg{info.File, ins.I}, true
+		}
+	}
+	return None, false
+}
+
+// Srcs appends the registers read by the instruction to dst and returns
+// the extended slice. Conditional branches report their condition
+// register. The base register of a load/store is included.
+func (ins Instruction) Srcs(dst []Reg) []Reg {
+	info := ins.Op.Info()
+	switch info.Fmt {
+	case FmtR3:
+		dst = append(dst, Reg{info.File, ins.J}, Reg{info.File, ins.K})
+	case FmtR2, FmtR2Imm:
+		dst = append(dst, Reg{info.File, ins.J})
+	case FmtMove:
+		switch ins.Op {
+		case MovSA:
+			dst = append(dst, A(int(ins.J)))
+		case MovAS:
+			dst = append(dst, S(int(ins.J)))
+		case MovAB:
+			dst = append(dst, B(int(ins.Imm)))
+		case MovBA:
+			dst = append(dst, A(int(ins.I)))
+		case MovST:
+			dst = append(dst, T(int(ins.Imm)))
+		case MovTS:
+			dst = append(dst, S(int(ins.I)))
+		}
+	case FmtMem:
+		dst = append(dst, A(int(ins.J))) // base address register
+		if info.Store {
+			dst = append(dst, Reg{info.File, ins.I}) // data register
+		}
+	case FmtBranch:
+		if r, ok := ins.Op.CondReg(); ok {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// Validate reports a descriptive error if the instruction is malformed
+// (bad opcode, register index out of range, branch target negative, ...).
+func (ins Instruction) Validate() error {
+	if ins.Op >= NumOps {
+		return fmt.Errorf("isa: invalid opcode %d", ins.Op)
+	}
+	info := ins.Op.Info()
+	checkIdx := func(name string, v uint8, size int) error {
+		if int(v) >= size {
+			return fmt.Errorf("isa: %s: %s index %d out of range [0,%d)", info.Name, name, v, size)
+		}
+		return nil
+	}
+	switch info.Fmt {
+	case FmtR3:
+		for _, c := range []struct {
+			n string
+			v uint8
+		}{{"i", ins.I}, {"j", ins.J}, {"k", ins.K}} {
+			if err := checkIdx(c.n, c.v, info.File.Size()); err != nil {
+				return err
+			}
+		}
+	case FmtR2, FmtR2Imm:
+		if err := checkIdx("i", ins.I, info.File.Size()); err != nil {
+			return err
+		}
+		if err := checkIdx("j", ins.J, info.File.Size()); err != nil {
+			return err
+		}
+	case FmtRImm:
+		if err := checkIdx("i", ins.I, info.File.Size()); err != nil {
+			return err
+		}
+	case FmtMove:
+		if err := checkIdx("i", ins.I, NumA); err != nil { // A and S files are both size 8
+			return err
+		}
+		switch ins.Op {
+		case MovSA, MovAS:
+			if err := checkIdx("j", ins.J, NumA); err != nil {
+				return err
+			}
+		default:
+			if ins.Imm < 0 || ins.Imm >= NumB {
+				return fmt.Errorf("isa: %s: save-register index %d out of range [0,%d)", info.Name, ins.Imm, NumB)
+			}
+		}
+	case FmtMem:
+		if err := checkIdx("i", ins.I, info.File.Size()); err != nil {
+			return err
+		}
+		if err := checkIdx("j (base)", ins.J, NumA); err != nil {
+			return err
+		}
+		if ins.Imm < -(1<<15) || ins.Imm >= 1<<15 {
+			return fmt.Errorf("isa: %s: displacement %d does not fit in 16 bits", info.Name, ins.Imm)
+		}
+	case FmtBranch:
+		if ins.Imm < 0 {
+			return fmt.Errorf("isa: %s: negative branch target %d", info.Name, ins.Imm)
+		}
+	}
+	return nil
+}
+
+// String renders the instruction in assembler syntax.
+func (ins Instruction) String() string {
+	info := ins.Op.Info()
+	f := info.File
+	switch info.Fmt {
+	case FmtNone, FmtTrap:
+		return info.Name
+	case FmtR3:
+		return fmt.Sprintf("%s %s%d, %s%d, %s%d", info.Name, f, ins.I, f, ins.J, f, ins.K)
+	case FmtR2:
+		return fmt.Sprintf("%s %s%d, %s%d", info.Name, f, ins.I, f, ins.J)
+	case FmtR2Imm:
+		return fmt.Sprintf("%s %s%d, %s%d, %d", info.Name, f, ins.I, f, ins.J, ins.Imm)
+	case FmtRImm:
+		return fmt.Sprintf("%s %s%d, %d", info.Name, f, ins.I, ins.Imm)
+	case FmtMove:
+		switch ins.Op {
+		case MovSA:
+			return fmt.Sprintf("movsa S%d, A%d", ins.I, ins.J)
+		case MovAS:
+			return fmt.Sprintf("movas A%d, S%d", ins.I, ins.J)
+		case MovAB:
+			return fmt.Sprintf("movab A%d, B%d", ins.I, ins.Imm)
+		case MovBA:
+			return fmt.Sprintf("movba B%d, A%d", ins.Imm, ins.I)
+		case MovST:
+			return fmt.Sprintf("movst S%d, T%d", ins.I, ins.Imm)
+		case MovTS:
+			return fmt.Sprintf("movts T%d, S%d", ins.Imm, ins.I)
+		}
+	case FmtMem:
+		return fmt.Sprintf("%s %s%d, %d(A%d)", info.Name, f, ins.I, ins.Imm, ins.J)
+	case FmtBranch:
+		return fmt.Sprintf("%s @%d", info.Name, ins.Imm)
+	}
+	return info.Name
+}
+
+// Program is a sequence of instructions. The program counter of the model
+// architecture indexes instructions; parcel addresses (for encoding and
+// fetch statistics) are derived with ParcelAddrs.
+type Program struct {
+	Instructions []Instruction
+	// Labels maps symbolic names to instruction indices (informational;
+	// populated by the assembler).
+	Labels map[string]int
+}
+
+// Validate checks every instruction and that branch targets are in range.
+func (p *Program) Validate() error {
+	for i, ins := range p.Instructions {
+		if err := ins.Validate(); err != nil {
+			return fmt.Errorf("instruction %d: %w", i, err)
+		}
+		if ins.Op.IsBranch() && ins.Imm >= int64(len(p.Instructions)) {
+			return fmt.Errorf("instruction %d: branch target %d beyond program end %d",
+				i, ins.Imm, len(p.Instructions))
+		}
+	}
+	return nil
+}
+
+// ParcelAddrs returns, for each instruction, its starting parcel address,
+// plus the total parcel count of the program.
+func (p *Program) ParcelAddrs() (addrs []int, total int) {
+	addrs = make([]int, len(p.Instructions))
+	for i, ins := range p.Instructions {
+		addrs[i] = total
+		total += ins.Op.Info().Parcels
+	}
+	return addrs, total
+}

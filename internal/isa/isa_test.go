@@ -1,0 +1,267 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileProperties(t *testing.T) {
+	cases := []struct {
+		f    File
+		name string
+		size int
+	}{
+		{FileA, "A", 8}, {FileS, "S", 8}, {FileB, "B", 64}, {FileT, "T", 64},
+		{FileNone, "?", 0},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.f, got, c.name)
+		}
+		if got := c.f.Size(); got != c.size {
+			t.Errorf("%v.Size() = %d, want %d", c.f, got, c.size)
+		}
+	}
+	if NumRegs != 144 {
+		t.Errorf("NumRegs = %d, want 144 (the paper's register count)", NumRegs)
+	}
+}
+
+func TestRegConstructors(t *testing.T) {
+	cases := []struct {
+		r    Reg
+		want string
+	}{
+		{A(0), "A0"}, {A(7), "A7"}, {S(3), "S3"}, {B(63), "B63"}, {T(10), "T10"},
+		{None, "-"}, {Reg{FileA, 8}, "-"}, {Reg{FileB, 64}, "-"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+// TestFlatRoundTrip uses testing/quick: Flat and FromFlat are inverse
+// bijections over the architectural registers.
+func TestFlatRoundTrip(t *testing.T) {
+	f := func(i uint8) bool {
+		idx := int(i) % NumRegs
+		r := FromFlat(idx)
+		return r.Valid() && r.Flat() == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// And the inverse direction, exhaustively.
+	seen := map[int]bool{}
+	for _, file := range []File{FileA, FileS, FileB, FileT} {
+		for i := 0; i < file.Size(); i++ {
+			r := Reg{file, uint8(i)}
+			fl := r.Flat()
+			if fl < 0 || fl >= NumRegs {
+				t.Fatalf("%v.Flat() = %d out of range", r, fl)
+			}
+			if seen[fl] {
+				t.Fatalf("%v.Flat() = %d collides", r, fl)
+			}
+			seen[fl] = true
+			if back := FromFlat(fl); back != r {
+				t.Fatalf("FromFlat(%d) = %v, want %v", fl, back, r)
+			}
+		}
+	}
+	if FromFlat(-1) != None || FromFlat(NumRegs) != None {
+		t.Error("FromFlat out-of-range should return None")
+	}
+}
+
+func TestOpInfoConsistency(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		if info.Parcels != 1 && info.Parcels != 2 {
+			t.Errorf("%s: parcels = %d", op, info.Parcels)
+		}
+		if info.Load && info.Store {
+			t.Errorf("%s is both load and store", op)
+		}
+		if op.IsBranch() != (info.Fmt == FmtBranch) {
+			t.Errorf("%s: IsBranch inconsistent", op)
+		}
+		if (info.Load || info.Store) && info.Unit != UnitMem {
+			t.Errorf("%s: memory op not in memory unit", op)
+		}
+	}
+	if Op(200).Info().Name != "op?" {
+		t.Error("invalid op should report placeholder info")
+	}
+}
+
+func TestCondReg(t *testing.T) {
+	for _, op := range []Op{BrAZ, BrANZ, BrAP, BrAM} {
+		r, ok := op.CondReg()
+		if !ok || r != A(0) {
+			t.Errorf("%s.CondReg() = %v,%v; want A0", op, r, ok)
+		}
+	}
+	for _, op := range []Op{BrSZ, BrSNZ, BrSP, BrSM} {
+		r, ok := op.CondReg()
+		if !ok || r != S(0) {
+			t.Errorf("%s.CondReg() = %v,%v; want S0", op, r, ok)
+		}
+	}
+	if _, ok := Jmp.CondReg(); ok {
+		t.Error("Jmp has no condition register")
+	}
+	if _, ok := AddA.CondReg(); ok {
+		t.Error("AddA has no condition register")
+	}
+	if Jmp.IsConditional() {
+		t.Error("Jmp is not conditional")
+	}
+	if !BrAZ.IsConditional() {
+		t.Error("BrAZ is conditional")
+	}
+}
+
+func TestDstSrcs(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		dst  Reg
+		has  bool
+		srcs []Reg
+	}{
+		{Instruction{Op: AddA, I: 1, J: 2, K: 3}, A(1), true, []Reg{A(2), A(3)}},
+		{Instruction{Op: FMul, I: 4, J: 5, K: 6}, S(4), true, []Reg{S(5), S(6)}},
+		{Instruction{Op: FRecip, I: 1, J: 2}, S(1), true, []Reg{S(2)}},
+		{Instruction{Op: AddAImm, I: 1, J: 2, Imm: 5}, A(1), true, []Reg{A(2)}},
+		{Instruction{Op: LoadAImm, I: 3, Imm: 9}, A(3), true, nil},
+		{Instruction{Op: LoadSImm, I: 3, Imm: 9}, S(3), true, nil},
+		{Instruction{Op: MovSA, I: 2, J: 3}, S(2), true, []Reg{A(3)}},
+		{Instruction{Op: MovAS, I: 2, J: 3}, A(2), true, []Reg{S(3)}},
+		{Instruction{Op: MovAB, I: 2, Imm: 40}, A(2), true, []Reg{B(40)}},
+		{Instruction{Op: MovBA, I: 2, Imm: 40}, B(40), true, []Reg{A(2)}},
+		{Instruction{Op: MovST, I: 2, Imm: 40}, S(2), true, []Reg{T(40)}},
+		{Instruction{Op: MovTS, I: 2, Imm: 40}, T(40), true, []Reg{S(2)}},
+		{Instruction{Op: LoadS, I: 1, J: 2, Imm: 8}, S(1), true, []Reg{A(2)}},
+		{Instruction{Op: LoadA, I: 1, J: 2, Imm: 8}, A(1), true, []Reg{A(2)}},
+		{Instruction{Op: StoreS, I: 1, J: 2, Imm: 8}, None, false, []Reg{A(2), S(1)}},
+		{Instruction{Op: StoreA, I: 1, J: 2, Imm: 8}, None, false, []Reg{A(2), A(1)}},
+		{Instruction{Op: BrAM, Imm: 0}, None, false, []Reg{A(0)}},
+		{Instruction{Op: BrSNZ, Imm: 0}, None, false, []Reg{S(0)}},
+		{Instruction{Op: Jmp, Imm: 0}, None, false, nil},
+		{Instruction{Op: Nop}, None, false, nil},
+		{Instruction{Op: Halt}, None, false, nil},
+	}
+	for _, c := range cases {
+		dst, has := c.ins.Dst()
+		if has != c.has || (has && dst != c.dst) {
+			t.Errorf("%s: Dst() = %v,%v; want %v,%v", c.ins, dst, has, c.dst, c.has)
+		}
+		srcs := c.ins.Srcs(nil)
+		if len(srcs) != len(c.srcs) {
+			t.Errorf("%s: Srcs() = %v, want %v", c.ins, srcs, c.srcs)
+			continue
+		}
+		for i := range srcs {
+			if srcs[i] != c.srcs[i] {
+				t.Errorf("%s: Srcs()[%d] = %v, want %v", c.ins, i, srcs[i], c.srcs[i])
+			}
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Instruction{
+		{Op: AddA, I: 7, J: 7, K: 7},
+		{Op: MovAB, I: 7, Imm: 63},
+		{Op: LoadS, I: 7, J: 7, Imm: -32768},
+		{Op: Jmp, Imm: 0},
+		{Op: Nop},
+	}
+	for _, ins := range good {
+		if err := ins.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", ins, err)
+		}
+	}
+	bad := []Instruction{
+		{Op: NumOps},
+		{Op: AddA, I: 8},
+		{Op: AddA, J: 9},
+		{Op: FRecip, I: 8},
+		{Op: LoadAImm, I: 8},
+		{Op: MovAB, I: 1, Imm: 64},
+		{Op: MovAB, I: 1, Imm: -1},
+		{Op: MovSA, I: 1, J: 8},
+		{Op: LoadS, I: 1, J: 8},
+		{Op: LoadS, I: 1, J: 1, Imm: 1 << 15},
+		{Op: LoadS, I: 1, J: 1, Imm: -(1 << 15) - 1},
+		{Op: BrAZ, Imm: -1},
+	}
+	for _, ins := range bad {
+		if err := ins.Validate(); err == nil {
+			t.Errorf("%v unexpectedly validated", ins)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		ins  Instruction
+		want string
+	}{
+		{Instruction{Op: AddA, I: 1, J: 2, K: 3}, "adda A1, A2, A3"},
+		{Instruction{Op: FRecip, I: 1, J: 2}, "frecip S1, S2"},
+		{Instruction{Op: AddAImm, I: 1, J: 1, Imm: -1}, "addai A1, A1, -1"},
+		{Instruction{Op: LoadSImm, I: 0, Imm: 42}, "lsi S0, 42"},
+		{Instruction{Op: MovTS, I: 5, Imm: 11}, "movts T11, S5"},
+		{Instruction{Op: LoadS, I: 2, J: 3, Imm: 100}, "lds S2, 100(A3)"},
+		{Instruction{Op: BrAM, Imm: 7}, "jam @7"},
+		{Instruction{Op: Halt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.ins.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{Instructions: []Instruction{
+		{Op: BrANZ, Imm: 2},
+		{Op: Nop},
+		{Op: Halt},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+	p.Instructions[0].Imm = 3
+	if err := p.Validate(); err == nil {
+		t.Fatal("branch beyond program end accepted")
+	} else if !strings.Contains(err.Error(), "branch target") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestParcelAddrs(t *testing.T) {
+	p := &Program{Instructions: []Instruction{
+		{Op: AddA},          // 1 parcel
+		{Op: LoadS, J: 1},   // 2 parcels
+		{Op: BrANZ, Imm: 0}, // 2 parcels
+		{Op: Halt},          // 1 parcel
+	}}
+	addrs, total := p.ParcelAddrs()
+	want := []int{0, 1, 3, 5}
+	if total != 6 {
+		t.Fatalf("total parcels = %d, want 6", total)
+	}
+	for i, a := range addrs {
+		if a != want[i] {
+			t.Errorf("addrs[%d] = %d, want %d", i, a, want[i])
+		}
+	}
+}

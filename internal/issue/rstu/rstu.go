@@ -1,0 +1,477 @@
+// Package rstu implements the RS Tag Unit of §3.2.3: the merged pool of
+// reservation stations and tags (Figure 4). Each entry is simultaneously
+// a tag (the entry index) and a reservation station; an entry is acquired
+// at instruction issue and held until the instruction's result has been
+// forwarded to the register file, so a station is "wasted" while its
+// instruction transits a functional unit — the organisation the paper
+// deliberately trades for the ability to extend it into the RUU.
+//
+// Registers are updated out of program order (at result broadcast), so
+// the RSTU resolves dependencies but does not provide precise interrupts;
+// that is the RUU's contribution (internal/core).
+//
+// The Paths option reproduces Table 3's experiment: the number of data
+// paths from the RSTU to the functional units, i.e. the number of
+// instructions that may dispatch per cycle (the decode unit still issues
+// at most one instruction per cycle, which is why the paper finds a
+// second path makes little difference).
+package rstu
+
+import (
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/issue"
+	"ruu/internal/memsys"
+)
+
+// Option configures the engine.
+type Option func(*Engine)
+
+// WithPaths sets the number of dispatch paths (default 1).
+func WithPaths(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.paths = n
+		}
+	}
+}
+
+type operand struct {
+	ready bool
+	tag   int // producing entry index when !ready
+	value int64
+}
+
+type memPhase uint8
+
+const (
+	memUnbound memPhase = iota // effective address not yet computed
+	memBound                   // address bound to a load register
+	memDone
+)
+
+type entry struct {
+	used       bool
+	seq        int64
+	pc         int
+	ins        isa.Instruction
+	issueCycle int64
+	// readyAt is the cycle in which the last waiting operand was gated
+	// in from the result bus; an entry may dispatch only in a later
+	// cycle (gate-in and compare take a stage, so a value caught off the
+	// bus is usable by the dispatch logic the next cycle).
+	readyAt int64
+
+	op1, op2 operand
+
+	hasDest bool
+	dest    isa.Reg
+	latest  bool // this entry holds the latest tag for dest
+
+	dispatched bool
+	result     int64
+
+	isMem      bool
+	isStore    bool
+	phase      memPhase
+	addr       int64
+	binding    memsys.Binding
+	toMem      bool
+	memChecked bool // trap check performed (exactly once per operation)
+}
+
+type broadcast struct {
+	cycle int64
+	idx   int
+}
+
+// Engine is the RSTU issue engine.
+type Engine struct {
+	ctx   *issue.Context
+	paths int
+
+	entries []entry
+	size    int
+	nextSeq int64
+
+	regBusy [isa.NumRegs]bool
+	regTag  [isa.NumRegs]int
+
+	memQueue []int // entry indices of unbound memory ops, program order
+	pending  []broadcast
+	seqBuf   []int // scratch for bySeq (avoids per-cycle allocation)
+
+	inFlight int
+	retired  int64
+	trap     *exec.Trap
+}
+
+// New returns an RSTU with n entries.
+func New(n int, opts ...Option) *Engine {
+	if n <= 0 {
+		n = 10
+	}
+	e := &Engine{size: n, paths: 1}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Name implements issue.Engine.
+func (e *Engine) Name() string {
+	if e.paths > 1 {
+		return "rstu-2p"
+	}
+	return "rstu"
+}
+
+// Size returns the number of RSTU entries.
+func (e *Engine) Size() int { return e.size }
+
+// Reset implements issue.Engine.
+func (e *Engine) Reset(ctx *issue.Context) {
+	e.ctx = ctx
+	e.entries = make([]entry, e.size)
+	e.nextSeq = 0
+	e.regBusy = [isa.NumRegs]bool{}
+	e.memQueue = e.memQueue[:0]
+	e.pending = e.pending[:0]
+	e.inFlight = 0
+	e.retired = 0
+	e.trap = nil
+	ctx.Bus.Reset()
+	ctx.LoadRegs.Reset()
+}
+
+// BeginCycle broadcasts the results scheduled for this cycle: waiting
+// reservation-station operands gate in matching tags, the Tag Unit half
+// of the entry forwards the value to the register file (only the latest
+// tag for a register updates it and clears its busy bit), and the entry
+// is freed for reuse.
+func (e *Engine) BeginCycle(c int64) {
+	out := e.pending[:0]
+	for _, b := range e.pending {
+		if b.cycle != c {
+			out = append(out, b)
+			continue
+		}
+		ent := &e.entries[b.idx]
+		v := ent.result
+		// Deliver to every waiting operand holding this tag.
+		for i := range e.entries {
+			o := &e.entries[i]
+			if !o.used {
+				continue
+			}
+			if !o.op1.ready && o.op1.tag == b.idx {
+				o.op1.ready, o.op1.value = true, v
+				o.readyAt = b.cycle
+			}
+			if !o.op2.ready && o.op2.tag == b.idx {
+				o.op2.ready, o.op2.value = true, v
+				o.readyAt = b.cycle
+			}
+		}
+		// Tag Unit: forward to the register file.
+		if ent.hasDest {
+			if ent.latest {
+				e.ctx.State.SetReg(ent.dest, v)
+				e.regBusy[ent.dest.Flat()] = false
+			}
+			// A non-latest result must not overwrite the register: a
+			// newer instance owns it (the paper permits the update but
+			// never requires it; suppressing it keeps state correct).
+		}
+		if ent.binding.Valid() {
+			e.ctx.LoadRegs.SetData(ent.binding, v)
+			e.ctx.LoadRegs.Release(ent.binding)
+		}
+		e.free(b.idx)
+	}
+	e.pending = out
+}
+
+func (e *Engine) free(idx int) {
+	e.entries[idx] = entry{}
+	e.inFlight--
+	e.retired++
+}
+
+// Dispatch implements issue.Engine: first the memory-address frontier
+// advances (the memory unit computes one effective address per cycle, in
+// program order among memory operations — §3.2.1.2), then up to Paths
+// ready instructions dispatch to the functional units, loads and stores
+// first, then oldest-first.
+func (e *Engine) Dispatch(c int64) {
+	e.advanceMemFrontier(c)
+
+	budget := e.paths
+	order := e.bySeq()
+	// Pass 1: memory operations (priority per §5, same rule here).
+	for _, idx := range order {
+		if budget == 0 {
+			return
+		}
+		ent := &e.entries[idx]
+		if !ent.isMem || ent.phase != memBound || ent.dispatched || ent.issueCycle >= c || ent.readyAt >= c {
+			continue
+		}
+		if e.tryMemOp(c, idx) {
+			budget--
+		}
+	}
+	// Pass 2: computational instructions.
+	for _, idx := range order {
+		if budget == 0 {
+			return
+		}
+		ent := &e.entries[idx]
+		if ent.isMem || ent.dispatched || !ent.used || ent.issueCycle >= c || ent.readyAt >= c {
+			continue
+		}
+		if !ent.op1.ready || !ent.op2.ready {
+			continue
+		}
+		lat := int64(e.ctx.Lat.Of(ent.ins.Op))
+		if ent.hasDest {
+			if !e.ctx.Bus.Reserve(c + lat) {
+				continue
+			}
+		}
+		ent.result = exec.ALU(ent.ins, ent.op1.value, ent.op2.value)
+		ent.dispatched = true
+		if ent.hasDest {
+			e.pending = append(e.pending, broadcast{c + lat, idx})
+		} else {
+			// No result to broadcast (should not occur for computational
+			// ops in this ISA, but keep the entry lifecycle uniform).
+			e.free(idx)
+		}
+		budget--
+	}
+}
+
+// bySeq returns used entry indices in program (seq) order. The returned
+// slice is valid until the next call.
+func (e *Engine) bySeq() []int {
+	idxs := e.seqBuf[:0]
+	for i := range e.entries {
+		if e.entries[i].used {
+			idxs = append(idxs, i)
+		}
+	}
+	// Insertion sort by seq: the pool is small (≤ ~30 entries).
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && e.entries[idxs[j]].seq < e.entries[idxs[j-1]].seq; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	e.seqBuf = idxs
+	return idxs
+}
+
+// advanceMemFrontier computes the effective address of the oldest unbound
+// memory operation whose base register is available, binding it to a load
+// register. At most one address per cycle; younger memory operations
+// cannot bind before older ones.
+func (e *Engine) advanceMemFrontier(c int64) {
+	if e.trap != nil || len(e.memQueue) == 0 {
+		return
+	}
+	idx := e.memQueue[0]
+	ent := &e.entries[idx]
+	if ent.issueCycle >= c || ent.readyAt >= c || !ent.op1.ready {
+		return
+	}
+	addr := exec.EffAddr(ent.ins, ent.op1.value)
+	if !ent.memChecked {
+		ent.memChecked = true
+		if t := issue.MemTrap(e.ctx, ent.pc, addr); t != nil {
+			// Imprecise machine: the trap is raised as soon as it is
+			// detected, with younger and older work still in flight.
+			e.trap = t
+			return
+		}
+	}
+	if !e.ctx.LoadRegs.CanBind(addr) {
+		return // no load register obtainable; retry next cycle
+	}
+	// A load with no pending same-address operation goes straight to
+	// memory: the address computation IS its dispatch to the memory
+	// unit, so it reserves the result bus here rather than competing for
+	// an RSTU-to-functional-unit data path.
+	toMemory := !ent.isStore && !e.ctx.LoadRegs.Pending(addr)
+	lat := int64(e.ctx.Lat[isa.UnitMem])
+	if toMemory && !e.ctx.Bus.Reserve(c+lat) {
+		return // bus slot taken; retry next cycle
+	}
+	b, toMem, ok := e.ctx.LoadRegs.Bind(addr, ent.isStore)
+	if !ok {
+		return // no free load register; retry next cycle (CanBind above
+		// makes this unreachable, but keep the guard defensive)
+	}
+	ent.addr = addr
+	ent.binding = b
+	ent.toMem = toMem
+	ent.phase = memBound
+	e.memQueue = e.memQueue[1:]
+	if toMem {
+		v, f := e.ctx.State.Mem.Read(addr)
+		if f != nil {
+			panic("rstu: unexpected fault after bind-time check: " + f.Error())
+		}
+		ent.result = v
+		ent.dispatched = true
+		e.pending = append(e.pending, broadcast{c + lat, idx})
+	}
+}
+
+// tryMemOp attempts to complete a bound memory operation. Loads read
+// memory (or forward from the load-register chain) and schedule a result
+// broadcast; stores execute — write memory — once their data operand is
+// ready. It reports whether a dispatch path was consumed.
+func (e *Engine) tryMemOp(c int64, idx int) bool {
+	ent := &e.entries[idx]
+	if ent.isStore {
+		if !ent.op2.ready {
+			return false
+		}
+		// The RSTU is imprecise: memory is updated at execution time.
+		if f := e.ctx.State.Mem.Write(ent.addr, ent.op2.value); f != nil {
+			panic("rstu: unexpected fault after bind-time check: " + f.Error())
+		}
+		e.ctx.LoadRegs.SetData(ent.binding, ent.op2.value)
+		e.ctx.LoadRegs.Release(ent.binding)
+		ent.dispatched = true
+		ent.phase = memDone
+		e.free(idx)
+		return true
+	}
+	// Load: only forwarded loads reach here (memory-bound loads dispatch
+	// at bind time).
+	v, ok := e.ctx.LoadRegs.Forward(ent.binding)
+	if !ok {
+		return false
+	}
+	lat := int64(e.ctx.FwdLatency)
+	if !e.ctx.Bus.Reserve(c + lat) {
+		return false
+	}
+	ent.result = v
+	ent.dispatched = true
+	e.pending = append(e.pending, broadcast{c + lat, idx})
+	return true
+}
+
+// TryIssue implements issue.Engine.
+func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReason {
+	if e.trap != nil {
+		return issue.StallDrain
+	}
+	if ins.Op == isa.Nop {
+		e.retired++
+		return issue.StallNone
+	}
+	if ins.Op == isa.Trap {
+		e.trap = &exec.Trap{Kind: exec.TrapExplicit, PC: pc}
+		return issue.StallNone
+	}
+	idx := -1
+	for i := range e.entries {
+		if !e.entries[i].used {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return issue.StallEntry
+	}
+
+	ent := entry{
+		used:       true,
+		seq:        e.nextSeq,
+		pc:         pc,
+		ins:        ins,
+		issueCycle: c,
+		binding:    memsys.Invalid,
+	}
+	info := ins.Op.Info()
+	ent.isMem = info.Load || info.Store
+	ent.isStore = info.Store
+
+	var srcBuf [2]isa.Reg
+	srcs := ins.Srcs(srcBuf[:0])
+	readOp := func(r isa.Reg) operand {
+		if e.regBusy[r.Flat()] {
+			return operand{ready: false, tag: e.regTag[r.Flat()]}
+		}
+		return operand{ready: true, value: e.ctx.State.Reg(r)}
+	}
+	ent.op1, ent.op2 = operand{ready: true}, operand{ready: true}
+	if len(srcs) > 0 {
+		ent.op1 = readOp(srcs[0])
+	}
+	if len(srcs) > 1 {
+		ent.op2 = readOp(srcs[1])
+	}
+
+	if dst, ok := ins.Dst(); ok {
+		ent.hasDest = true
+		ent.dest = dst
+		f := dst.Flat()
+		if e.regBusy[f] {
+			// The previous holder of this register's tag is no longer
+			// the latest copy.
+			e.entries[e.regTag[f]].latest = false
+		}
+		e.regBusy[f] = true
+		e.regTag[f] = idx
+		ent.latest = true
+	}
+
+	e.entries[idx] = ent
+	e.nextSeq++
+	e.inFlight++
+	if ent.isMem {
+		e.memQueue = append(e.memQueue, idx)
+	}
+	return issue.StallNone
+}
+
+// TryReadCond implements issue.Engine: readable when the register has no
+// pending producer (the register file is updated at broadcast, so no
+// extra bypass is needed — this is the imprecise machines' advantage).
+func (e *Engine) TryReadCond(_ int64, r isa.Reg) (int64, bool) {
+	if e.regBusy[r.Flat()] {
+		return 0, false
+	}
+	return e.ctx.State.Reg(r), true
+}
+
+// Drained implements issue.Engine.
+func (e *Engine) Drained() bool { return e.inFlight == 0 }
+
+// PendingTrap implements issue.Engine.
+func (e *Engine) PendingTrap() *exec.Trap { return e.trap }
+
+// Precise implements issue.Engine: the RSTU is not precise.
+func (e *Engine) Precise() bool { return false }
+
+// Flush implements issue.Engine.
+func (e *Engine) Flush() {
+	e.entries = make([]entry, e.size)
+	e.regBusy = [isa.NumRegs]bool{}
+	e.memQueue = e.memQueue[:0]
+	e.pending = e.pending[:0]
+	e.inFlight = 0
+	e.trap = nil
+	e.ctx.Bus.Clear()
+	e.ctx.LoadRegs.Reset()
+}
+
+// InFlight implements issue.Engine.
+func (e *Engine) InFlight() int { return e.inFlight }
+
+// Retired implements issue.Engine.
+func (e *Engine) Retired() int64 { return e.retired }

@@ -1,0 +1,89 @@
+package rstu_test
+
+import (
+	"testing"
+
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/issue"
+	"ruu/internal/issue/rstu"
+	"ruu/internal/machine"
+)
+
+func TestIdentity(t *testing.T) {
+	if rstu.New(5).Name() != "rstu" || rstu.New(5).Size() != 5 {
+		t.Fatal("identity wrong")
+	}
+	if rstu.New(0).Size() != 10 {
+		t.Fatal("default size wrong")
+	}
+	if rstu.New(5, rstu.WithPaths(2)).Name() != "rstu-2p" {
+		t.Fatal("2-path name wrong")
+	}
+	if rstu.New(5).Precise() {
+		t.Fatal("the RSTU must not claim precise interrupts")
+	}
+}
+
+// TestEntryHeldUntilRegisterUpdate: the §3.2.3 property — an entry is
+// both tag and station, so it is occupied while its instruction transits
+// the functional unit. With 2 entries, a third independent instruction
+// stalls even though the first two have already dispatched.
+func TestEntryHeldUntilRegisterUpdate(t *testing.T) {
+	u, err := asm.Assemble(`
+    lsi    S6, 42
+    frecip S1, S6
+    frecip S2, S6
+    frecip S3, S6
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := rstu.New(2)
+	m := machine.New(e, machine.Config{})
+	st := exec.NewState(u.NewMemory())
+	res, err := m.Run(u.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Stalls[issue.StallEntry] == 0 {
+		t.Fatal("entries were recycled before register update")
+	}
+	want := exec.Bits(1.0 / exec.F64(42))
+	if st.S[1] != want || st.S[2] != want || st.S[3] != want {
+		t.Fatal("wrong results")
+	}
+}
+
+// TestOutOfOrderCompletionUpdatesRegistersEarly — the imprecision that
+// motivates the RUU: a younger, faster instruction's register update is
+// architecturally visible while an older one is still in flight. We
+// observe it via the trap stop state.
+func TestOutOfOrderCompletionUpdatesRegistersEarly(t *testing.T) {
+	u, err := asm.Assemble(`
+    lsi    S6, 42
+    frecip S1, S6    ; old, slow
+    lai    A1, 7     ; young, fast
+    lds    S2, -1(A7) ; faults at dispatch (address -1)
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(rstu.New(8), machine.Config{})
+	st := exec.NewState(u.NewMemory())
+	res, err := m.Run(u.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap == nil || res.Precise {
+		t.Fatalf("expected an imprecise trap, got %v precise=%v", res.Trap, res.Precise)
+	}
+	if st.A[1] != 7 {
+		t.Fatal("young instruction's update should already be visible (imprecise)")
+	}
+	if st.S[1] != 0 {
+		t.Fatal("old slow instruction should still be in flight at the trap")
+	}
+}

@@ -1,0 +1,189 @@
+// Package simple implements the baseline instruction-issue mechanism of
+// the paper's Table 1: strictly in-order issue with per-register busy
+// bits. An instruction waits in the decode-and-issue stage until all of
+// its source registers are available and its destination register is not
+// busy; because the single decode stage is occupied while it waits,
+// nothing behind it can proceed. Completion is still out of order (the
+// functional units have different latencies), so interrupts are
+// imprecise — exactly the combination the paper sets out to fix.
+package simple
+
+import (
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/issue"
+)
+
+type writeback struct {
+	cycle int64
+	dst   isa.Reg
+	value int64
+}
+
+// Engine is the simple in-order issue engine.
+type Engine struct {
+	ctx      *issue.Context
+	busy     [isa.NumRegs]bool
+	inflight []writeback
+	retired  int64
+	trap     *exec.Trap
+}
+
+// New returns a simple-issue engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements issue.Engine.
+func (e *Engine) Name() string { return "simple" }
+
+// Reset implements issue.Engine.
+func (e *Engine) Reset(ctx *issue.Context) {
+	e.ctx = ctx
+	e.busy = [isa.NumRegs]bool{}
+	e.inflight = e.inflight[:0]
+	e.retired = 0
+	e.trap = nil
+	ctx.Bus.Reset()
+	ctx.LoadRegs.Reset()
+}
+
+// BeginCycle broadcasts results completing this cycle into the register
+// file and clears the producers' busy bits.
+func (e *Engine) BeginCycle(c int64) {
+	out := e.inflight[:0]
+	for _, wb := range e.inflight {
+		if wb.cycle == c {
+			e.ctx.State.SetReg(wb.dst, wb.value)
+			e.busy[wb.dst.Flat()] = false
+		} else {
+			out = append(out, wb)
+		}
+	}
+	e.inflight = out
+}
+
+// Dispatch implements issue.Engine; the simple engine has no reservation
+// stations, so instructions go straight from issue to the functional
+// units and there is nothing to do here.
+func (e *Engine) Dispatch(int64) {}
+
+// TryIssue implements issue.Engine.
+func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReason {
+	if e.trap != nil {
+		return issue.StallDrain
+	}
+	if ins.Op == isa.Nop {
+		e.retired++
+		return issue.StallNone
+	}
+
+	var srcBuf [2]isa.Reg
+	srcs := ins.Srcs(srcBuf[:0])
+	for _, r := range srcs {
+		if e.busy[r.Flat()] {
+			return issue.StallOperand
+		}
+	}
+	dst, hasDst := ins.Dst()
+	if hasDst && e.busy[dst.Flat()] {
+		return issue.StallDest
+	}
+
+	info := ins.Op.Info()
+	st := e.ctx.State
+	switch {
+	case ins.Op == isa.Trap:
+		e.trap = &exec.Trap{Kind: exec.TrapExplicit, PC: pc}
+		return issue.StallNone
+	case info.Load:
+		addr := exec.EffAddr(ins, st.Reg(isa.A(int(ins.J))))
+		lat := int64(e.ctx.Lat[isa.UnitMem])
+		// Reserve the bus before the trap check so the injector is
+		// consulted exactly once per dynamic memory operation (a bus
+		// stall retries issue next cycle).
+		if !e.ctx.Bus.Reserve(c + lat) {
+			return issue.StallBus
+		}
+		if t := e.memTrap(pc, addr); t != nil {
+			e.trap = t
+			return issue.StallNone
+		}
+		v, f := st.Mem.Read(addr)
+		if f != nil {
+			panic("simple: unexpected fault after check: " + f.Error())
+		}
+		e.busy[dst.Flat()] = true
+		e.inflight = append(e.inflight, writeback{c + lat, dst, v})
+	case info.Store:
+		addr := exec.EffAddr(ins, st.Reg(isa.A(int(ins.J))))
+		if t := e.memTrap(pc, addr); t != nil {
+			e.trap = t
+			return issue.StallNone
+		}
+		// In-order issue guarantees memory ordering; the store's value is
+		// architecturally visible at issue (timing-wise the memory unit
+		// is pipelined and stores produce no register result).
+		data := st.Reg(isa.Reg{File: info.File, Idx: ins.I})
+		if f := st.Mem.Write(addr, data); f != nil {
+			panic("simple: unexpected fault after check: " + f.Error())
+		}
+	default:
+		// Computational instruction: all operands are ready now.
+		var v1, v2 int64
+		if len(srcs) > 0 {
+			v1 = st.Reg(srcs[0])
+		}
+		if len(srcs) > 1 {
+			v2 = st.Reg(srcs[1])
+		}
+		lat := int64(e.ctx.Lat.Of(ins.Op))
+		if !e.ctx.Bus.Reserve(c + lat) {
+			return issue.StallBus
+		}
+		res := exec.ALU(ins, v1, v2)
+		if hasDst {
+			e.busy[dst.Flat()] = true
+			e.inflight = append(e.inflight, writeback{c + lat, dst, res})
+		}
+	}
+	e.retired++
+	return issue.StallNone
+}
+
+func (e *Engine) memTrap(pc int, addr int64) *exec.Trap {
+	return issue.MemTrap(e.ctx, pc, addr)
+}
+
+// TryReadCond implements issue.Engine: the condition register is readable
+// once it is not busy.
+func (e *Engine) TryReadCond(_ int64, r isa.Reg) (int64, bool) {
+	if e.busy[r.Flat()] {
+		return 0, false
+	}
+	return e.ctx.State.Reg(r), true
+}
+
+// Drained implements issue.Engine.
+func (e *Engine) Drained() bool { return len(e.inflight) == 0 }
+
+// PendingTrap implements issue.Engine. The simple engine reports traps as
+// soon as they are detected; older instructions may still be in flight,
+// so the state is imprecise.
+func (e *Engine) PendingTrap() *exec.Trap { return e.trap }
+
+// Precise implements issue.Engine.
+func (e *Engine) Precise() bool { return false }
+
+// Flush implements issue.Engine.
+func (e *Engine) Flush() {
+	e.inflight = e.inflight[:0]
+	e.busy = [isa.NumRegs]bool{}
+	e.trap = nil
+	e.ctx.Bus.Clear()
+	e.ctx.LoadRegs.Reset()
+}
+
+// InFlight implements issue.Engine.
+func (e *Engine) InFlight() int { return len(e.inflight) }
+
+// Retired implements issue.Engine.
+func (e *Engine) Retired() int64 { return e.retired }

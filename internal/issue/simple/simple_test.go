@@ -1,0 +1,81 @@
+package simple_test
+
+import (
+	"testing"
+
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/issue/simple"
+	"ruu/internal/machine"
+)
+
+func TestEngineLifecycle(t *testing.T) {
+	e := simple.New()
+	if e.Name() != "simple" || e.Precise() {
+		t.Fatal("identity wrong")
+	}
+	u, err := asm.Assemble(`
+    lai  A1, 3
+    mula A2, A1, A1
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(e, machine.Config{})
+	st := exec.NewState(u.NewMemory())
+	res, err := m.Run(u.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.A[2] != 9 || res.Stats.Instructions != 3 {
+		t.Fatalf("A2=%d instr=%d", st.A[2], res.Stats.Instructions)
+	}
+	if !e.Drained() || e.InFlight() != 0 || e.Retired() != 2 {
+		t.Fatalf("post-run engine state: drained=%v inflight=%d retired=%d",
+			e.Drained(), e.InFlight(), e.Retired())
+	}
+}
+
+// TestExactWritebackTiming pins the decode-to-writeback contract: an
+// A-multiply's consumer waits exactly the unit latency.
+func TestExactWritebackTiming(t *testing.T) {
+	u, err := asm.Assemble(`
+    lai  A1, 3
+    mula A2, A1, A1
+    adda A3, A2, A2
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	m := machine.New(simple.New(), cfg)
+	res, err := m.Run(u.Prog, exec.NewState(u.NewMemory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fetch@0; lai issues @1 (wb @2); mula fetched @1, issues @2
+	// (lat 6 -> wb @8); adda fetched @2, waits for A2, issues @8
+	// (lat 2 -> wb @10); halt fetched @3, drains @10, retires @10.
+	if res.Stats.Cycles != 11 {
+		t.Fatalf("cycles = %d, want 11", res.Stats.Cycles)
+	}
+}
+
+func TestFlushClearsState(t *testing.T) {
+	e := simple.New()
+	u, _ := asm.Assemble("lai A1, 1\ntrap\nhalt")
+	m := machine.New(e, machine.Config{})
+	res, err := m.Run(u.Prog, exec.NewState(u.NewMemory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap == nil {
+		t.Fatal("trap lost")
+	}
+	e.Flush()
+	if e.PendingTrap() != nil || e.InFlight() != 0 {
+		t.Fatal("flush incomplete")
+	}
+}

@@ -1,0 +1,489 @@
+// Package tagunit implements the paper's §3.1–§3.2.2 family of
+// dependency-resolution mechanisms, all variations on Tomasulo's
+// algorithm that differ in where tags live and how the reservation
+// stations are organised:
+//
+//   - Tomasulo's algorithm (§3.1): a tag and tag-matching hardware for
+//     every register (the paper's objection: 144 tag-matching units),
+//     with reservation stations distributed per functional unit.
+//   - A separate Tag Unit (§3.2.1, Figure 2): tags are pooled in a TU
+//     sized for the number of *currently active* destination registers;
+//     instruction issue blocks when the TU is full.
+//   - A merged RS pool (§3.2.2): the distributed stations are combined
+//     into one shared pool so no unit starves while another idles.
+//
+// All three update the register file out of program order (when results
+// broadcast), so none provides precise interrupts. With a separate Tag
+// Unit, a reservation station is released when its instruction dispatches
+// to a functional unit (the tag travels with the operation); with
+// per-register tags the station itself is the tag and is held until the
+// result is broadcast.
+package tagunit
+
+import (
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+	"ruu/internal/issue"
+	"ruu/internal/memsys"
+)
+
+// Config selects the organisation.
+type Config struct {
+	// TagUnitSize caps the number of in-flight destination registers
+	// (active tags). Zero means per-register tags (Tomasulo mode, §3.1):
+	// no cap beyond the stations themselves.
+	TagUnitSize int
+	// PoolSize, when positive, merges all reservation stations into one
+	// shared pool of that size (§3.2.2). When zero, stations are
+	// distributed per functional unit according to PerUnit.
+	PoolSize int
+	// PerUnit gives the station count for each functional-unit class in
+	// distributed mode. Units absent from the map get DefaultPerUnit.
+	PerUnit map[isa.Unit]int
+}
+
+// DefaultPerUnit is the distributed station count per functional unit.
+const DefaultPerUnit = 2
+
+type operand struct {
+	ready bool
+	tag   int64 // producer id when !ready
+	value int64
+}
+
+type memPhase uint8
+
+const (
+	memUnbound memPhase = iota
+	memBound
+)
+
+type station struct {
+	used       bool
+	seq        int64
+	pc         int
+	ins        isa.Instruction
+	issueCycle int64
+	readyAt    int64 // cycle the last waiting operand was gated in
+	unit       isa.Unit
+
+	op1, op2 operand
+
+	hasDest bool
+	dest    isa.Reg
+	tagID   int64
+
+	isMem      bool
+	isStore    bool
+	phase      memPhase
+	addr       int64
+	binding    memsys.Binding
+	toMem      bool
+	memChecked bool // trap check performed (exactly once per operation)
+}
+
+// flight is an operation in a functional unit: its result broadcasts on
+// the given cycle carrying the producer's tag.
+type flight struct {
+	cycle   int64
+	tagID   int64
+	hasDest bool
+	dest    isa.Reg
+	value   int64
+	binding memsys.Binding
+}
+
+// Engine is the Tag Unit / Tomasulo issue engine.
+type Engine struct {
+	cfg Config
+	ctx *issue.Context
+
+	stations []station
+	// unitOf[i] is the unit class owning station i in distributed mode
+	// (UnitNone in pooled mode: any station serves any unit).
+	unitOf []isa.Unit
+
+	regBusy [isa.NumRegs]bool
+	regTag  [isa.NumRegs]int64
+
+	outstandingTags int
+
+	memQueue []int // station indices of unbound memory ops, program order
+	flights  []flight
+	seqBuf   []int // scratch for bySeq
+
+	nextSeq  int64
+	inFlight int
+	retired  int64
+	trap     *exec.Trap
+
+	// freeAtDispatch: stations release when the operation enters a
+	// functional unit (separate-TU modes).
+	freeAtDispatch bool
+}
+
+// New returns an engine with the given organisation.
+func New(cfg Config) *Engine {
+	e := &Engine{cfg: cfg, freeAtDispatch: cfg.TagUnitSize > 0}
+	e.buildStations()
+	return e
+}
+
+func (e *Engine) buildStations() {
+	e.stations = e.stations[:0]
+	e.unitOf = e.unitOf[:0]
+	if e.cfg.PoolSize > 0 {
+		e.stations = make([]station, e.cfg.PoolSize)
+		e.unitOf = make([]isa.Unit, e.cfg.PoolSize) // all UnitNone: shared
+		return
+	}
+	for u := isa.Unit(1); u < isa.NumUnits; u++ {
+		n := DefaultPerUnit
+		if v, ok := e.cfg.PerUnit[u]; ok {
+			n = v
+		}
+		for i := 0; i < n; i++ {
+			e.stations = append(e.stations, station{})
+			e.unitOf = append(e.unitOf, u)
+		}
+	}
+}
+
+// Name implements issue.Engine.
+func (e *Engine) Name() string {
+	switch {
+	case e.cfg.TagUnitSize == 0:
+		return "tomasulo"
+	case e.cfg.PoolSize > 0:
+		return "tu-pool"
+	default:
+		return "tu-dist"
+	}
+}
+
+// Reset implements issue.Engine.
+func (e *Engine) Reset(ctx *issue.Context) {
+	e.ctx = ctx
+	e.buildStations()
+	e.regBusy = [isa.NumRegs]bool{}
+	e.outstandingTags = 0
+	e.memQueue = e.memQueue[:0]
+	e.flights = e.flights[:0]
+	e.nextSeq = 0
+	e.inFlight = 0
+	e.retired = 0
+	e.trap = nil
+	ctx.Bus.Reset()
+	ctx.LoadRegs.Reset()
+}
+
+// BeginCycle broadcasts results whose latency expires this cycle: waiting
+// station operands gate in matching tags; the Tag Unit (or the tagged
+// register itself) forwards the value to the register file if the tag is
+// still the latest for its register.
+func (e *Engine) BeginCycle(c int64) {
+	out := e.flights[:0]
+	for _, fl := range e.flights {
+		if fl.cycle != c {
+			out = append(out, fl)
+			continue
+		}
+		for i := range e.stations {
+			s := &e.stations[i]
+			if !s.used {
+				continue
+			}
+			if !s.op1.ready && s.op1.tag == fl.tagID {
+				s.op1.ready, s.op1.value = true, fl.value
+				s.readyAt = fl.cycle
+			}
+			if !s.op2.ready && s.op2.tag == fl.tagID {
+				s.op2.ready, s.op2.value = true, fl.value
+				s.readyAt = fl.cycle
+			}
+		}
+		if fl.hasDest {
+			f := fl.dest.Flat()
+			if e.regBusy[f] && e.regTag[f] == fl.tagID {
+				e.ctx.State.SetReg(fl.dest, fl.value)
+				e.regBusy[f] = false
+			}
+			e.outstandingTags--
+		}
+		if fl.binding.Valid() {
+			e.ctx.LoadRegs.SetData(fl.binding, fl.value)
+			e.ctx.LoadRegs.Release(fl.binding)
+		}
+		// In Tomasulo mode the producing station is the tag and is freed
+		// only now.
+		if !e.freeAtDispatch {
+			for i := range e.stations {
+				if e.stations[i].used && e.stations[i].tagID == fl.tagID && e.stations[i].hasDest {
+					e.stations[i] = station{}
+					break
+				}
+			}
+		}
+		e.inFlight--
+		e.retired++
+	}
+	e.flights = out
+}
+
+// Dispatch implements issue.Engine.
+func (e *Engine) Dispatch(c int64) {
+	e.advanceMemFrontier(c)
+
+	budget := 1
+	order := e.bySeq()
+	// Pass 1: memory operations first (priority rule shared with §5).
+	for _, idx := range order {
+		if budget == 0 {
+			return
+		}
+		s := &e.stations[idx]
+		if !s.used || !s.isMem || s.phase != memBound || s.issueCycle >= c || s.readyAt >= c {
+			continue
+		}
+		if e.tryMemOp(c, idx) {
+			budget--
+		}
+	}
+	// Pass 2: computational operations.
+	for _, idx := range order {
+		if budget == 0 {
+			return
+		}
+		s := &e.stations[idx]
+		if !s.used || s.isMem || s.issueCycle >= c || s.readyAt >= c || !s.op1.ready || !s.op2.ready {
+			continue
+		}
+		lat := int64(e.ctx.Lat.Of(s.ins.Op))
+		if !e.ctx.Bus.Reserve(c + lat) {
+			continue
+		}
+		v := exec.ALU(s.ins, s.op1.value, s.op2.value)
+		e.flights = append(e.flights, flight{c + lat, s.tagID, s.hasDest, s.dest, v, memsys.Invalid})
+		e.release(idx)
+		budget--
+	}
+}
+
+// release frees a station after dispatch in separate-TU modes; in
+// Tomasulo mode it only marks the station dispatched by clearing its
+// readiness to dispatch again (the station is freed at broadcast).
+func (e *Engine) release(idx int) {
+	if e.freeAtDispatch {
+		e.stations[idx] = station{}
+		return
+	}
+	// Keep the station as the live tag, but prevent re-dispatch.
+	e.stations[idx].issueCycle = 1 << 62
+}
+
+func (e *Engine) bySeq() []int {
+	idxs := e.seqBuf[:0]
+	for i := range e.stations {
+		if e.stations[i].used {
+			idxs = append(idxs, i)
+		}
+	}
+	for i := 1; i < len(idxs); i++ {
+		for j := i; j > 0 && e.stations[idxs[j]].seq < e.stations[idxs[j-1]].seq; j-- {
+			idxs[j], idxs[j-1] = idxs[j-1], idxs[j]
+		}
+	}
+	e.seqBuf = idxs
+	return idxs
+}
+
+func (e *Engine) advanceMemFrontier(c int64) {
+	if e.trap != nil || len(e.memQueue) == 0 {
+		return
+	}
+	idx := e.memQueue[0]
+	s := &e.stations[idx]
+	if s.issueCycle >= c || s.readyAt >= c || !s.op1.ready {
+		return
+	}
+	addr := exec.EffAddr(s.ins, s.op1.value)
+	if !s.memChecked {
+		s.memChecked = true
+		if t := issue.MemTrap(e.ctx, s.pc, addr); t != nil {
+			e.trap = t // imprecise: raised immediately
+			return
+		}
+	}
+	if !e.ctx.LoadRegs.CanBind(addr) {
+		return // no load register obtainable; retry next cycle
+	}
+	// A load with no pending same-address operation dispatches to memory
+	// as part of the address computation (see internal/issue/rstu).
+	toMemory := !s.isStore && !e.ctx.LoadRegs.Pending(addr)
+	lat := int64(e.ctx.Lat[isa.UnitMem])
+	if toMemory && !e.ctx.Bus.Reserve(c+lat) {
+		return
+	}
+	b, toMem, ok := e.ctx.LoadRegs.Bind(addr, s.isStore)
+	if !ok {
+		return
+	}
+	s.addr, s.binding, s.toMem = addr, b, toMem
+	s.phase = memBound
+	e.memQueue = e.memQueue[1:]
+	if toMem {
+		v, f := e.ctx.State.Mem.Read(addr)
+		if f != nil {
+			panic("tagunit: unexpected fault after bind-time check: " + f.Error())
+		}
+		e.flights = append(e.flights, flight{c + lat, s.tagID, true, s.dest, v, s.binding})
+		e.release(idx)
+	}
+}
+
+func (e *Engine) tryMemOp(c int64, idx int) bool {
+	s := &e.stations[idx]
+	if s.isStore {
+		if !s.op2.ready {
+			return false
+		}
+		if f := e.ctx.State.Mem.Write(s.addr, s.op2.value); f != nil {
+			panic("tagunit: unexpected fault after bind-time check: " + f.Error())
+		}
+		e.ctx.LoadRegs.SetData(s.binding, s.op2.value)
+		e.ctx.LoadRegs.Release(s.binding)
+		e.stations[idx] = station{}
+		e.inFlight--
+		e.retired++
+		return true
+	}
+	// Load: only forwarded loads reach here (memory-bound loads dispatch
+	// at bind time).
+	v, ok := e.ctx.LoadRegs.Forward(s.binding)
+	if !ok {
+		return false
+	}
+	lat := int64(e.ctx.FwdLatency)
+	if !e.ctx.Bus.Reserve(c + lat) {
+		return false
+	}
+	e.flights = append(e.flights, flight{c + lat, s.tagID, true, s.dest, v, s.binding})
+	e.release(idx)
+	return true
+}
+
+// TryIssue implements issue.Engine.
+func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReason {
+	if e.trap != nil {
+		return issue.StallDrain
+	}
+	if ins.Op == isa.Nop {
+		e.retired++
+		return issue.StallNone
+	}
+	if ins.Op == isa.Trap {
+		e.trap = &exec.Trap{Kind: exec.TrapExplicit, PC: pc}
+		return issue.StallNone
+	}
+	info := ins.Op.Info()
+	unit := info.Unit
+
+	idx := -1
+	for i := range e.stations {
+		if e.stations[i].used {
+			continue
+		}
+		if e.cfg.PoolSize > 0 || e.unitOf[i] == unit {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return issue.StallEntry
+	}
+	dst, hasDst := ins.Dst()
+	if hasDst && e.cfg.TagUnitSize > 0 && e.outstandingTags == e.cfg.TagUnitSize {
+		return issue.StallDest // no tag can be obtained: issue blocks
+	}
+
+	s := station{
+		used:       true,
+		seq:        e.nextSeq,
+		pc:         pc,
+		ins:        ins,
+		issueCycle: c,
+		unit:       unit,
+		binding:    memsys.Invalid,
+		op1:        operand{ready: true},
+		op2:        operand{ready: true},
+		isMem:      info.Load || info.Store,
+		isStore:    info.Store,
+	}
+	var srcBuf [2]isa.Reg
+	srcs := ins.Srcs(srcBuf[:0])
+	readOp := func(r isa.Reg) operand {
+		f := r.Flat()
+		if e.regBusy[f] {
+			return operand{ready: false, tag: e.regTag[f]}
+		}
+		return operand{ready: true, value: e.ctx.State.Reg(r)}
+	}
+	if len(srcs) > 0 {
+		s.op1 = readOp(srcs[0])
+	}
+	if len(srcs) > 1 {
+		s.op2 = readOp(srcs[1])
+	}
+	if hasDst {
+		s.hasDest = true
+		s.dest = dst
+		s.tagID = e.nextSeq
+		f := dst.Flat()
+		e.regBusy[f] = true
+		e.regTag[f] = s.tagID
+		e.outstandingTags++
+	}
+	e.stations[idx] = s
+	e.nextSeq++
+	e.inFlight++
+	if s.isMem {
+		e.memQueue = append(e.memQueue, idx)
+	}
+	return issue.StallNone
+}
+
+// TryReadCond implements issue.Engine.
+func (e *Engine) TryReadCond(_ int64, r isa.Reg) (int64, bool) {
+	if e.regBusy[r.Flat()] {
+		return 0, false
+	}
+	return e.ctx.State.Reg(r), true
+}
+
+// Drained implements issue.Engine.
+func (e *Engine) Drained() bool { return e.inFlight == 0 }
+
+// PendingTrap implements issue.Engine.
+func (e *Engine) PendingTrap() *exec.Trap { return e.trap }
+
+// Precise implements issue.Engine.
+func (e *Engine) Precise() bool { return false }
+
+// Flush implements issue.Engine.
+func (e *Engine) Flush() {
+	e.buildStations()
+	e.regBusy = [isa.NumRegs]bool{}
+	e.outstandingTags = 0
+	e.memQueue = e.memQueue[:0]
+	e.flights = e.flights[:0]
+	e.inFlight = 0
+	e.trap = nil
+	e.ctx.Bus.Clear()
+	e.ctx.LoadRegs.Reset()
+}
+
+// InFlight implements issue.Engine.
+func (e *Engine) InFlight() int { return e.inFlight }
+
+// Retired implements issue.Engine.
+func (e *Engine) Retired() int64 { return e.retired }

@@ -1,0 +1,30 @@
+// Package tomasulo provides the classic form of Tomasulo's algorithm
+// (§3.1, after Tomasulo 1967): per-register tags — every one of the 144
+// architectural registers carries its own tag and tag-matching hardware —
+// with reservation stations distributed among the functional units. It is
+// the configuration of internal/issue/tagunit with no Tag Unit cap; the
+// paper's extensions (the TU, the merged pool, the RSTU, and finally the
+// RUU) successively remove its hardware cost and add precise interrupts.
+package tomasulo
+
+import (
+	"ruu/internal/isa"
+	"ruu/internal/issue/tagunit"
+)
+
+// New returns a Tomasulo engine with n reservation stations per
+// functional unit (DefaultStations if n <= 0).
+func New(n int) *tagunit.Engine {
+	if n <= 0 {
+		n = DefaultStations
+	}
+	per := make(map[isa.Unit]int, isa.NumUnits)
+	for u := isa.Unit(1); u < isa.NumUnits; u++ {
+		per[u] = n
+	}
+	return tagunit.New(tagunit.Config{TagUnitSize: 0, PerUnit: per})
+}
+
+// DefaultStations is the per-unit reservation station count (the IBM
+// 360/91 floating-point unit had two to three stations per unit).
+const DefaultStations = 3

@@ -1,0 +1,53 @@
+package tomasulo_test
+
+import (
+	"testing"
+
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/issue/tomasulo"
+	"ruu/internal/machine"
+)
+
+func TestConstructorDefaults(t *testing.T) {
+	if tomasulo.New(0).Name() != "tomasulo" {
+		t.Fatal("name wrong")
+	}
+	// Default station count is applied when n <= 0.
+	if tomasulo.DefaultStations <= 0 {
+		t.Fatal("default stations must be positive")
+	}
+}
+
+// TestClassicRenaming: WAW and WAR hazards dissolve through per-register
+// tags — the 360/91's contribution, inherited by every engine above it.
+func TestClassicRenaming(t *testing.T) {
+	u, err := asm.Assemble(`
+    lsi    S2, 42
+    frecip S1, S2    ; slow producer of S1 (old instance)
+    adds   S3, S1, S1 ; WAR: reads the OLD S1 instance... after it arrives
+    lsi    S1, 7     ; WAW: new instance issues without waiting
+    adds   S4, S1, S1 ; reads the NEW instance
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(tomasulo.New(3), machine.Config{})
+	st := exec.NewState(u.NewMemory())
+	if _, err := m.Run(u.Prog, st); err != nil {
+		t.Fatal(err)
+	}
+	// adds is an integer add, so S3 holds twice the reciprocal's raw
+	// bit pattern (the OLD S1 instance).
+	recipBits := exec.Bits(1.0 / exec.F64(42))
+	if st.S[3] != recipBits+recipBits {
+		t.Fatalf("S3 = %#x, want %#x (old-instance read broken)", st.S[3], recipBits+recipBits)
+	}
+	if st.S[4] != 14 {
+		t.Fatalf("S4 = %d (new-instance read broken)", st.S[4])
+	}
+	if st.S[1] != 7 {
+		t.Fatalf("S1 = %d (latest copy lost)", st.S[1])
+	}
+}

@@ -1,0 +1,142 @@
+package livermore
+
+import (
+	"testing"
+
+	"ruu/internal/isa"
+)
+
+// TestKernelsAssemble checks that every kernel assembles.
+func TestKernelsAssemble(t *testing.T) {
+	for _, k := range Kernels() {
+		if _, err := k.Unit(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+// TestKernelsFunctional runs every kernel on the functional executor and
+// verifies the result against the kernel's Go mirror.
+func TestKernelsFunctional(t *testing.T) {
+	for _, k := range Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			st, err := k.NewState()
+			if err != nil {
+				t.Fatalf("state: %v", err)
+			}
+			u, _ := k.Unit()
+			res, err := st.Run(u.Prog, 0, nil)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Trap != nil {
+				t.Fatalf("unexpected trap: %v", res.Trap)
+			}
+			if !st.Halted {
+				t.Fatalf("program did not halt")
+			}
+			if err := k.Verify(st); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+			t.Logf("%s: %d instructions, %d branches (%d taken), %d loads, %d stores",
+				k.Name, res.Executed, res.Branches, res.Taken, res.Loads, res.Stores)
+		})
+	}
+}
+
+// TestKernelSizes sanity-checks the dynamic instruction counts are in the
+// same ballpark as the paper's Table 1 (thousands, not tens or millions).
+func TestKernelSizes(t *testing.T) {
+	for _, k := range Kernels() {
+		st, err := k.NewState()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		u, _ := k.Unit()
+		res, err := st.Run(u.Prog, 0, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if res.Executed < 1000 || res.Executed > 40000 {
+			t.Errorf("%s: dynamic count %d outside the paper's regime [1000, 40000]", k.Name, res.Executed)
+		}
+	}
+}
+
+// TestVerifyCatchesCorruption ensures Check is not vacuous: corrupting an
+// output word must fail verification.
+func TestVerifyCatchesCorruption(t *testing.T) {
+	k := ByName("LLL1")
+	st, err := k.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := k.Unit()
+	if _, err := st.Run(u.Prog, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Verify(st); err != nil {
+		t.Fatalf("pristine run failed check: %v", err)
+	}
+	st.Mem.Poke(u.Symbols["x"]+5, 0x12345)
+	if err := k.Verify(st); err == nil {
+		t.Fatal("corrupted state passed verification")
+	}
+}
+
+// TestKernelStructuralConventions guards the CRAY-style conventions the
+// timing discussion in DESIGN.md depends on: conditional branches test
+// only A0/S0 (automatic: the ISA has no other forms), every kernel's
+// loops branch backward on A0, and every kernel halts exactly once at
+// the end.
+func TestKernelStructuralConventions(t *testing.T) {
+	for _, k := range Kernels() {
+		u, err := k.Unit()
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		halts := 0
+		for i, ins := range u.Prog.Instructions {
+			if ins.Op == isa.Halt {
+				halts++
+				if i != len(u.Prog.Instructions)-1 {
+					t.Errorf("%s: halt at %d is not final", k.Name, i)
+				}
+			}
+			if ins.Op.IsConditional() {
+				if r, _ := ins.Op.CondReg(); r != isa.A(0) {
+					t.Errorf("%s: conditional branch at %d tests %v, kernels use A0", k.Name, i, r)
+				}
+			}
+		}
+		if halts != 1 {
+			t.Errorf("%s: %d halts", k.Name, halts)
+		}
+	}
+}
+
+// TestKernelRegisterHygiene: no kernel writes A7, the conventional zero
+// register of the suite, after initialising it.
+func TestKernelRegisterHygiene(t *testing.T) {
+	for _, k := range Kernels() {
+		u, err := k.Unit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seenInit := false
+		for i, ins := range u.Prog.Instructions {
+			dst, ok := ins.Dst()
+			if !ok || dst != isa.A(7) {
+				continue
+			}
+			if !seenInit && ins.Op == isa.LoadAImm && ins.Imm == 0 {
+				seenInit = true
+				continue
+			}
+			if seenInit {
+				t.Errorf("%s: instruction %d rewrites A7: %v", k.Name, i, ins)
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package livermore
+
+import (
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/memsys"
+)
+
+// LLL1 — hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+var lll1 = &Kernel{
+	Name:        "LLL1",
+	Description: "hydro fragment",
+	N:           400,
+	Source: `
+.equ n 400
+.f64 qc 1.25
+.f64 rc 0.5
+.f64 tc 2.0
+.array x 400
+.array y 400
+.array z 411
+
+    lai   A7, 0
+    lai   A1, 0          ; k
+    lai   A0, =n         ; loop countdown
+    lai   A3, =qc
+    lds   S1, 0(A3)      ; q
+    lds   S2, 1(A3)      ; r (qc, rc, tc are consecutive words)
+    lds   S3, 2(A3)      ; t
+loop:
+    addai A1, A1, 1      ; index bumped at the top (CFT-style)
+    lds   S4, =z+9(A1)   ; z[k+10]
+    lds   S5, =z+10(A1)  ; z[k+11]
+    fmul  S4, S2, S4     ; r*z[k+10]
+    fmul  S5, S3, S5     ; t*z[k+11]
+    lds   S6, =y-1(A1)   ; y[k]
+    fadd  S4, S4, S5
+    fmul  S4, S6, S4
+    fadd  S4, S1, S4
+    addai A0, A0, -1     ; loop countdown
+    sts   S4, =x-1(A1)
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "y"), 400, val)
+		fillF(m, sym(u, "z"), 411, val2)
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		const q, r, t = 1.25, 0.5, 2.0
+		z := func(i int) float64 { return val2(i) }
+		return checkF(st, sym(u, "x"), 400, "x", func(k int) float64 {
+			return q + val(k)*(r*z(k+10)+t*z(k+11))
+		})
+	},
+}
+
+// lll2Mirror mirrors the assembly's ICCG sweep on a Go slice.
+func lll2Mirror(x, v []float64, n int) {
+	ii := n
+	ipntp := 0
+	for ii > 1 {
+		ipnt := ipntp
+		ipntp += ii
+		ii >>= 1
+		i := ipntp
+		for k := ipnt + 1; k < ipntp; k += 2 {
+			i++
+			x[i] = x[k] - v[k]*x[k-1] - v[k+1]*x[k+1]
+		}
+	}
+}
+
+// LLL2 — incomplete Cholesky conjugate gradient excerpt.
+var lll2 = &Kernel{
+	Name:        "LLL2",
+	Description: "ICCG excerpt",
+	N:           512,
+	Source: `
+.equ n 512
+.array x 1100
+.array v 1100
+
+    lai   A7, 0
+    lai   A4, =n         ; ii
+    lai   A2, 0          ; ipntp
+outer:
+    adda  A5, A2, A7     ; ipnt = ipntp
+    adda  A2, A2, A4     ; ipntp += ii
+    movsa S4, A4
+    shrsi S4, S4, 1
+    movas A4, S4         ; ii /= 2
+    adda  A3, A2, A7     ; i = ipntp
+    addai A1, A5, 1      ; k = ipnt + 1
+    suba  A0, A1, A2
+    jam   inner
+    jmp   iend
+inner:
+    addai A6, A1, 2      ; next k, computed early
+    suba  A0, A6, A2     ; next k - ipntp, computed early
+    addai A3, A3, 1      ; i++
+    lds   S1, =x(A1)     ; x[k]
+    lds   S2, =v(A1)     ; v[k]
+    lds   S3, =x-1(A1)   ; x[k-1]
+    fmul  S2, S2, S3
+    fsub  S1, S1, S2
+    lds   S2, =v+1(A1)   ; v[k+1]
+    lds   S3, =x+1(A1)   ; x[k+1]
+    fmul  S2, S2, S3
+    fsub  S1, S1, S2
+    sts   S1, =x(A3)
+    adda  A1, A6, A7     ; k = next k
+    jam   inner
+iend:
+    addai A0, A4, -1     ; while ii > 1
+    jap   outer
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "x"), 1100, val)
+		fillF(m, sym(u, "v"), 1100, val2)
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		x := make([]float64, 1100)
+		v := make([]float64, 1100)
+		for i := range x {
+			x[i] = val(i)
+			v[i] = val2(i)
+		}
+		lll2Mirror(x, v, 512)
+		return checkF(st, sym(u, "x"), 1100, "x", func(i int) float64 { return x[i] })
+	},
+}
+
+// LLL3 — inner product: q = sum z[k]*x[k].
+var lll3 = &Kernel{
+	Name:        "LLL3",
+	Description: "inner product",
+	N:           1000,
+	Source: `
+.equ n 1000
+.array x 1000
+.array z 1000
+.word  qres 0
+
+    lai   A7, 0
+    lai   A1, 0
+    lai   A0, =n         ; loop countdown
+    lsi   S1, 0          ; q = 0.0 (integer zero is float +0)
+loop:
+    addai A1, A1, 1      ; index bumped at the top (CFT-style)
+    lds   S2, =z-1(A1)
+    lds   S3, =x-1(A1)
+    fmul  S2, S2, S3
+    addai A0, A0, -1     ; loop countdown
+    fadd  S1, S1, S2
+    janz  loop
+    sts   S1, =qres(A7)
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "x"), 1000, val)
+		fillF(m, sym(u, "z"), 1000, val2)
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		q := 0.0
+		for k := 0; k < 1000; k++ {
+			q += val2(k) * val(k)
+		}
+		return checkF(st, sym(u, "qres"), 1, "q", func(int) float64 { return q })
+	},
+}
+
+// lll4Mirror mirrors the banded-linear-equations fragment.
+func lll4Mirror(x, y []float64, n int) {
+	m := (1001 - 7) / 2
+	for k := 6; k < 1001; k += m {
+		lw := k - 6
+		temp := x[k-1]
+		for j := 4; j < n; j += 5 {
+			temp -= x[lw] * y[j]
+			lw++
+		}
+		x[k-1] = y[4] * temp
+	}
+}
+
+// LLL4 — banded linear equations.
+var lll4 = &Kernel{
+	Name:        "LLL4",
+	Description: "banded linear equations",
+	N:           1001,
+	Source: `
+.equ n 1001
+.equ m 497
+.array x 1500
+.array y 1001
+
+    lai   A7, 0
+    lai   A5, 6          ; k
+    lai   A2, =n
+outer:
+    addai A3, A5, -6     ; lw = k - 6
+    lds   S1, =x-1(A5)   ; temp = x[k-1]
+    lai   A4, 4          ; j
+inner:
+    addai A6, A4, 5      ; next j, computed early
+    suba  A0, A6, A2     ; next j - n, computed early
+    lds   S2, =x(A3)     ; x[lw]
+    lds   S3, =y(A4)     ; y[j]
+    fmul  S2, S2, S3
+    fsub  S1, S1, S2
+    addai A3, A3, 1
+    adda  A4, A6, A7     ; j = next j
+    jam   inner
+    lds   S2, =y+4(A7)   ; y[4]
+    fmul  S1, S2, S1
+    sts   S1, =x-1(A5)
+    addai A5, A5, =m     ; k += m
+    suba  A0, A5, A2
+    jam   outer
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "x"), 1500, val)
+		fillF(m, sym(u, "y"), 1001, val2)
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		x := make([]float64, 1500)
+		y := make([]float64, 1001)
+		for i := range x {
+			x[i] = val(i)
+		}
+		for i := range y {
+			y[i] = val2(i)
+		}
+		lll4Mirror(x, y, 1001)
+		return checkF(st, sym(u, "x"), 1500, "x", func(i int) float64 { return x[i] })
+	},
+}
+
+// LLL5 — tri-diagonal elimination, below diagonal:
+// x[i] = z[i]*(y[i] - x[i-1]), a serial recurrence.
+var lll5 = &Kernel{
+	Name:        "LLL5",
+	Description: "tri-diagonal elimination",
+	N:           997,
+	Source: `
+.equ n 997
+.array x 997
+.array y 997
+.array z 997
+
+    lai   A7, 0
+    lai   A1, 1          ; i
+    lai   A0, =n-1       ; loop countdown
+    lds   S1, =x(A7)     ; x[0]
+loop:
+    lds   S2, =y(A1)
+    lds   S3, =z(A1)
+    fsub  S2, S2, S1
+    fmul  S1, S3, S2     ; x[i], carried to the next iteration
+    addai A0, A0, -1     ; loop countdown
+    sts   S1, =x(A1)
+    addai A1, A1, 1
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "x"), 997, val)
+		fillF(m, sym(u, "y"), 997, val2)
+		fillF(m, sym(u, "z"), 997, func(i int) float64 { return 0.0625 + float64(i%5)*0.125 })
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		x := make([]float64, 997)
+		y := make([]float64, 997)
+		z := make([]float64, 997)
+		for i := range x {
+			x[i] = val(i)
+			y[i] = val2(i)
+			z[i] = 0.0625 + float64(i%5)*0.125
+		}
+		for i := 1; i < 997; i++ {
+			x[i] = z[i] * (y[i] - x[i-1])
+		}
+		return checkF(st, sym(u, "x"), 997, "x", func(i int) float64 { return x[i] })
+	},
+}

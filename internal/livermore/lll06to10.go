@@ -1,0 +1,559 @@
+package livermore
+
+import (
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/memsys"
+)
+
+// LLL6 — general linear recurrence equations:
+// w[i] = 0.01 + sum_{k=0}^{i-1} b[k][i] * w[i-k-1], row-major b[64][64].
+// The saved loop bound lives in a B register, as CFT-era code would keep
+// it.
+var lll6 = &Kernel{
+	Name:        "LLL6",
+	Description: "general linear recurrence equations",
+	N:           64,
+	Source: `
+.equ n 64
+.array w 64
+.array b 4096
+.f64 c01 0.01
+
+    lai   A7, 0
+    lai   A5, 1          ; i
+    lai   A2, =n
+    movba B2, A2         ; save the loop bound in a B register
+outer:
+    adda  A3, A5, A7     ; b pointer index: b[0][i] = b + i
+    addai A6, A5, -1     ; w pointer index: i-1
+    lds   S1, =c01(A7)   ; accumulator = 0.01
+    adda  A0, A5, A7     ; inner countdown = i
+inner:
+    addai A0, A0, -1     ; loop condition, computed early
+    lds   S2, =b(A3)
+    lds   S3, =w(A6)
+    fmul  S2, S2, S3
+    fadd  S1, S1, S2
+    addai A3, A3, 64     ; next row, same column
+    addai A6, A6, -1
+    janz  inner
+    sts   S1, =w(A5)
+    addai A5, A5, 1
+    movab A2, B2         ; restore the bound from B
+    suba  A0, A5, A2
+    jam   outer
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "w"), 64, val)
+		fillF(m, sym(u, "b"), 4096, func(i int) float64 { return 0.03125 + float64(i%9)*0.0625 })
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		w := make([]float64, 64)
+		b := make([]float64, 4096)
+		for i := range w {
+			w[i] = val(i)
+		}
+		for i := range b {
+			b[i] = 0.03125 + float64(i%9)*0.0625
+		}
+		for i := 1; i < 64; i++ {
+			acc := 0.01
+			for k := 0; k < i; k++ {
+				acc += b[k*64+i] * w[i-k-1]
+			}
+			w[i] = acc
+		}
+		return checkF(st, sym(u, "w"), 64, "w", func(i int) float64 { return w[i] })
+	},
+}
+
+// LLL7 — equation of state fragment. The q constant is kept in a T
+// register and fetched each iteration (scalar-save pressure).
+var lll7 = &Kernel{
+	Name:        "LLL7",
+	Description: "equation of state fragment",
+	N:           150,
+	Source: `
+.equ n 150
+.f64 rc 0.5
+.f64 tc 0.25
+.f64 qc 0.125
+.array x 150
+.array y 150
+.array z 150
+.array u 157
+
+    lai   A7, 0
+    lai   A1, 0
+    lai   A0, =n         ; loop countdown
+    lds   S2, =rc(A7)    ; r
+    lds   S3, =tc(A7)    ; t
+    lds   S4, =qc(A7)
+    movts T1, S4         ; q lives in T1
+loop:
+    movst S4, T1         ; fetch q
+    lds   S1, =u+1(A1)
+    fmul  S1, S2, S1
+    lds   S5, =u+2(A1)
+    fadd  S1, S5, S1
+    fmul  S1, S2, S1
+    lds   S5, =u+3(A1)
+    fadd  S1, S5, S1
+    lds   S5, =u+4(A1)
+    fmul  S5, S4, S5
+    lds   S6, =u+5(A1)
+    fadd  S5, S6, S5
+    fmul  S5, S4, S5
+    lds   S6, =u+6(A1)
+    fadd  S5, S6, S5
+    fmul  S5, S3, S5
+    fadd  S1, S1, S5
+    fmul  S1, S3, S1
+    lds   S5, =y(A1)
+    fmul  S5, S2, S5
+    lds   S6, =z(A1)
+    fadd  S5, S6, S5
+    fmul  S5, S2, S5
+    lds   S6, =u(A1)
+    fadd  S5, S6, S5
+    addai A0, A0, -1     ; loop countdown
+    fadd  S1, S5, S1
+    sts   S1, =x(A1)
+    addai A1, A1, 1
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "y"), 150, val)
+		fillF(m, sym(u, "z"), 150, val2)
+		fillF(m, sym(u, "u"), 157, func(i int) float64 { return 0.75 + float64(i%17)*0.0625 })
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		const r, t, q = 0.5, 0.25, 0.125
+		uu := func(i int) float64 { return 0.75 + float64(i%17)*0.0625 }
+		return checkF(st, sym(u, "x"), 150, "x", func(k int) float64 {
+			inner := uu(k+3) + r*(uu(k+2)+r*uu(k+1)) +
+				t*(uu(k+6)+q*(uu(k+5)+q*uu(k+4)))
+			return uu(k) + r*(val2(k)+r*val(k)) + t*inner
+		})
+	},
+}
+
+// lll8Mirror mirrors the ADI strip below.
+func lll8Mirror(u1, u2, u3, u1n, u2n, u3n []float64, n int) {
+	const (
+		a11, a12, a13 = 0.5, 0.25, 0.125
+		a21, a22, a23 = 0.0625, 0.375, 0.625
+		a31, a32, a33 = 0.75, 0.1875, 0.09375
+		sig           = 0.25
+	)
+	for k := 1; k < n-1; k++ {
+		du1 := u1[k+1] - u1[k-1]
+		du2 := u2[k+1] - u2[k-1]
+		du3 := u3[k+1] - u3[k-1]
+		u1n[k] = u1[k] + (a11*du1 + a12*du2 + a13*du3 + sig*(u1[k+1]-2.0*u1[k]+u1[k-1]))
+		u2n[k] = u2[k] + (a21*du1 + a22*du2 + a23*du3 + sig*(u2[k+1]-2.0*u2[k]+u2[k-1]))
+		u3n[k] = u3[k] + (a31*du1 + a32*du2 + a33*du3 + sig*(u3[k+1]-2.0*u3[k]+u3[k-1]))
+	}
+}
+
+// LLL8 — ADI integration. The paper's kernel sweeps 2-D planes; this is
+// the same stencil and operation mix over a 1-D strip (documented
+// substitution: the dependence structure per point — nine loads, three
+// coupled 3x3 updates, three stores, coefficients from T registers — is
+// preserved; the plane bookkeeping is not timing-relevant on a scalar
+// unit).
+var lll8 = &Kernel{
+	Name:        "LLL8",
+	Description: "ADI integration (1-D strip)",
+	N:           70,
+	Source: `
+.equ n 70
+.array u1 70
+.array u2 70
+.array u3 70
+.array u1n 70
+.array u2n 70
+.array u3n 70
+.f64 a11 0.5
+.f64 a12 0.25
+.f64 a13 0.125
+.f64 a21 0.0625
+.f64 a22 0.375
+.f64 a23 0.625
+.f64 a31 0.75
+.f64 a32 0.1875
+.f64 a33 0.09375
+.f64 sig 0.25
+.f64 two 2.0
+
+    lai   A7, 0
+    lai   A1, 1          ; k
+    lai   A0, =n-2       ; loop countdown
+    lai   A3, =a11
+    lds   S1, 0(A3)
+    movts T1, S1
+    lds   S1, 1(A3)
+    movts T2, S1
+    lds   S1, 2(A3)
+    movts T3, S1
+    lds   S1, 3(A3)
+    movts T4, S1
+    lds   S1, 4(A3)
+    movts T5, S1
+    lds   S1, 5(A3)
+    movts T6, S1
+    lds   S1, 6(A3)
+    movts T7, S1
+    lds   S1, 7(A3)
+    movts T8, S1
+    lds   S1, 8(A3)
+    movts T9, S1
+    lds   S1, 9(A3)
+    movts T10, S1
+    lds   S1, 10(A3)
+    movts T11, S1
+loop:
+    lds   S1, =u1+1(A1)
+    lds   S4, =u1-1(A1)
+    fsub  S1, S1, S4     ; du1
+    lds   S2, =u2+1(A1)
+    lds   S4, =u2-1(A1)
+    fsub  S2, S2, S4     ; du2
+    lds   S3, =u3+1(A1)
+    lds   S4, =u3-1(A1)
+    fsub  S3, S3, S4     ; du3
+
+    movst S4, T1
+    fmul  S4, S4, S1
+    movst S5, T2
+    fmul  S5, S5, S2
+    fadd  S4, S4, S5
+    movst S5, T3
+    fmul  S5, S5, S3
+    fadd  S4, S4, S5
+    lds   S5, =u1+1(A1)
+    movst S6, T11
+    lds   S7, =u1(A1)
+    fmul  S6, S6, S7
+    fsub  S5, S5, S6
+    lds   S6, =u1-1(A1)
+    fadd  S5, S5, S6
+    movst S6, T10
+    fmul  S5, S6, S5
+    fadd  S4, S4, S5
+    lds   S5, =u1(A1)
+    fadd  S4, S5, S4
+    sts   S4, =u1n(A1)
+
+    movst S4, T4
+    fmul  S4, S4, S1
+    movst S5, T5
+    fmul  S5, S5, S2
+    fadd  S4, S4, S5
+    movst S5, T6
+    fmul  S5, S5, S3
+    fadd  S4, S4, S5
+    lds   S5, =u2+1(A1)
+    movst S6, T11
+    lds   S7, =u2(A1)
+    fmul  S6, S6, S7
+    fsub  S5, S5, S6
+    lds   S6, =u2-1(A1)
+    fadd  S5, S5, S6
+    movst S6, T10
+    fmul  S5, S6, S5
+    fadd  S4, S4, S5
+    lds   S5, =u2(A1)
+    fadd  S4, S5, S4
+    sts   S4, =u2n(A1)
+
+    movst S4, T7
+    fmul  S4, S4, S1
+    movst S5, T8
+    fmul  S5, S5, S2
+    fadd  S4, S4, S5
+    movst S5, T9
+    fmul  S5, S5, S3
+    fadd  S4, S4, S5
+    lds   S5, =u3+1(A1)
+    movst S6, T11
+    lds   S7, =u3(A1)
+    fmul  S6, S6, S7
+    fsub  S5, S5, S6
+    lds   S6, =u3-1(A1)
+    fadd  S5, S5, S6
+    movst S6, T10
+    fmul  S5, S6, S5
+    fadd  S4, S4, S5
+    lds   S5, =u3(A1)
+    addai A0, A0, -1     ; loop countdown
+    fadd  S4, S5, S4
+    sts   S4, =u3n(A1)
+
+    addai A1, A1, 1
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "u1"), 70, val)
+		fillF(m, sym(u, "u2"), 70, val2)
+		fillF(m, sym(u, "u3"), 70, func(i int) float64 { return 0.25 + float64(i%19)*0.0625 })
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		n := 70
+		u1 := make([]float64, n)
+		u2 := make([]float64, n)
+		u3 := make([]float64, n)
+		u1n := make([]float64, n)
+		u2n := make([]float64, n)
+		u3n := make([]float64, n)
+		for i := 0; i < n; i++ {
+			u1[i] = val(i)
+			u2[i] = val2(i)
+			u3[i] = 0.25 + float64(i%19)*0.0625
+		}
+		lll8Mirror(u1, u2, u3, u1n, u2n, u3n, n)
+		if err := checkF(st, sym(u, "u1n"), n, "u1n", func(i int) float64 { return u1n[i] }); err != nil {
+			return err
+		}
+		if err := checkF(st, sym(u, "u2n"), n, "u2n", func(i int) float64 { return u2n[i] }); err != nil {
+			return err
+		}
+		return checkF(st, sym(u, "u3n"), n, "u3n", func(i int) float64 { return u3n[i] })
+	},
+}
+
+// LLL9 — integrate predictors: a nine-term linear combination of the
+// predictor columns px2..px12 into px0. The seven dm coefficients live in
+// T registers.
+var lll9 = &Kernel{
+	Name:        "LLL9",
+	Description: "integrate predictors",
+	N:           140,
+	Source: `
+.equ n 140
+.array px0 140
+.array px2 140
+.array px4 140
+.array px5 140
+.array px6 140
+.array px7 140
+.array px8 140
+.array px9 140
+.array px10 140
+.array px11 140
+.array px12 140
+.f64 c0 1.5
+.f64 dm22 0.5
+.f64 dm23 0.25
+.f64 dm24 0.125
+.f64 dm25 0.0625
+.f64 dm26 0.03125
+.f64 dm27 0.75
+.f64 dm28 0.375
+
+    lai   A7, 0
+    lai   A1, 0
+    lai   A0, =n         ; loop countdown
+    lai   A3, =dm22
+    lds   S1, 0(A3)
+    movts T1, S1
+    lds   S1, 1(A3)
+    movts T2, S1
+    lds   S1, 2(A3)
+    movts T3, S1
+    lds   S1, 3(A3)
+    movts T4, S1
+    lds   S1, 4(A3)
+    movts T5, S1
+    lds   S1, 5(A3)
+    movts T6, S1
+    lds   S1, 6(A3)
+    movts T7, S1
+    lds   S2, =c0(A7)
+loop:
+    addai A1, A1, 1      ; index bumped at the top (CFT-style)
+    movst S3, T7         ; dm28
+    lds   S4, =px12-1(A1)
+    fmul  S1, S3, S4
+    movst S3, T6         ; dm27
+    lds   S4, =px11-1(A1)
+    fmul  S3, S3, S4
+    fadd  S1, S1, S3
+    movst S3, T5         ; dm26
+    lds   S4, =px10-1(A1)
+    fmul  S3, S3, S4
+    fadd  S1, S1, S3
+    movst S3, T4         ; dm25
+    lds   S4, =px9-1(A1)
+    fmul  S3, S3, S4
+    fadd  S1, S1, S3
+    movst S3, T3         ; dm24
+    lds   S4, =px8-1(A1)
+    fmul  S3, S3, S4
+    fadd  S1, S1, S3
+    movst S3, T2         ; dm23
+    lds   S4, =px7-1(A1)
+    fmul  S3, S3, S4
+    fadd  S1, S1, S3
+    movst S3, T1         ; dm22
+    lds   S4, =px6-1(A1)
+    fmul  S3, S3, S4
+    fadd  S1, S1, S3
+    lds   S3, =px4-1(A1)
+    lds   S4, =px5-1(A1)
+    fadd  S3, S3, S4
+    fmul  S3, S2, S3     ; c0*(px4+px5)
+    fadd  S1, S1, S3
+    lds   S3, =px2-1(A1)
+    addai A0, A0, -1     ; loop countdown
+    fadd  S1, S1, S3
+    sts   S1, =px0-1(A1)
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		cols := []string{"px2", "px4", "px5", "px6", "px7", "px8", "px9", "px10", "px11", "px12"}
+		for ci, c := range cols {
+			off := ci
+			fillF(m, sym(u, c), 140, func(i int) float64 { return val(i + 3*off) })
+		}
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		col := func(ci, i int) float64 { return val(i + 3*ci) }
+		const c0, dm22, dm23, dm24, dm25, dm26, dm27, dm28 = 1.5, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.75, 0.375
+		// Column order in Init: px2=0 px4=1 px5=2 px6=3 px7=4 px8=5 px9=6
+		// px10=7 px11=8 px12=9.
+		return checkF(st, sym(u, "px0"), 140, "px0", func(i int) float64 {
+			s := dm28 * col(9, i)
+			s += dm27 * col(8, i)
+			s += dm26 * col(7, i)
+			s += dm25 * col(6, i)
+			s += dm24 * col(5, i)
+			s += dm23 * col(4, i)
+			s += dm22 * col(3, i)
+			s += c0 * (col(1, i) + col(2, i))
+			s += col(0, i)
+			return s
+		})
+	},
+}
+
+// lll10Mirror mirrors the difference-predictor chain.
+func lll10Mirror(cx4 []float64, px [][]float64, n int) {
+	for i := 0; i < n; i++ {
+		ar := cx4[i]
+		br := ar - px[0][i]
+		px[0][i] = ar
+		cr := br - px[1][i]
+		px[1][i] = br
+		ar = cr - px[2][i]
+		px[2][i] = cr
+		br = ar - px[3][i]
+		px[3][i] = ar
+		cr = br - px[4][i]
+		px[4][i] = br
+		ar = cr - px[5][i]
+		px[5][i] = cr
+		br = ar - px[6][i]
+		px[6][i] = ar
+		cr = br - px[7][i]
+		px[7][i] = br
+		px[9][i] = cr - px[8][i]
+		px[8][i] = cr
+	}
+}
+
+// LLL10 — difference predictors: a serial subtract chain with
+// read-modify-write columns.
+var lll10 = &Kernel{
+	Name:        "LLL10",
+	Description: "difference predictors",
+	N:           140,
+	Source: `
+.equ n 140
+.array cx4 140
+.array px4 140
+.array px5 140
+.array px6 140
+.array px7 140
+.array px8 140
+.array px9 140
+.array px10 140
+.array px11 140
+.array px12 140
+.array px13 140
+
+    lai   A7, 0
+    lai   A1, 0
+    lai   A0, =n         ; loop countdown
+loop:
+    lds   S1, =cx4(A1)   ; ar
+    lds   S4, =px4(A1)
+    fsub  S2, S1, S4     ; br
+    sts   S1, =px4(A1)
+    lds   S4, =px5(A1)
+    fsub  S3, S2, S4     ; cr
+    sts   S2, =px5(A1)
+    lds   S4, =px6(A1)
+    fsub  S1, S3, S4     ; ar
+    sts   S3, =px6(A1)
+    lds   S4, =px7(A1)
+    fsub  S2, S1, S4     ; br
+    sts   S1, =px7(A1)
+    lds   S4, =px8(A1)
+    fsub  S3, S2, S4     ; cr
+    sts   S2, =px8(A1)
+    lds   S4, =px9(A1)
+    fsub  S1, S3, S4     ; ar
+    sts   S3, =px9(A1)
+    lds   S4, =px10(A1)
+    fsub  S2, S1, S4     ; br
+    sts   S1, =px10(A1)
+    lds   S4, =px11(A1)
+    fsub  S3, S2, S4     ; cr
+    sts   S2, =px11(A1)
+    lds   S4, =px12(A1)
+    addai A0, A0, -1     ; loop countdown
+    fsub  S1, S3, S4
+    sts   S1, =px13(A1)
+    sts   S3, =px12(A1)
+    addai A1, A1, 1
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "cx4"), 140, val)
+		cols := []string{"px4", "px5", "px6", "px7", "px8", "px9", "px10", "px11", "px12"}
+		for ci, c := range cols {
+			off := ci
+			fillF(m, sym(u, c), 140, func(i int) float64 { return val2(i + 2*off) })
+		}
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		n := 140
+		cx4 := make([]float64, n)
+		px := make([][]float64, 10)
+		for r := range px {
+			px[r] = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			cx4[i] = val(i)
+			for r := 0; r < 9; r++ {
+				px[r][i] = val2(i + 2*r)
+			}
+		}
+		lll10Mirror(cx4, px, n)
+		names := []string{"px4", "px5", "px6", "px7", "px8", "px9", "px10", "px11", "px12", "px13"}
+		for r, name := range names {
+			row := px[r]
+			if err := checkF(st, sym(u, name), n, name, func(i int) float64 { return row[i] }); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+}

@@ -1,0 +1,302 @@
+package livermore
+
+import (
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/memsys"
+)
+
+// LLL11 — first sum (prefix sum): x[k] = x[k-1] + y[k], a serial
+// recurrence carried through a register.
+var lll11 = &Kernel{
+	Name:        "LLL11",
+	Description: "first sum",
+	N:           1000,
+	Source: `
+.equ n 1000
+.array x 1000
+.array y 1000
+
+    lai   A7, 0
+    lai   A1, 1
+    lai   A0, =n-1       ; loop countdown
+    lds   S1, =x(A7)     ; x[0]
+loop:
+    lds   S2, =y(A1)
+    fadd  S1, S1, S2
+    addai A0, A0, -1     ; loop countdown
+    sts   S1, =x(A1)
+    addai A1, A1, 1
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "x"), 1000, val)
+		fillF(m, sym(u, "y"), 1000, val2)
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		x := make([]float64, 1000)
+		for i := range x {
+			x[i] = val(i)
+		}
+		for k := 1; k < 1000; k++ {
+			x[k] = x[k-1] + val2(k)
+		}
+		return checkF(st, sym(u, "x"), 1000, "x", func(i int) float64 { return x[i] })
+	},
+}
+
+// LLL12 — first difference: x[k] = y[k+1] - y[k], fully parallel.
+var lll12 = &Kernel{
+	Name:        "LLL12",
+	Description: "first difference",
+	N:           1000,
+	Source: `
+.equ n 1000
+.array x 1000
+.array y 1001
+
+    lai   A7, 0
+    lai   A1, 0
+    lai   A0, =n         ; loop countdown
+loop:
+    addai A1, A1, 1      ; index bumped at the top (CFT-style)
+    lds   S1, =y(A1)
+    lds   S2, =y-1(A1)
+    fsub  S1, S1, S2
+    addai A0, A0, -1     ; loop countdown
+    sts   S1, =x-1(A1)
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillF(m, sym(u, "y"), 1001, val)
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		return checkF(st, sym(u, "x"), 1000, "x", func(k int) float64 {
+			return val(k+1) - val(k)
+		})
+	},
+}
+
+// lll13Mirror mirrors the reduced 2-D particle-in-cell kernel.
+func lll13Mirror(px, py, vx, vy, b, c, h []int64, n int) {
+	for ip := 0; ip < n; ip++ {
+		i1 := px[ip] & 63
+		j1 := py[ip] & 63
+		vx[ip] += b[j1*64+i1]
+		vy[ip] += c[j1*64+i1]
+		px[ip] += vx[ip]
+		py[ip] += vy[ip]
+		i2 := px[ip] & 63
+		j2 := py[ip] & 63
+		h[j2*64+i2]++
+	}
+}
+
+// LLL13 — 2-D particle in cell. The paper's kernel converts floating
+// positions to grid indices; the model ISA (like the CRAY-1 scalar unit)
+// has no direct float->int conversion, so this reduction keeps positions
+// and fields in integer form (documented substitution). What the
+// experiments need is preserved: data-dependent gather/scatter addressing
+// through A-register arithmetic (including the A-multiply unit for the
+// row stride) and read-modify-write memory traffic.
+var lll13 = &Kernel{
+	Name:        "LLL13",
+	Description: "2-D particle in cell (integer-reduced)",
+	N:           250,
+	Source: `
+.equ n 250
+.array px 250
+.array py 250
+.array vx 250
+.array vy 250
+.array b 4096
+.array c 4096
+.array h 4096
+
+    lai   A7, 0
+    lai   A1, 0          ; ip
+    lai   A0, =n         ; loop countdown
+    lai   A6, 64         ; row stride
+    lsi   S7, 63         ; grid mask
+loop:
+    lda   A3, =px(A1)
+    movsa S1, A3
+    ands  S1, S1, S7
+    movas A3, S1         ; i1
+    lda   A4, =py(A1)
+    movsa S2, A4
+    ands  S2, S2, S7
+    movas A4, S2         ; j1
+    mula  A5, A4, A6
+    adda  A5, A5, A3     ; j1*64 + i1
+    lda   A3, =b(A5)
+    lda   A4, =vx(A1)
+    adda  A4, A4, A3
+    sta   A4, =vx(A1)    ; vx[ip] += b[...]
+    lda   A3, =c(A5)
+    lda   A5, =vy(A1)
+    adda  A5, A5, A3
+    sta   A5, =vy(A1)    ; vy[ip] += c[...]
+    lda   A3, =px(A1)
+    adda  A3, A3, A4
+    sta   A3, =px(A1)    ; px[ip] += vx[ip]
+    lda   A4, =py(A1)
+    adda  A4, A4, A5
+    sta   A4, =py(A1)    ; py[ip] += vy[ip]
+    movsa S1, A3
+    ands  S1, S1, S7
+    movas A3, S1         ; i2
+    movsa S2, A4
+    ands  S2, S2, S7
+    movas A4, S2         ; j2
+    mula  A5, A4, A6
+    adda  A5, A5, A3
+    lda   A3, =h(A5)
+    addai A3, A3, 1
+    addai A0, A0, -1     ; loop countdown
+    sta   A3, =h(A5)     ; h[j2*64+i2]++
+    addai A1, A1, 1
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillI(m, sym(u, "px"), 250, func(i int) int64 { return int64((i*7 + 3) % 256) })
+		fillI(m, sym(u, "py"), 250, func(i int) int64 { return int64((i*11 + 5) % 256) })
+		fillI(m, sym(u, "vx"), 250, func(i int) int64 { return int64(i%5 - 2) })
+		fillI(m, sym(u, "vy"), 250, func(i int) int64 { return int64(i%7 - 3) })
+		fillI(m, sym(u, "b"), 4096, func(i int) int64 { return int64(i%9 - 4) })
+		fillI(m, sym(u, "c"), 4096, func(i int) int64 { return int64(i%11 - 5) })
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		n := 250
+		px := make([]int64, n)
+		py := make([]int64, n)
+		vx := make([]int64, n)
+		vy := make([]int64, n)
+		b := make([]int64, 4096)
+		c := make([]int64, 4096)
+		h := make([]int64, 4096)
+		for i := 0; i < n; i++ {
+			px[i] = int64((i*7 + 3) % 256)
+			py[i] = int64((i*11 + 5) % 256)
+			vx[i] = int64(i%5 - 2)
+			vy[i] = int64(i%7 - 3)
+		}
+		for i := range b {
+			b[i] = int64(i%9 - 4)
+			c[i] = int64(i%11 - 5)
+		}
+		lll13Mirror(px, py, vx, vy, b, c, h, n)
+		for _, chk := range []struct {
+			name string
+			want []int64
+		}{{"px", px}, {"py", py}, {"vx", vx}, {"vy", vy}, {"h", h}} {
+			w := chk.want
+			if err := checkI(st, sym(u, chk.name), len(w), chk.name, func(i int) int64 { return w[i] }); err != nil {
+				return err
+			}
+		}
+		return nil
+	},
+}
+
+// lll14Mirror mirrors the reduced 1-D particle-in-cell kernel.
+func lll14Mirror(grd, dx []int64, vx, ex, rx, rh []float64, n int) {
+	for k := 0; k < n; k++ {
+		ix := grd[k] & 127
+		vx[k] += ex[ix]
+		rx[k] += vx[k]
+		ir := (grd[k] + dx[k]) & 127
+		grd[k] = ir
+		rh[ir] += 1.0
+	}
+}
+
+// LLL14 — 1-D particle in cell, reduced the same way as LLL13: integer
+// grid coordinates (no float->int conversion in the ISA), floating field
+// gather (ex[ix]), floating accumulation, and a floating scatter with
+// read-modify-write into the charge array rh.
+var lll14 = &Kernel{
+	Name:        "LLL14",
+	Description: "1-D particle in cell (integer-reduced)",
+	N:           220,
+	Source: `
+.equ n 220
+.array grd 220
+.array dx 220
+.array vx 220
+.array ex 128
+.array rx 220
+.array rh 128
+.f64 one 1.0
+
+    lai   A7, 0
+    lai   A1, 0          ; k
+    lai   A0, =n         ; loop countdown
+    lsi   S7, 127        ; grid mask
+    lds   S6, =one(A7)
+loop:
+    lda   A3, =grd(A1)
+    movsa S1, A3
+    ands  S1, S1, S7
+    movas A4, S1         ; ix
+    lds   S2, =ex(A4)    ; ex[ix]
+    lds   S3, =vx(A1)
+    fadd  S3, S3, S2
+    sts   S3, =vx(A1)    ; vx[k] += ex[ix]
+    lds   S4, =rx(A1)
+    fadd  S4, S4, S3
+    sts   S4, =rx(A1)    ; rx[k] += vx[k]
+    lda   A5, =dx(A1)
+    adda  A5, A3, A5     ; grd[k] + dx[k]
+    movsa S1, A5
+    ands  S1, S1, S7
+    movas A5, S1         ; ir
+    sta   A5, =grd(A1)   ; grd[k] = ir
+    lds   S5, =rh(A5)
+    addai A0, A0, -1     ; loop countdown
+    fadd  S5, S5, S6
+    sts   S5, =rh(A5)    ; rh[ir] += 1.0
+    addai A1, A1, 1
+    janz  loop
+    halt
+`,
+	Init: func(m *memsys.Memory, u *asm.Unit) {
+		fillI(m, sym(u, "grd"), 220, func(i int) int64 { return int64((i*13 + 7) % 128) })
+		fillI(m, sym(u, "dx"), 220, func(i int) int64 { return int64(i%17 - 8) })
+		fillF(m, sym(u, "vx"), 220, val2)
+		fillF(m, sym(u, "ex"), 128, val)
+		fillF(m, sym(u, "rx"), 220, func(i int) float64 { return 0.5 + float64(i%23)*0.03125 })
+	},
+	Check: func(st *exec.State, u *asm.Unit) error {
+		n := 220
+		grd := make([]int64, n)
+		dx := make([]int64, n)
+		vx := make([]float64, n)
+		ex := make([]float64, 128)
+		rx := make([]float64, n)
+		rh := make([]float64, 128)
+		for i := 0; i < n; i++ {
+			grd[i] = int64((i*13 + 7) % 128)
+			dx[i] = int64(i%17 - 8)
+			vx[i] = val2(i)
+			rx[i] = 0.5 + float64(i%23)*0.03125
+		}
+		for i := range ex {
+			ex[i] = val(i)
+		}
+		lll14Mirror(grd, dx, vx, ex, rx, rh, n)
+		if err := checkI(st, sym(u, "grd"), n, "grd", func(i int) int64 { return grd[i] }); err != nil {
+			return err
+		}
+		if err := checkF(st, sym(u, "vx"), n, "vx", func(i int) float64 { return vx[i] }); err != nil {
+			return err
+		}
+		if err := checkF(st, sym(u, "rx"), n, "rx", func(i int) float64 { return rx[i] }); err != nil {
+			return err
+		}
+		return checkF(st, sym(u, "rh"), 128, "rh", func(i int) float64 { return rh[i] })
+	},
+}

@@ -1,0 +1,62 @@
+package machine
+
+import "ruu/internal/isa"
+
+// ibufs models the CRAY-1's instruction buffers: a small set of
+// parcel-aligned instruction windows filled from memory on demand. The
+// paper's simulations assume every instruction reference hits the
+// buffers (§2, assumptions ii-iii); enabling this model makes that
+// assumption checkable — the Livermore loops do fit (only cold-start
+// misses), while code with large loop bodies or scattered control flow
+// pays fill penalties.
+type ibufs struct {
+	addrs   []int // instruction index -> starting parcel address
+	size    int   // parcels per buffer
+	bases   []int // current base parcel address per buffer (-1 = empty)
+	victim  int   // round-robin replacement cursor
+	penalty int
+	misses  int64
+}
+
+func newIBufs(p *isa.Program, cfg Config) *ibufs {
+	addrs, _ := p.ParcelAddrs()
+	b := &ibufs{
+		addrs:   addrs,
+		size:    cfg.IBufParcels,
+		bases:   make([]int, cfg.IBufCount),
+		penalty: cfg.IBufMissPenalty,
+	}
+	for i := range b.bases {
+		b.bases[i] = -1
+	}
+	return b
+}
+
+// fetch reports the stall (0 on a buffer hit) for fetching the
+// instruction at the given index, filling buffers on a miss. A
+// two-parcel instruction may straddle a buffer boundary, in which case
+// both windows must be resident.
+func (b *ibufs) fetch(index, parcels int) int {
+	pa := b.addrs[index]
+	stall := 0
+	for _, p := range []int{pa, pa + parcels - 1} {
+		base := p - p%b.size
+		if b.resident(base) {
+			continue
+		}
+		b.misses++
+		b.bases[b.victim] = base
+		b.victim = (b.victim + 1) % len(b.bases)
+		stall += b.penalty
+	}
+	return stall
+}
+
+func (b *ibufs) resident(base int) bool {
+	for _, have := range b.bases {
+		if have == base {
+			return true
+		}
+	}
+	return false
+}

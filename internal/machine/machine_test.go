@@ -1,0 +1,242 @@
+package machine_test
+
+import (
+	"strings"
+	"testing"
+
+	"ruu/internal/asm"
+	"ruu/internal/exec"
+	"ruu/internal/fu"
+	"ruu/internal/isa"
+	"ruu/internal/issue"
+	"ruu/internal/issue/simple"
+	"ruu/internal/machine"
+)
+
+func runSrc(t *testing.T, cfg machine.Config, src string) (machine.Result, *exec.State) {
+	t.Helper()
+	u, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(simple.New(), cfg)
+	st := exec.NewState(u.NewMemory())
+	res, err := m.Run(u.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+// TestExactTimingStraightLine pins the cycle-level contract: issue is one
+// per cycle (decode occupied the fetch cycle, issue the next), and HALT
+// retires when the engine drains.
+func TestExactTimingStraightLine(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	// Three independent moves, latency 1 each, issue at cycles 1,2,3
+	// (fetched at 0,1,2); last writeback at 3+1=4; HALT retires cycle 5.
+	res, st := runSrc(t, cfg, `
+    lai A1, 1
+    lai A2, 2
+    lai A3, 3
+    halt
+`)
+	if st.A[1] != 1 || st.A[2] != 2 || st.A[3] != 3 {
+		t.Fatalf("wrong results: %v", st.A)
+	}
+	if res.Stats.Instructions != 4 {
+		t.Fatalf("instructions = %d, want 4", res.Stats.Instructions)
+	}
+	if res.Stats.Cycles != 5 {
+		t.Fatalf("cycles = %d, want 5 (fetch@0, issue@1-3, wb+halt@4)", res.Stats.Cycles)
+	}
+}
+
+// TestExactTimingDependencyStall: a dependent consumer waits the
+// producer's full latency in the decode stage.
+func TestExactTimingDependencyStall(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	// lai A1 issues @1 (lat 1, wb @2); adda A2,A1,A1 fetched @1, issues
+	// @2 (A1 written in phase 1 of 2); A-int lat 2 -> wb @4; fadd-free.
+	// halt fetched @2, retires when drained: wb @4 -> halt @4? drained
+	// checked before fetch, after wb; halt retires in the decode phase
+	// of the cycle after the last writeback.
+	res, _ := runSrc(t, cfg, `
+    lai  A1, 5
+    adda A2, A1, A1
+    halt
+`)
+	if res.Stats.Cycles != 5 {
+		t.Fatalf("cycles = %d, want 5", res.Stats.Cycles)
+	}
+	if res.Stats.Stalls[issue.StallOperand] != 0 {
+		// A1 is ready the cycle adda issues (same-cycle forwarding from
+		// phase 1), so no operand stall is recorded.
+		t.Fatalf("unexpected operand stalls: %d", res.Stats.Stalls[issue.StallOperand])
+	}
+}
+
+// TestBranchPenaltyAccounting pins the taken/untaken penalties.
+func TestBranchPenaltyAccounting(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.TakenPenalty = 6
+	cfg.UntakenPenalty = 2
+	// Untaken conditional branch: A0 = 0, jap not taken.
+	resU, _ := runSrc(t, cfg, `
+    lai A1, 1
+    jap skip
+    nop
+skip:
+    halt
+`)
+	// Taken unconditional.
+	resT, _ := runSrc(t, cfg, `
+    lai A1, 1
+    jmp skip
+    nop
+skip:
+    halt
+`)
+	// Same instruction count (nop executes in the untaken case, is
+	// skipped in the taken case; jmp's path has one fewer executed).
+	if resU.Stats.Branches != 1 || resU.Stats.Taken != 0 {
+		t.Fatalf("untaken stats: %+v", resU.Stats)
+	}
+	if resT.Stats.Branches != 1 || resT.Stats.Taken != 1 {
+		t.Fatalf("taken stats: %+v", resT.Stats)
+	}
+	// The taken run skips the nop (one less instruction) but pays 6 vs 2
+	// dead cycles; it must be exactly 6-2-1=3 cycles longer.
+	if d := resT.Stats.Cycles - resU.Stats.Cycles; d != 3 {
+		t.Fatalf("taken-untaken cycle delta = %d, want 3", d)
+	}
+}
+
+func TestStallAccountingBranch(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	// The branch waits for A0 = result of an A-multiply (latency 6).
+	res, _ := runSrc(t, cfg, `
+    lai  A1, 3
+    mula A0, A1, A1
+    jap  out
+    nop
+out:
+    halt
+`)
+	if res.Stats.Stalls[issue.StallBranch] == 0 {
+		t.Fatal("no branch-wait stalls recorded")
+	}
+	if res.Stats.Taken != 1 {
+		t.Fatalf("taken = %d", res.Stats.Taken)
+	}
+}
+
+func TestBadPCStops(t *testing.T) {
+	u, err := asm.Assemble("nop\nnop") // falls off the end
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(simple.New(), machine.DefaultConfig())
+	res, err := m.Run(u.Prog, exec.NewState(u.NewMemory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap == nil || res.Trap.Kind != exec.TrapBadPC {
+		t.Fatalf("trap = %v", res.Trap)
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	u, err := asm.Assemble("loop:\n    jmp loop\n    halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.MaxCycles = 500
+	m := machine.New(simple.New(), cfg)
+	_, err = m.Run(u.Prog, exec.NewState(u.NewMemory()))
+	if err == nil || !strings.Contains(err.Error(), "cycle budget") {
+		t.Fatalf("err = %v, want cycle-budget error", err)
+	}
+}
+
+func TestInvalidProgramRejected(t *testing.T) {
+	p := &isa.Program{Instructions: []isa.Instruction{{Op: isa.AddA, I: 9}}}
+	m := machine.New(simple.New(), machine.DefaultConfig())
+	if _, err := m.Run(p, exec.NewState(nil)); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestInvalidLatenciesRejected(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Lat[isa.UnitMem] = -1
+	m := machine.New(simple.New(), cfg)
+	u, _ := asm.Assemble("halt")
+	if _, err := m.Run(u.Prog, exec.NewState(nil)); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	m := machine.New(simple.New(), machine.Config{})
+	cfg := m.Config()
+	d := machine.DefaultConfig()
+	if cfg.TakenPenalty != d.TakenPenalty || cfg.LoadRegs != d.LoadRegs ||
+		cfg.Lat != d.Lat || cfg.MaxCycles != d.MaxCycles {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+	if m.Engine().Name() != "simple" {
+		t.Fatalf("engine = %q", m.Engine().Name())
+	}
+}
+
+func TestIssueRateZeroCycles(t *testing.T) {
+	var s machine.Stats
+	if s.IssueRate() != 0 {
+		t.Fatal("IssueRate on zero cycles should be 0")
+	}
+}
+
+func TestFaultInjectorSimpleEngineStops(t *testing.T) {
+	u, err := asm.Assemble(`
+    lai A1, 100
+    lds S1, 0(A1)
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(simple.New(), machine.DefaultConfig())
+	m.SetFaultInjector(func(pc int, addr int64) *exec.Trap {
+		return &exec.Trap{Kind: exec.TrapPageFault, PC: pc, Addr: addr}
+	})
+	res, err := m.Run(u.Prog, exec.NewState(u.NewMemory()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap == nil || res.Trap.Kind != exec.TrapPageFault {
+		t.Fatalf("trap = %v", res.Trap)
+	}
+	if res.Precise {
+		t.Fatal("simple engine must report imprecise")
+	}
+}
+
+func TestCustomLatencyAffectsTiming(t *testing.T) {
+	slow := machine.DefaultConfig()
+	slow.Lat[isa.UnitMem] = 20
+	fast := machine.DefaultConfig()
+	fast.Lat[isa.UnitMem] = fu.DefaultLatencies()[isa.UnitMem]
+	src := `
+    lai A1, 100
+    lds S1, 0(A1)
+    fadd S2, S1, S1
+    halt
+`
+	rs, _ := runSrc(t, slow, src)
+	rf, _ := runSrc(t, fast, src)
+	if rs.Stats.Cycles <= rf.Stats.Cycles {
+		t.Fatalf("slow memory (%d cycles) not slower than fast (%d)", rs.Stats.Cycles, rf.Stats.Cycles)
+	}
+}

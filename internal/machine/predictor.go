@@ -1,0 +1,47 @@
+package machine
+
+// Predictor is a Smith-style two-bit saturating-counter branch predictor,
+// indexed by the branch's instruction address — the mechanism the paper's
+// §7 sketch would pair with the RUU's conditional-execution support
+// (branch prediction per Smith, "A Study of Branch Prediction
+// Strategies", ISCA 1981).
+type Predictor struct {
+	table map[int]uint8
+	// InitialTaken selects the counter state for a first-seen branch:
+	// weakly taken when true (loop branches dominate the benchmark set).
+	InitialTaken bool
+}
+
+// NewPredictor returns a predictor whose first-seen branches are weakly
+// predicted taken.
+func NewPredictor() *Predictor {
+	return &Predictor{table: make(map[int]uint8), InitialTaken: true}
+}
+
+func (p *Predictor) counter(pc int) uint8 {
+	if v, ok := p.table[pc]; ok {
+		return v
+	}
+	if p.InitialTaken {
+		return 2 // weakly taken
+	}
+	return 1 // weakly not taken
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc int) bool {
+	return p.counter(pc) >= 2
+}
+
+// Update trains the counter with the branch's architectural outcome.
+func (p *Predictor) Update(pc int, taken bool) {
+	v := p.counter(pc)
+	if taken {
+		if v < 3 {
+			v++
+		}
+	} else if v > 0 {
+		v--
+	}
+	p.table[pc] = v
+}

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictorInitialBias(t *testing.T) {
+	p := NewPredictor()
+	if !p.Predict(10) {
+		t.Fatal("first-seen branch should predict taken (loop bias)")
+	}
+	p.InitialTaken = false
+	if p.Predict(11) {
+		t.Fatal("with InitialTaken=false, first-seen should predict not-taken")
+	}
+}
+
+func TestPredictorSaturation(t *testing.T) {
+	p := NewPredictor()
+	for i := 0; i < 10; i++ {
+		p.Update(1, false)
+	}
+	if p.Predict(1) {
+		t.Fatal("saturated not-taken still predicts taken")
+	}
+	// One taken outcome must not flip a saturated counter.
+	p.Update(1, true)
+	if p.Predict(1) {
+		t.Fatal("single taken flipped a saturated not-taken counter")
+	}
+	p.Update(1, true)
+	if !p.Predict(1) {
+		t.Fatal("two takens should flip to predict taken")
+	}
+}
+
+func TestPredictorHysteresis(t *testing.T) {
+	// The classic 2-bit property: on a loop branch pattern
+	// T T T N | T T T N ..., the predictor mispredicts only the N and
+	// the counter never leaves the taken half.
+	p := NewPredictor()
+	misses := 0
+	for rep := 0; rep < 8; rep++ {
+		for i := 0; i < 4; i++ {
+			taken := i != 3
+			if p.Predict(5) != taken {
+				misses++
+			}
+			p.Update(5, taken)
+		}
+	}
+	if misses != 8 {
+		t.Fatalf("misses = %d, want 8 (exactly the loop exits)", misses)
+	}
+}
+
+func TestPredictorIndependentPCs(t *testing.T) {
+	p := NewPredictor()
+	for i := 0; i < 5; i++ {
+		p.Update(1, false)
+		p.Update(2, true)
+	}
+	if p.Predict(1) || !p.Predict(2) {
+		t.Fatal("per-PC counters interfere")
+	}
+}
+
+// TestPredictorCounterBounds via testing/quick: the counter never leaves
+// [0,3] under any update sequence.
+func TestPredictorCounterBounds(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		p := NewPredictor()
+		for _, o := range outcomes {
+			p.Update(7, o)
+			if c := p.counter(7); c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package progsynth
+
+import (
+	"testing"
+
+	"ruu/internal/isa"
+)
+
+// TestGeneratedProgramsValid: every generated program passes ISA
+// validation.
+func TestGeneratedProgramsValid(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		p := Generate(seed, Options{Nested: true, CondBranches: true})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestGeneratedProgramsTerminate: every generated program halts on the
+// functional executor without trapping, within a modest budget.
+func TestGeneratedProgramsTerminate(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		opts := Options{Nested: true, CondBranches: true}
+		p := Generate(seed, opts)
+		st := NewState(seed, opts)
+		res, err := st.Run(p, 2_000_000, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("seed %d: generated program trapped: %v", seed, res.Trap)
+		}
+		if !st.Halted {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+	}
+}
+
+// TestNeverWritesReservedRegisters: generated bodies never write A6 (the
+// data base) and only the loop scaffolding writes A0.
+func TestNeverWritesReservedRegisters(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		p := Generate(seed, Options{Nested: true, CondBranches: true})
+		for i, ins := range p.Instructions {
+			dst, ok := ins.Dst()
+			if !ok {
+				continue
+			}
+			if dst == isa.A(6) && i > 0 {
+				t.Fatalf("seed %d: instruction %d writes the data base A6: %v", seed, i, ins)
+			}
+			if dst == isa.A(0) {
+				// Only the scaffolding forms are allowed: lai A0, n and
+				// addai A0, A0, -1 and movab A0, B63.
+				okForm := (ins.Op == isa.LoadAImm) ||
+					(ins.Op == isa.AddAImm && ins.J == 0 && ins.Imm == -1) ||
+					(ins.Op == isa.MovAB && ins.Imm == 63)
+				if !okForm {
+					t.Fatalf("seed %d: instruction %d writes A0 outside loop scaffolding: %v", seed, i, ins)
+				}
+			}
+		}
+	}
+}
+
+// TestMemoryAccessesStayInWindow: all generated loads/stores use the A6
+// base with displacements inside the data window.
+func TestMemoryAccessesStayInWindow(t *testing.T) {
+	opts := Options{Nested: true, CondBranches: true, DataWords: 64}
+	for seed := int64(0); seed < 50; seed++ {
+		p := Generate(seed, opts)
+		for i, ins := range p.Instructions {
+			info := ins.Op.Info()
+			if !info.Load && !info.Store {
+				continue
+			}
+			if ins.J != 6 {
+				t.Fatalf("seed %d: mem op %d uses base A%d", seed, i, ins.J)
+			}
+			if ins.Imm < 0 || ins.Imm >= int64(opts.DataWords) {
+				t.Fatalf("seed %d: mem op %d displacement %d outside window", seed, i, ins.Imm)
+			}
+		}
+	}
+}
+
+// TestStateDeterminism: equal seeds give equal data windows.
+func TestStateDeterminism(t *testing.T) {
+	a := NewState(9, Options{})
+	b := NewState(9, Options{})
+	if d := a.Mem.FirstDiff(b.Mem); d >= 0 {
+		t.Fatalf("states differ at %d", d)
+	}
+	c := NewState(10, Options{})
+	if d := a.Mem.FirstDiff(c.Mem); d < 0 {
+		t.Fatal("different seeds give identical data (suspicious)")
+	}
+}
+
+// TestOptionsBoundsRespected: programs without nesting or conditional
+// branches contain only backward loop branches.
+func TestOptionsBoundsRespected(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := Generate(seed, Options{Nested: false, CondBranches: false})
+		for i, ins := range p.Instructions {
+			if ins.Op.IsBranch() && int(ins.Imm) > i {
+				t.Fatalf("seed %d: forward branch at %d with CondBranches off", seed, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package report renders the experiment tables in the paper's layout, as
+// plain text or markdown.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and columns.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; values are formatted with %v (floats with %0.3f).
+func (t *Table) Add(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(w) && len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	return w
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) {
+	widths := t.widths()
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sep strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+			sep.WriteString("  ")
+		}
+		fmt.Fprintf(w, "%-*s", widths[i], c)
+		sep.WriteString(strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintf(w, "\n%s\n", sep.String())
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteMarkdown renders the table as GitHub-flavoured markdown.
+func (t *Table) WriteMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+	}
+}
+
+// WriteCSV renders the table as comma-separated values with a comment
+// line for the title (for plotting scripts).
+func (t *Table) WriteCSV(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteText(&b)
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Sample", "Name", "Count", "Rate")
+	t.Add("alpha", 12, 0.5)
+	t.Add("beta-long-name", 3456, 1.25)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	sample().WriteText(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Sample" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "Name") || !strings.Contains(lines[1], "Rate") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Floats use three decimals.
+	if !strings.Contains(out, "0.500") || !strings.Contains(out, "1.250") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	// Columns align: every data row has the second column starting at the
+	// same offset as the header's.
+	hdrIdx := strings.Index(lines[1], "Count")
+	if idx := strings.Index(lines[3], "12"); idx != hdrIdx {
+		t.Errorf("column misaligned: %d vs %d\n%s", idx, hdrIdx, out)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	sample().WriteMarkdown(&b)
+	out := b.String()
+	if !strings.HasPrefix(out, "**Sample**") {
+		t.Errorf("markdown title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| Name | Count | Rate |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- | --- |") {
+		t.Errorf("markdown separator missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| alpha | 12 | 0.500 |") {
+		t.Errorf("markdown row missing:\n%s", out)
+	}
+}
+
+func TestStringAndUntitled(t *testing.T) {
+	tb := New("", "A")
+	tb.Add(1)
+	s := tb.String()
+	if strings.HasPrefix(s, "\n") {
+		t.Errorf("untitled table starts with a blank line: %q", s)
+	}
+	if !strings.Contains(s, "A") || !strings.Contains(s, "1") {
+		t.Errorf("content missing: %q", s)
+	}
+}

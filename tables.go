@@ -1,0 +1,340 @@
+package ruu
+
+import (
+	"fmt"
+
+	"ruu/internal/machine"
+
+	"ruu/internal/livermore"
+)
+
+// This file is the experiment harness: it regenerates every table of the
+// paper's evaluation (and this reproduction's extension/ablation tables)
+// from scratch. See DESIGN.md §3 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured results.
+
+// KernelRun is the outcome of one kernel under one configuration.
+type KernelRun struct {
+	Kernel       string
+	Instructions int64
+	Cycles       int64
+}
+
+// IssueRate returns instructions per cycle.
+func (k KernelRun) IssueRate() float64 {
+	if k.Cycles == 0 {
+		return 0
+	}
+	return float64(k.Instructions) / float64(k.Cycles)
+}
+
+// RunKernels executes every Livermore kernel under cfg, verifying each
+// final state against both the functional reference and the kernel's Go
+// mirror (an experiment that produces wrong answers is not an
+// experiment).
+func RunKernels(cfg Config) ([]KernelRun, error) {
+	var out []KernelRun
+	for _, k := range livermore.Kernels() {
+		r, err := runKernel(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runKernel(cfg Config, k *livermore.Kernel) (KernelRun, error) {
+	u, err := k.Unit()
+	if err != nil {
+		return KernelRun{}, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	st, err := k.NewState()
+	if err != nil {
+		return KernelRun{}, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return KernelRun{}, err
+	}
+	res, err := m.Run(u.Prog, st)
+	if err != nil {
+		return KernelRun{}, fmt.Errorf("%s: %w", k.Name, err)
+	}
+	if res.Trap != nil {
+		return KernelRun{}, fmt.Errorf("%s: unexpected trap %v", k.Name, res.Trap)
+	}
+	if err := k.Verify(st); err != nil {
+		return KernelRun{}, fmt.Errorf("%s: wrong answer under %s: %w", k.Name, cfg.Engine, err)
+	}
+	return KernelRun{Kernel: k.Name, Instructions: res.Stats.Instructions, Cycles: res.Stats.Cycles}, nil
+}
+
+// Totals sums a run set, computing the aggregate issue rate the way the
+// paper does: total instructions over total cycles, not a mean of rates.
+func Totals(runs []KernelRun) KernelRun {
+	t := KernelRun{Kernel: "Total"}
+	for _, r := range runs {
+		t.Instructions += r.Instructions
+		t.Cycles += r.Cycles
+	}
+	return t
+}
+
+// Table1Row is one row of Table 1: baseline statistics per kernel.
+type Table1Row struct {
+	Kernel       string
+	Instructions int64
+	Cycles       int64
+	IssueRate    float64
+}
+
+// Table1 reproduces Table 1: the simple issue mechanism on each of the
+// 14 kernels, plus the total.
+func Table1() ([]Table1Row, error) {
+	runs, err := RunKernels(Config{Engine: EngineSimple})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(runs)+1)
+	for _, r := range runs {
+		rows = append(rows, Table1Row{r.Kernel, r.Instructions, r.Cycles, r.IssueRate()})
+	}
+	t := Totals(runs)
+	rows = append(rows, Table1Row{t.Kernel, t.Instructions, t.Cycles, t.IssueRate()})
+	return rows, nil
+}
+
+// SpeedupRow is one row of the size-sweep tables (Tables 2-7): an entry
+// count, the speedup relative to simple issue (total cycles ratio over
+// the whole kernel suite), and the aggregate instruction issue rate.
+type SpeedupRow struct {
+	Entries   int
+	Speedup   float64
+	IssueRate float64
+}
+
+// Sweep runs the kernel suite at each entry count, with cfg as the
+// template (its Entries field is overwritten), and reports speedups
+// relative to the simple baseline.
+func Sweep(cfg Config, sizes []int) ([]SpeedupRow, error) {
+	base, err := RunKernels(Config{Engine: EngineSimple, Machine: cfg.Machine})
+	if err != nil {
+		return nil, err
+	}
+	baseTotal := Totals(base)
+	rows := make([]SpeedupRow, 0, len(sizes))
+	for _, n := range sizes {
+		c := cfg
+		c.Entries = n
+		runs, err := RunKernels(c)
+		if err != nil {
+			return nil, fmt.Errorf("entries=%d: %w", n, err)
+		}
+		t := Totals(runs)
+		rows = append(rows, SpeedupRow{
+			Entries:   n,
+			Speedup:   float64(baseTotal.Cycles) / float64(t.Cycles),
+			IssueRate: t.IssueRate(),
+		})
+	}
+	return rows, nil
+}
+
+// The paper's sweep sizes.
+var (
+	// RSTUSizes are the entry counts of Tables 2 and 3.
+	RSTUSizes = []int{3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25, 30}
+	// RUUSizes are the entry counts of Tables 4, 5 and 6.
+	RUUSizes = []int{3, 4, 6, 8, 10, 12, 15, 20, 25, 30, 40, 50}
+)
+
+// Table2 reproduces Table 2: RSTU speedup and issue rate, one dispatch
+// path.
+func Table2() ([]SpeedupRow, error) {
+	return Sweep(Config{Engine: EngineRSTU}, RSTUSizes)
+}
+
+// Table3 reproduces Table 3: RSTU with two dispatch paths (one issue
+// unit, one result bus, one path to the register file).
+func Table3() ([]SpeedupRow, error) {
+	return Sweep(Config{Engine: EngineRSTU, Paths: 2}, RSTUSizes)
+}
+
+// Table4 reproduces Table 4: RUU with bypass logic.
+func Table4() ([]SpeedupRow, error) {
+	return Sweep(Config{Engine: EngineRUU, Bypass: BypassFull}, RUUSizes)
+}
+
+// Table5 reproduces Table 5: RUU without bypass logic.
+func Table5() ([]SpeedupRow, error) {
+	return Sweep(Config{Engine: EngineRUU, Bypass: BypassNone}, RUUSizes)
+}
+
+// Table6 reproduces Table 6: RUU with limited bypass logic (the A
+// register file duplicated as a future file).
+func Table6() ([]SpeedupRow, error) {
+	return Sweep(Config{Engine: EngineRUU, Bypass: BypassLimited}, RUUSizes)
+}
+
+// Table7 is this reproduction's extension experiment (the paper's §7
+// future work): the RUU with branch prediction and conditional execution.
+func Table7() ([]SpeedupRow, error) {
+	cfg := Config{Engine: EngineRUU, Bypass: BypassFull}
+	cfg.Machine.Speculate = true
+	return Sweep(cfg, RUUSizes)
+}
+
+// AblationRow is one row of an ablation table.
+type AblationRow struct {
+	Label     string
+	Speedup   float64
+	IssueRate float64
+}
+
+// AblationRSOrganisation compares the reservation-station organisations
+// of §3.1-§3.2.3 at matched total station counts (A1 in DESIGN.md).
+func AblationRSOrganisation() ([]AblationRow, error) {
+	base, err := RunKernels(Config{Engine: EngineSimple})
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := Totals(base).Cycles
+	cfgs := []struct {
+		label string
+		cfg   Config
+	}{
+		{"tomasulo (2/unit, per-register tags)", Config{Engine: EngineTomasulo, Entries: 2}},
+		{"tag unit (2/unit, TU=20)", Config{Engine: EngineTagUnit, Entries: 2, TagUnitSize: 20}},
+		{"RS pool (10, TU=20)", Config{Engine: EngineRSPool, Entries: 10, TagUnitSize: 20}},
+		{"RSTU (10)", Config{Engine: EngineRSTU, Entries: 10}},
+		{"RSTU (20)", Config{Engine: EngineRSTU, Entries: 20}},
+		{"RUU (10, bypass)", Config{Engine: EngineRUU, Entries: 10, Bypass: BypassFull}},
+		{"RUU (20, bypass)", Config{Engine: EngineRUU, Entries: 20, Bypass: BypassFull}},
+	}
+	var rows []AblationRow
+	for _, c := range cfgs {
+		runs, err := RunKernels(c.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.label, err)
+		}
+		t := Totals(runs)
+		rows = append(rows, AblationRow{c.label, float64(baseCycles) / float64(t.Cycles), t.IssueRate()})
+	}
+	return rows, nil
+}
+
+// AblationPreciseSchemes compares the precise-interrupt design space the
+// paper's §4-§5 argue about (A4 in DESIGN.md): in-order issue with the
+// Smith & Pleszkun reorder-buffer schemes against the RUU, which gets
+// out-of-order issue and preciseness from one structure.
+func AblationPreciseSchemes(size int) ([]AblationRow, error) {
+	base, err := RunKernels(Config{Engine: EngineSimple})
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := Totals(base).Cycles
+	cfgs := []struct {
+		label string
+		cfg   Config
+	}{
+		{"simple issue (in-order, imprecise)", Config{Engine: EngineSimple}},
+		{"reorder buffer (in-order, precise)", Config{Engine: EngineReorder, Entries: size}},
+		{"reorder buffer + bypass", Config{Engine: EngineReorderBypass, Entries: size}},
+		{"reorder buffer + future file", Config{Engine: EngineReorderFuture, Entries: size}},
+		{"RSTU (out-of-order, imprecise)", Config{Engine: EngineRSTU, Entries: size}},
+		{"RUU with bypass (out-of-order, precise)", Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull}},
+	}
+	var rows []AblationRow
+	for _, c := range cfgs {
+		runs, err := RunKernels(c.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.label, err)
+		}
+		t := Totals(runs)
+		rows = append(rows, AblationRow{c.label, float64(baseCycles) / float64(t.Cycles), t.IssueRate()})
+	}
+	return rows, nil
+}
+
+// AblationInstructionBuffers checks the paper's assumption (iii) — "the
+// instructions are already present in the instruction buffers" — by
+// enabling the CRAY-1-style buffer fetch model (A5 in DESIGN.md): with
+// CRAY-sized buffers the kernels incur only cold fills and the speedups
+// are unchanged; with tiny buffers the loops thrash.
+func AblationInstructionBuffers(size int) ([]AblationRow, error) {
+	base, err := RunKernels(Config{Engine: EngineSimple})
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := Totals(base).Cycles
+	cfgs := []struct {
+		label string
+		mcfg  machine.Config
+	}{
+		{"ideal fetch (the paper's assumption)", machine.Config{}},
+		{"4 x 64-parcel buffers (CRAY-1)", machine.Config{InstructionBuffers: true, IBufCount: 4, IBufParcels: 64}},
+		{"4 x 16-parcel buffers", machine.Config{InstructionBuffers: true, IBufCount: 4, IBufParcels: 16}},
+		{"2 x 8-parcel buffers", machine.Config{InstructionBuffers: true, IBufCount: 2, IBufParcels: 8}},
+	}
+	var rows []AblationRow
+	for _, c := range cfgs {
+		cfg := Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull, Machine: c.mcfg}
+		runs, err := RunKernels(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c.label, err)
+		}
+		t := Totals(runs)
+		rows = append(rows, AblationRow{c.label, float64(baseCycles) / float64(t.Cycles), t.IssueRate()})
+	}
+	return rows, nil
+}
+
+// AblationCounterWidth sweeps the NI/LI counter width n (the paper used
+// 3 bits, noting 7 instances always sufficed) at a fixed RUU size (A2).
+func AblationCounterWidth(size int) ([]AblationRow, error) {
+	base, err := RunKernels(Config{Engine: EngineSimple})
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := Totals(base).Cycles
+	var rows []AblationRow
+	for bits := 1; bits <= 4; bits++ {
+		cfg := Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull, CounterBits: bits}
+		runs, err := RunKernels(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bits=%d: %w", bits, err)
+		}
+		t := Totals(runs)
+		rows = append(rows, AblationRow{
+			fmt.Sprintf("n=%d (max %d instances)", bits, (1<<bits)-1),
+			float64(baseCycles) / float64(t.Cycles), t.IssueRate(),
+		})
+	}
+	return rows, nil
+}
+
+// AblationLoadRegs sweeps the number of load registers (the paper used 6,
+// noting 4 sufficed for most cases) at a fixed RUU size (A3).
+func AblationLoadRegs(size int) ([]AblationRow, error) {
+	base, err := RunKernels(Config{Engine: EngineSimple})
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := Totals(base).Cycles
+	var rows []AblationRow
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		cfg := Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull}
+		cfg.Machine.LoadRegs = n
+		runs, err := RunKernels(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadregs=%d: %w", n, err)
+		}
+		t := Totals(runs)
+		rows = append(rows, AblationRow{
+			fmt.Sprintf("%d load registers", n),
+			float64(baseCycles) / float64(t.Cycles), t.IssueRate(),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,230 @@
+package ruu_test
+
+import (
+	"testing"
+
+	"ruu"
+)
+
+// These tests pin the paper's qualitative results — the shape of every
+// table — so that a regression in any engine's timing model is caught:
+// who wins, by roughly what factor, and where the crossovers fall.
+
+const eps = 1e-9
+
+func sweep(t *testing.T, f func() ([]ruu.SpeedupRow, error)) []ruu.SpeedupRow {
+	t.Helper()
+	rows, err := f()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	return rows
+}
+
+func at(t *testing.T, rows []ruu.SpeedupRow, n int) ruu.SpeedupRow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Entries == n {
+			return r
+		}
+	}
+	t.Fatalf("no row for %d entries", n)
+	return ruu.SpeedupRow{}
+}
+
+func TestTable1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	rows, err := ruu.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("%d rows, want 14 kernels + total", len(rows))
+	}
+	var sumI, sumC int64
+	for _, r := range rows[:14] {
+		sumI += r.Instructions
+		sumC += r.Cycles
+		// The paper's regime: well below the 1/cycle limit, above 0.2.
+		if r.IssueRate < 0.2 || r.IssueRate > 0.6 {
+			t.Errorf("%s: baseline issue rate %.3f outside [0.2, 0.6]", r.Kernel, r.IssueRate)
+		}
+	}
+	total := rows[14]
+	if total.Instructions != sumI || total.Cycles != sumC {
+		t.Error("total row is not the sum of the kernels")
+	}
+	if total.IssueRate < 0.25 || total.IssueRate > 0.55 {
+		t.Errorf("aggregate baseline rate %.3f outside the paper's regime (~0.44)", total.IssueRate)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	rows := sweep(t, ruu.Table2)
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup < rows[i-1].Speedup-0.02 {
+			t.Errorf("RSTU speedup not monotone: %d->%d: %.3f -> %.3f",
+				rows[i-1].Entries, rows[i].Entries, rows[i-1].Speedup, rows[i].Speedup)
+		}
+	}
+	small, sat := at(t, rows, 3), at(t, rows, 30)
+	if small.Speedup > 1.30 {
+		t.Errorf("RSTU@3 speedup %.3f: a 3-entry RSTU should barely beat simple issue (paper: 0.965)", small.Speedup)
+	}
+	if sat.Speedup < 1.55 || sat.Speedup > 2.05 {
+		t.Errorf("RSTU@30 speedup %.3f outside the paper's band (~1.82)", sat.Speedup)
+	}
+	// Saturation: the last two sizes within 2%.
+	if prev := at(t, rows, 25); sat.Speedup > prev.Speedup*1.02 {
+		t.Errorf("RSTU not saturated by 25-30 entries: %.3f -> %.3f", prev.Speedup, sat.Speedup)
+	}
+}
+
+func TestTable3SecondPathBarelyHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	t2 := sweep(t, ruu.Table2)
+	t3 := sweep(t, ruu.Table3)
+	for i := range t2 {
+		if t3[i].Speedup < t2[i].Speedup-0.02 {
+			t.Errorf("entries=%d: 2 paths slower (%.3f) than 1 (%.3f)", t2[i].Entries, t3[i].Speedup, t2[i].Speedup)
+		}
+		// The paper's "reservoir" argument: the second path adds at most
+		// a few percent because decode fills at 1 instruction/cycle.
+		if t3[i].Speedup > t2[i].Speedup*1.06 {
+			t.Errorf("entries=%d: second path helps too much: %.3f vs %.3f",
+				t2[i].Entries, t3[i].Speedup, t2[i].Speedup)
+		}
+	}
+}
+
+func TestTables456BypassOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	full := sweep(t, ruu.Table4)
+	none := sweep(t, ruu.Table5)
+	lim := sweep(t, ruu.Table6)
+	for i := range full {
+		n := full[i].Entries
+		if n < 8 {
+			continue // below ~8 entries the organisations are within noise
+		}
+		if !(full[i].Speedup+eps >= lim[i].Speedup && lim[i].Speedup+eps >= none[i].Speedup) {
+			t.Errorf("entries=%d: bypass ordering violated: full=%.3f limited=%.3f none=%.3f",
+				n, full[i].Speedup, lim[i].Speedup, none[i].Speedup)
+		}
+	}
+	// Large-RUU magnitudes.
+	f50, n50, l50 := at(t, full, 50), at(t, none, 50), at(t, lim, 50)
+	if f50.Speedup < 1.5 || f50.Speedup > 1.95 {
+		t.Errorf("RUU+bypass@50 speedup %.3f outside the paper's band (~1.79)", f50.Speedup)
+	}
+	if n50.Speedup > f50.Speedup-0.2 {
+		t.Errorf("no-bypass penalty too small: %.3f vs %.3f", n50.Speedup, f50.Speedup)
+	}
+	if l50.Speedup < n50.Speedup+0.1 {
+		t.Errorf("limited bypass recovers too little: %.3f vs none %.3f", l50.Speedup, n50.Speedup)
+	}
+	// A tiny RUU runs slower than simple issue (paper: 0.853 at 3).
+	if f3 := at(t, full, 3); f3.Speedup > 1.05 {
+		t.Errorf("RUU@3 speedup %.3f; expected <= ~1 (paper: 0.853)", f3.Speedup)
+	}
+}
+
+func TestTable4ApproachesRSTU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	// The paper's headline: the RUU with bypass, while also providing
+	// precise interrupts, comes close to the (imprecise) RSTU at larger
+	// sizes.
+	rstu := at(t, sweep(t, ruu.Table2), 30)
+	ruuF := at(t, sweep(t, ruu.Table4), 50)
+	if ruuF.Speedup < rstu.Speedup*0.90 {
+		t.Errorf("RUU@50 (%.3f) not within 10%% of RSTU@30 (%.3f)", ruuF.Speedup, rstu.Speedup)
+	}
+}
+
+func TestTable7SpeculationBeatsTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	base := sweep(t, ruu.Table4)
+	spec := sweep(t, ruu.Table7)
+	b, s := at(t, base, 20), at(t, spec, 20)
+	if s.Speedup <= b.Speedup {
+		t.Errorf("speculation (%.3f) does not beat blocking branches (%.3f) at 20 entries", s.Speedup, b.Speedup)
+	}
+}
+
+func TestAblationCounterWidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	rows, err := ruu.AblationCounterWidth(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// n=1 (single instance) must cost performance; n=3 vs n=4 must not
+	// differ (the paper: 7 instances always sufficed).
+	if rows[0].Speedup >= rows[2].Speedup {
+		t.Errorf("1-bit counters (%.3f) not slower than 3-bit (%.3f)", rows[0].Speedup, rows[2].Speedup)
+	}
+	if d := rows[3].Speedup - rows[2].Speedup; d > 0.01 || d < -0.01 {
+		t.Errorf("4-bit counters change performance (%.3f vs %.3f): 7 instances should suffice", rows[3].Speedup, rows[2].Speedup)
+	}
+}
+
+func TestAblationLoadRegs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	rows, err := ruu.AblationLoadRegs(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 load register must hurt; 6 vs 8 must not matter (the paper used
+	// 6, noting 4 sufficed for most cases).
+	first, six, eight := rows[0], rows[4], rows[5]
+	if first.Speedup >= six.Speedup {
+		t.Errorf("1 load register (%.3f) not slower than 6 (%.3f)", first.Speedup, six.Speedup)
+	}
+	if d := eight.Speedup - six.Speedup; d > 0.01 || d < -0.01 {
+		t.Errorf("8 load registers change performance (%.3f vs %.3f)", eight.Speedup, six.Speedup)
+	}
+}
+
+func TestAblationRSOrganisation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	rows, err := ruu.AblationRSOrganisation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]float64{}
+	for _, r := range rows {
+		by[r.Label] = r.Speedup
+	}
+	if by["RSTU (20)"] <= by["RSTU (10)"]-0.02 {
+		t.Errorf("RSTU 20 (%.3f) not >= RSTU 10 (%.3f)", by["RSTU (20)"], by["RSTU (10)"])
+	}
+	// The RUU pays a modest price for precise interrupts relative to the
+	// RSTU at equal size, but stays within 20%.
+	if by["RUU (20, bypass)"] < by["RSTU (20)"]*0.8 {
+		t.Errorf("RUU 20 (%.3f) too far below RSTU 20 (%.3f)", by["RUU (20, bypass)"], by["RSTU (20)"])
+	}
+}
