@@ -177,6 +177,22 @@ func benchKernelEngine(b *testing.B, cfg ruu.Config) {
 	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
 }
 
+// BenchmarkProbeOverhead compares a kernel run with no probe attached
+// (the nil fast path) against the same run feeding the metrics
+// collector, so the cost of observability is a visible benchmark delta
+// rather than a silent regression.
+func BenchmarkProbeOverhead(b *testing.B) {
+	for _, mode := range []string{"off", "metrics"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := ruu.Config{Engine: ruu.EngineRUU, Entries: 12}
+			if mode == "metrics" {
+				cfg.Machine.Probe = ruu.NewMetricsCollector()
+			}
+			benchKernelEngine(b, cfg)
+		})
+	}
+}
+
 // BenchmarkFunctionalExecutor measures the golden-reference interpreter.
 func BenchmarkFunctionalExecutor(b *testing.B) {
 	k := livermore.ByName("LLL3")

@@ -8,6 +8,9 @@
 //	ruusim -engine rstu -entries 20 -kernel LLL5
 //	ruusim -engine ruu -bypass none prog.s       # assembly file
 //	ruusim -speculate -kernel LLL3               # §7 conditional execution
+//	ruusim -kernel LLL1 -trace-out t.json        # Perfetto-loadable trace
+//	ruusim -kernel LLL1 -metrics                 # occupancy/residency tables
+//	ruusim -kernel LLL1 -pipetrace 40            # textual pipeline timeline
 //	ruusim -list                                 # list built-in kernels
 package main
 
@@ -25,20 +28,6 @@ import (
 	"ruu/internal/machine"
 )
 
-// limitWriter passes through the first N lines and drops the rest.
-type limitWriter struct {
-	w     *os.File
-	lines int
-}
-
-func (lw *limitWriter) Write(p []byte) (int, error) {
-	if lw.lines <= 0 {
-		return len(p), nil
-	}
-	lw.lines--
-	return lw.w.Write(p)
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ruusim: ")
@@ -53,7 +42,9 @@ func main() {
 		kernel    = flag.String("kernel", "", "run a built-in Livermore kernel (LLL1..LLL14)")
 		list      = flag.Bool("list", false, "list built-in kernels")
 		verify    = flag.Bool("verify", true, "check the final state against the functional reference")
-		pipetrace = flag.Int("pipetrace", 0, "print a per-cycle pipeline trace for the first N cycles")
+		pipetrace = flag.Int("pipetrace", 0, "print a pipeline timeline for the first N committed instructions")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in Perfetto)")
+		metrics   = flag.Bool("metrics", false, "print occupancy/residency/stall tables after the run")
 		ibuf      = flag.Bool("ibuf", false, "model CRAY-1-style instruction buffers instead of ideal fetch")
 		jsonOut   = flag.Bool("json", false, "emit the run statistics as JSON")
 	)
@@ -100,16 +91,50 @@ func main() {
 		log.Fatal("need -kernel NAME or an assembly file argument (-h for help)")
 	}
 
+	// Observability consumers: each is a probe on the same event stream.
+	disasm := ruu.Disasm(unit)
+	var probes []ruu.Probe
+	var mc *ruu.MetricsCollector
+	if *metrics || *jsonOut {
+		mc = ruu.NewMetricsCollector()
+		probes = append(probes, mc)
+	}
+	var tracer *ruu.ChromeTracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tracer = ruu.NewChromeTracer(traceFile)
+		tracer.SetDisasm(disasm)
+		probes = append(probes, tracer)
+	}
+	var viewer *ruu.PipeViewer
+	if *pipetrace > 0 {
+		// Keep stdout machine-readable under -json: the timeline moves
+		// to stderr.
+		vout := os.Stdout
+		if *jsonOut {
+			vout = os.Stderr
+		}
+		viewer = ruu.NewPipeViewer(vout, *pipetrace)
+		viewer.SetDisasm(disasm)
+		probes = append(probes, viewer)
+	}
+
 	cfg := ruu.Config{
 		Engine:      ruu.EngineKind(*engine),
 		Entries:     *entries,
 		Paths:       *paths,
 		Bypass:      ruu.BypassKind(*bypass),
 		CounterBits: *counter,
-		Machine:     machine.Config{LoadRegs: *loadRegs, Speculate: *speculate, InstructionBuffers: *ibuf},
-	}
-	if *pipetrace > 0 {
-		cfg.Machine.Trace = &limitWriter{w: os.Stdout, lines: *pipetrace}
+		Machine: machine.Config{
+			LoadRegs:           *loadRegs,
+			Speculate:          *speculate,
+			InstructionBuffers: *ibuf,
+			Probe:              ruu.CombineProbes(probes...),
+		},
 	}
 	m, err := ruu.NewMachine(cfg)
 	if err != nil {
@@ -122,6 +147,20 @@ func main() {
 	}
 
 	res, err := m.Run(unit.Prog, st)
+	if viewer != nil {
+		if cerr := viewer.Close(); cerr != nil {
+			log.Printf("pipetrace: %v", cerr)
+		}
+	}
+	if tracer != nil {
+		cerr := tracer.Close()
+		if cerr == nil {
+			cerr = traceFile.Close()
+		}
+		if cerr != nil {
+			log.Fatalf("trace-out: %v", cerr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -131,9 +170,30 @@ func main() {
 
 	if *jsonOut {
 		out := struct {
-			Engine string        `json:"engine"`
-			Stats  machine.Stats `json:"stats"`
-		}{m.Engine().Name(), res.Stats}
+			Engine       string             `json:"engine"`
+			Cycles       int64              `json:"cycles"`
+			Instructions int64              `json:"instructions"`
+			IssueRate    float64            `json:"issue_rate"`
+			Branches     int64              `json:"branches"`
+			Taken        int64              `json:"taken"`
+			Mispredicts  int64              `json:"mispredicts,omitempty"`
+			MaxInFlight  int                `json:"max_in_flight"`
+			IBufMisses   int64              `json:"ibuf_misses,omitempty"`
+			Stalls       map[string]int64   `json:"stalls"`
+			Metrics      ruu.MetricsSummary `json:"metrics"`
+		}{
+			Engine:       m.Engine().Name(),
+			Cycles:       res.Stats.Cycles,
+			Instructions: res.Stats.Instructions,
+			IssueRate:    res.Stats.IssueRate(),
+			Branches:     res.Stats.Branches,
+			Taken:        res.Stats.Taken,
+			Mispredicts:  res.Stats.Mispredicts,
+			MaxInFlight:  res.Stats.MaxInFlight,
+			IBufMisses:   res.Stats.IBufMisses,
+			Stalls:       res.Stats.StallsByName(),
+			Metrics:      mc.Summary(),
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -162,6 +222,16 @@ func main() {
 		}
 	}
 	fmt.Println()
+	if *traceOut != "" {
+		fmt.Printf("trace         : %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+
+	if mc != nil && *metrics {
+		for _, t := range mc.Tables() {
+			fmt.Println()
+			t.WriteText(os.Stdout)
+		}
+	}
 
 	if *verify {
 		ok := true

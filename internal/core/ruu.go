@@ -35,6 +35,7 @@ import (
 	"ruu/internal/isa"
 	"ruu/internal/issue"
 	"ruu/internal/memsys"
+	"ruu/internal/obs"
 )
 
 // Bypass selects the RUU's operand-bypass organisation.
@@ -118,6 +119,7 @@ const (
 type slot struct {
 	used       bool
 	seq        int64
+	id         int64 // dynamic-instruction id (observability)
 	pc         int
 	ins        isa.Instruction
 	issueCycle int64
@@ -270,6 +272,7 @@ func (u *RUU) broadcastResults(c int64) {
 			continue // squashed while in flight; discard the result
 		}
 		s.executed = true
+		u.ctx.Observe(obs.KindWriteback, c, s.id, s.pc)
 		if s.hasDest {
 			u.deliver(p.cycle, s.dest, s.destInst, s.result)
 			u.cycleEvents = append(u.cycleEvents, busEvent{int16(s.dest.Flat()), s.destInst, s.result})
@@ -305,7 +308,7 @@ func (u *RUU) deliver(c int64, r isa.Reg, inst uint8, v int64) {
 			s.readyAt = c
 		}
 		if s.isBranch && !s.resolved && s.op1.ready {
-			u.resolveBranch(pos, s)
+			u.resolveBranch(c, pos, s)
 		}
 	})
 }
@@ -367,6 +370,7 @@ func (u *RUU) commit(c int64) {
 				u.comMispredicts++
 			}
 		}
+		u.ctx.Observe(obs.KindCommit, c, s.id, s.pc)
 		*s = slot{}
 		u.head = (u.head + 1) % u.cfg.Size
 		u.count--
@@ -415,6 +419,8 @@ func (u *RUU) Dispatch(c int64) {
 		}
 		s.result = exec.ALU(s.ins, s.op1.value, s.op2.value)
 		s.dispatched = true
+		u.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+		u.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
 		u.pending = append(u.pending, pendingResult{c + lat, pos, s.seq})
 		budget--
 	})
@@ -476,6 +482,8 @@ func (u *RUU) advanceMemFrontier(c int64) {
 		}
 		s.result = v
 		s.dispatched = true
+		u.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+		u.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
 		u.pending = append(u.pending, pendingResult{c + lat, pos, s.seq})
 	}
 }
@@ -491,6 +499,9 @@ func (u *RUU) tryMemOp(c int64, pos int, s *slot) bool {
 		u.ctx.LoadRegs.SetData(s.binding, s.op2.value)
 		s.dispatched = true
 		s.executed = true
+		u.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+		u.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
+		u.ctx.Observe(obs.KindWriteback, c, s.id, s.pc)
 		return true
 	}
 	// Load: only forwarded loads reach here (memory-bound loads dispatch
@@ -505,6 +516,8 @@ func (u *RUU) tryMemOp(c int64, pos int, s *slot) bool {
 	}
 	s.result = v
 	s.dispatched = true
+	u.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+	u.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
 	u.pending = append(u.pending, pendingResult{c + lat, pos, s.seq})
 	return true
 }
@@ -575,6 +588,7 @@ func (u *RUU) issueSlot(c int64, pc int, ins isa.Instruction, custom func(*slot)
 	s := slot{
 		used:       true,
 		seq:        u.nextSeq,
+		id:         u.ctx.DecodeID,
 		pc:         pc,
 		ins:        ins,
 		issueCycle: c,
@@ -624,6 +638,13 @@ func (u *RUU) issueSlot(c int64, pc int, ins isa.Instruction, custom func(*slot)
 	u.nextSeq++
 	if s.phase == memUnbound {
 		u.memQueue = append(u.memQueue, pos)
+	}
+	u.ctx.Observe(obs.KindIssue, c, s.id, s.pc)
+	if s.executed {
+		// NOPs and explicit traps complete at issue: give them a full
+		// (degenerate) stage timeline.
+		u.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
+		u.ctx.Observe(obs.KindWriteback, c, s.id, s.pc)
 	}
 	return issue.StallNone
 }

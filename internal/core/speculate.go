@@ -6,6 +6,7 @@ import (
 	"ruu/internal/exec"
 	"ruu/internal/isa"
 	"ruu/internal/issue"
+	"ruu/internal/obs"
 )
 
 // This file implements the paper's §7 extension: conditional execution of
@@ -44,17 +45,19 @@ func (u *RUU) IssueBranch(c int64, pc int, ins isa.Instruction, predictTaken boo
 	pos := (u.tail - 1 + u.cfg.Size) % u.cfg.Size
 	s := &u.slots[pos]
 	if s.op1.ready && !s.resolved {
-		u.resolveBranch(pos, s)
+		u.resolveBranch(c, pos, s)
 	}
 	return int(issuedSeq), issue.StallNone
 }
 
 // resolveBranch computes the branch's architectural direction, records
 // the outcome, and — on a misprediction — squashes every younger entry.
-func (u *RUU) resolveBranch(pos int, s *slot) {
+func (u *RUU) resolveBranch(c int64, pos int, s *slot) {
 	taken := exec.BranchTaken(s.ins.Op, s.op1.value)
 	s.resolved = true
 	s.executed = true
+	u.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
+	u.ctx.Observe(obs.KindWriteback, c, s.id, s.pc)
 	s.taken = taken
 	target := int(s.ins.Imm)
 	if !taken {
@@ -73,7 +76,7 @@ func (u *RUU) resolveBranch(pos int, s *slot) {
 	})
 	if mispredicted {
 		s.mispredicted = true
-		u.squashAfter(pos, s.seq)
+		u.squashAfter(c, pos, s.seq)
 	}
 }
 
@@ -84,7 +87,7 @@ func (u *RUU) resolveBranch(pos int, s *slot) {
 // of squashed branches are discarded. Pending functional-unit results of
 // squashed entries are discarded when they arrive (their result-bus
 // reservations stand — the bus cycle is genuinely consumed).
-func (u *RUU) squashAfter(pos int, seq int64) {
+func (u *RUU) squashAfter(c int64, pos int, seq int64) {
 	// Collect younger positions from the slot after pos to the tail.
 	var victims []int
 	for p := (pos + 1) % u.cfg.Size; p != u.tail; p = (p + 1) % u.cfg.Size {
@@ -112,6 +115,7 @@ func (u *RUU) squashAfter(pos int, seq int64) {
 		if s.binding.Valid() {
 			u.ctx.LoadRegs.Squash(s.binding)
 		}
+		u.ctx.Observe(obs.KindSquash, c, s.id, s.pc)
 		*s = slot{}
 		u.count--
 	}

@@ -11,6 +11,7 @@ import (
 	"ruu/internal/fu"
 	"ruu/internal/isa"
 	"ruu/internal/memsys"
+	"ruu/internal/obs"
 )
 
 // Context carries the substrate shared by the machine loop and the
@@ -29,6 +30,49 @@ type Context struct {
 	// operation accesses memory and may veto the access with a synthetic
 	// trap (test support for the precise-interrupt experiments).
 	Inject func(pc int, addr int64) *exec.Trap
+	// Probe, when non-nil, receives pipeline lifecycle events from the
+	// machine loop and the engine. The emission helpers below branch on
+	// nil and allocate nothing, so a run without a probe pays only a
+	// predicted-not-taken branch per would-be event.
+	Probe obs.Probe
+	// DecodeID is the dynamic-instruction id of the instruction
+	// currently offered to the engine. The machine assigns ids at fetch
+	// and sets this before TryIssue/IssueBranch; engines record it in
+	// the accepted entry so later lifecycle events identify the same
+	// dynamic instruction.
+	DecodeID int64
+}
+
+// Observe emits one lifecycle event for the instruction with the given
+// dynamic id. It is the zero-allocation fast path: with no probe
+// attached it is a single nil check.
+func (ctx *Context) Observe(k obs.Kind, cycle, id int64, pc int) {
+	if ctx.Probe == nil {
+		return
+	}
+	ctx.Probe.Event(obs.Event{Kind: k, Cycle: cycle, ID: id, PC: pc})
+}
+
+// ObserveStall emits a decode-stage stall event with the given reason.
+func (ctx *Context) ObserveStall(cycle int64, r StallReason, id int64, pc int) {
+	if ctx.Probe == nil {
+		return
+	}
+	ctx.Probe.Event(obs.Event{Kind: obs.KindStall, Stall: uint8(r), Cycle: cycle, ID: id, PC: pc})
+}
+
+// ObserveSample emits the per-cycle occupancy snapshot.
+func (ctx *Context) ObserveSample(s obs.Sample) {
+	if ctx.Probe == nil {
+		return
+	}
+	ctx.Probe.Sample(s)
+}
+
+// StallNames returns the stall-reason names indexed by StallReason code
+// (the name table consumers like obs.NewMetrics receive).
+func StallNames() []string {
+	return append([]string(nil), stallNames[:]...)
 }
 
 // MemTrap checks a memory access for traps: first the injected fault (if

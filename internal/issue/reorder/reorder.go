@@ -26,6 +26,7 @@ import (
 	"ruu/internal/exec"
 	"ruu/internal/isa"
 	"ruu/internal/issue"
+	"ruu/internal/obs"
 )
 
 // Mode selects the Smith & Pleszkun organisation.
@@ -55,6 +56,7 @@ func (m Mode) String() string {
 
 type robEntry struct {
 	used    bool
+	id      int64 // dynamic-instruction id (observability)
 	pc      int
 	hasDest bool
 	dest    isa.Reg
@@ -141,6 +143,7 @@ func (e *Engine) BeginCycle(c int64) {
 		}
 		ent := &e.rob[p.pos]
 		ent.done = true
+		e.ctx.Observe(obs.KindWriteback, c, ent.id, ent.pc)
 		if ent.hasDest {
 			f := ent.dest.Flat()
 			if e.lastWriter[f] == p.pos {
@@ -150,10 +153,10 @@ func (e *Engine) BeginCycle(c int64) {
 		}
 	}
 	e.pending = out
-	e.commit()
+	e.commit(c)
 }
 
-func (e *Engine) commit() {
+func (e *Engine) commit(c int64) {
 	for e.count > 0 {
 		ent := &e.rob[e.head]
 		if ent.fault != nil {
@@ -172,6 +175,7 @@ func (e *Engine) commit() {
 			e.ctx.State.SetReg(ent.dest, ent.value)
 			e.writers[ent.dest.Flat()]--
 		}
+		e.ctx.Observe(obs.KindCommit, c, ent.id, ent.pc)
 		*ent = robEntry{}
 		e.head = (e.head + 1) % e.size
 		e.count--
@@ -301,12 +305,11 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 // allocate appends a ROB entry at the tail. Completions with pos == -1
 // are fixed up to the allocated position.
 func (e *Engine) allocate(c int64, pc int, ins isa.Instruction, init func(*robEntry), comps ...completion) issue.StallReason {
-	_ = c
 	if e.count == e.size {
 		return issue.StallEntry
 	}
 	pos := e.tail
-	ent := robEntry{used: true, pc: pc}
+	ent := robEntry{used: true, id: e.ctx.DecodeID, pc: pc}
 	if dst, ok := ins.Dst(); ok {
 		ent.hasDest = true
 		ent.dest = dst
@@ -321,6 +324,15 @@ func (e *Engine) allocate(c int64, pc int, ins isa.Instruction, init func(*robEn
 	e.rob[pos] = ent
 	e.tail = (e.tail + 1) % e.size
 	e.count++
+	// In-order issue sends the instruction straight to its functional
+	// unit, so issue, dispatch and execute coincide.
+	e.ctx.Observe(obs.KindIssue, c, ent.id, ent.pc)
+	e.ctx.Observe(obs.KindDispatch, c, ent.id, ent.pc)
+	e.ctx.Observe(obs.KindExecute, c, ent.id, ent.pc)
+	if ent.done {
+		// Stores, NOPs and explicit traps are complete at issue.
+		e.ctx.Observe(obs.KindWriteback, c, ent.id, ent.pc)
+	}
 	for _, cp := range comps {
 		if cp.pos == -1 {
 			cp.pos = pos

@@ -22,6 +22,7 @@ import (
 	"ruu/internal/isa"
 	"ruu/internal/issue"
 	"ruu/internal/memsys"
+	"ruu/internal/obs"
 )
 
 // Option configures the engine.
@@ -52,6 +53,7 @@ const (
 
 type entry struct {
 	used       bool
+	id         int64 // dynamic-instruction id (observability)
 	seq        int64
 	pc         int
 	ins        isa.Instruction
@@ -187,6 +189,8 @@ func (e *Engine) BeginCycle(c int64) {
 			e.ctx.LoadRegs.SetData(ent.binding, v)
 			e.ctx.LoadRegs.Release(ent.binding)
 		}
+		e.ctx.Observe(obs.KindWriteback, c, ent.id, ent.pc)
+		e.ctx.Observe(obs.KindCommit, c, ent.id, ent.pc)
 		e.free(b.idx)
 	}
 	e.pending = out
@@ -241,11 +245,15 @@ func (e *Engine) Dispatch(c int64) {
 		}
 		ent.result = exec.ALU(ent.ins, ent.op1.value, ent.op2.value)
 		ent.dispatched = true
+		e.ctx.Observe(obs.KindDispatch, c, ent.id, ent.pc)
+		e.ctx.Observe(obs.KindExecute, c, ent.id, ent.pc)
 		if ent.hasDest {
 			e.pending = append(e.pending, broadcast{c + lat, idx})
 		} else {
 			// No result to broadcast (should not occur for computational
 			// ops in this ISA, but keep the entry lifecycle uniform).
+			e.ctx.Observe(obs.KindWriteback, c, ent.id, ent.pc)
+			e.ctx.Observe(obs.KindCommit, c, ent.id, ent.pc)
 			e.free(idx)
 		}
 		budget--
@@ -323,6 +331,8 @@ func (e *Engine) advanceMemFrontier(c int64) {
 		}
 		ent.result = v
 		ent.dispatched = true
+		e.ctx.Observe(obs.KindDispatch, c, ent.id, ent.pc)
+		e.ctx.Observe(obs.KindExecute, c, ent.id, ent.pc)
 		e.pending = append(e.pending, broadcast{c + lat, idx})
 	}
 }
@@ -345,6 +355,10 @@ func (e *Engine) tryMemOp(c int64, idx int) bool {
 		e.ctx.LoadRegs.Release(ent.binding)
 		ent.dispatched = true
 		ent.phase = memDone
+		e.ctx.Observe(obs.KindDispatch, c, ent.id, ent.pc)
+		e.ctx.Observe(obs.KindExecute, c, ent.id, ent.pc)
+		e.ctx.Observe(obs.KindWriteback, c, ent.id, ent.pc)
+		e.ctx.Observe(obs.KindCommit, c, ent.id, ent.pc)
 		e.free(idx)
 		return true
 	}
@@ -360,6 +374,8 @@ func (e *Engine) tryMemOp(c int64, idx int) bool {
 	}
 	ent.result = v
 	ent.dispatched = true
+	e.ctx.Observe(obs.KindDispatch, c, ent.id, ent.pc)
+	e.ctx.Observe(obs.KindExecute, c, ent.id, ent.pc)
 	e.pending = append(e.pending, broadcast{c + lat, idx})
 	return true
 }
@@ -371,6 +387,12 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 	}
 	if ins.Op == isa.Nop {
 		e.retired++
+		id := e.ctx.DecodeID
+		e.ctx.Observe(obs.KindIssue, c, id, pc)
+		e.ctx.Observe(obs.KindDispatch, c, id, pc)
+		e.ctx.Observe(obs.KindExecute, c, id, pc)
+		e.ctx.Observe(obs.KindWriteback, c, id, pc)
+		e.ctx.Observe(obs.KindCommit, c, id, pc)
 		return issue.StallNone
 	}
 	if ins.Op == isa.Trap {
@@ -390,6 +412,7 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 
 	ent := entry{
 		used:       true,
+		id:         e.ctx.DecodeID,
 		seq:        e.nextSeq,
 		pc:         pc,
 		ins:        ins,
@@ -436,6 +459,7 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 	if ent.isMem {
 		e.memQueue = append(e.memQueue, idx)
 	}
+	e.ctx.Observe(obs.KindIssue, c, ent.id, pc)
 	return issue.StallNone
 }
 

@@ -12,12 +12,15 @@ import (
 	"ruu/internal/exec"
 	"ruu/internal/isa"
 	"ruu/internal/issue"
+	"ruu/internal/obs"
 )
 
 type writeback struct {
 	cycle int64
 	dst   isa.Reg
 	value int64
+	id    int64 // dynamic-instruction id (observability)
+	pc    int
 }
 
 // Engine is the simple in-order issue engine.
@@ -54,6 +57,8 @@ func (e *Engine) BeginCycle(c int64) {
 		if wb.cycle == c {
 			e.ctx.State.SetReg(wb.dst, wb.value)
 			e.busy[wb.dst.Flat()] = false
+			e.ctx.Observe(obs.KindWriteback, c, wb.id, wb.pc)
+			e.ctx.Observe(obs.KindCommit, c, wb.id, wb.pc)
 		} else {
 			out = append(out, wb)
 		}
@@ -73,6 +78,7 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 	}
 	if ins.Op == isa.Nop {
 		e.retired++
+		e.observeDone(c, pc)
 		return issue.StallNone
 	}
 
@@ -112,7 +118,8 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 			panic("simple: unexpected fault after check: " + f.Error())
 		}
 		e.busy[dst.Flat()] = true
-		e.inflight = append(e.inflight, writeback{c + lat, dst, v})
+		e.inflight = append(e.inflight, writeback{c + lat, dst, v, e.ctx.DecodeID, pc})
+		e.observeStart(c, pc)
 	case info.Store:
 		addr := exec.EffAddr(ins, st.Reg(isa.A(int(ins.J))))
 		if t := e.memTrap(pc, addr); t != nil {
@@ -126,6 +133,7 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 		if f := st.Mem.Write(addr, data); f != nil {
 			panic("simple: unexpected fault after check: " + f.Error())
 		}
+		e.observeDone(c, pc)
 	default:
 		// Computational instruction: all operands are ready now.
 		var v1, v2 int64
@@ -142,7 +150,10 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 		res := exec.ALU(ins, v1, v2)
 		if hasDst {
 			e.busy[dst.Flat()] = true
-			e.inflight = append(e.inflight, writeback{c + lat, dst, res})
+			e.inflight = append(e.inflight, writeback{c + lat, dst, res, e.ctx.DecodeID, pc})
+			e.observeStart(c, pc)
+		} else {
+			e.observeDone(c, pc)
 		}
 	}
 	e.retired++
@@ -151,6 +162,25 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 
 func (e *Engine) memTrap(pc int, addr int64) *exec.Trap {
 	return issue.MemTrap(e.ctx, pc, addr)
+}
+
+// observeStart emits the issue-time stages for an instruction whose
+// result is still in flight: with no reservation stations, issue,
+// dispatch and execute coincide.
+func (e *Engine) observeStart(c int64, pc int) {
+	id := e.ctx.DecodeID
+	e.ctx.Observe(obs.KindIssue, c, id, pc)
+	e.ctx.Observe(obs.KindDispatch, c, id, pc)
+	e.ctx.Observe(obs.KindExecute, c, id, pc)
+}
+
+// observeDone emits the full stage chain for an instruction that is
+// architecturally complete at issue (NOP, store, result-less ALU op).
+func (e *Engine) observeDone(c int64, pc int) {
+	id := e.ctx.DecodeID
+	e.observeStart(c, pc)
+	e.ctx.Observe(obs.KindWriteback, c, id, pc)
+	e.ctx.Observe(obs.KindCommit, c, id, pc)
 }
 
 // TryReadCond implements issue.Engine: the condition register is readable

@@ -25,6 +25,7 @@ import (
 	"ruu/internal/isa"
 	"ruu/internal/issue"
 	"ruu/internal/memsys"
+	"ruu/internal/obs"
 )
 
 // Config selects the organisation.
@@ -60,6 +61,7 @@ const (
 
 type station struct {
 	used       bool
+	id         int64 // dynamic-instruction id (observability)
 	seq        int64
 	pc         int
 	ins        isa.Instruction
@@ -86,6 +88,8 @@ type station struct {
 // the given cycle carrying the producer's tag.
 type flight struct {
 	cycle   int64
+	id      int64 // dynamic-instruction id (observability)
+	pc      int
 	tagID   int64
 	hasDest bool
 	dest    isa.Reg
@@ -224,6 +228,8 @@ func (e *Engine) BeginCycle(c int64) {
 				}
 			}
 		}
+		e.ctx.Observe(obs.KindWriteback, c, fl.id, fl.pc)
+		e.ctx.Observe(obs.KindCommit, c, fl.id, fl.pc)
 		e.inFlight--
 		e.retired++
 	}
@@ -263,7 +269,9 @@ func (e *Engine) Dispatch(c int64) {
 			continue
 		}
 		v := exec.ALU(s.ins, s.op1.value, s.op2.value)
-		e.flights = append(e.flights, flight{c + lat, s.tagID, s.hasDest, s.dest, v, memsys.Invalid})
+		e.flights = append(e.flights, flight{c + lat, s.id, s.pc, s.tagID, s.hasDest, s.dest, v, memsys.Invalid})
+		e.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+		e.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
 		e.release(idx)
 		budget--
 	}
@@ -336,7 +344,9 @@ func (e *Engine) advanceMemFrontier(c int64) {
 		if f != nil {
 			panic("tagunit: unexpected fault after bind-time check: " + f.Error())
 		}
-		e.flights = append(e.flights, flight{c + lat, s.tagID, true, s.dest, v, s.binding})
+		e.flights = append(e.flights, flight{c + lat, s.id, s.pc, s.tagID, true, s.dest, v, s.binding})
+		e.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+		e.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
 		e.release(idx)
 	}
 }
@@ -352,6 +362,10 @@ func (e *Engine) tryMemOp(c int64, idx int) bool {
 		}
 		e.ctx.LoadRegs.SetData(s.binding, s.op2.value)
 		e.ctx.LoadRegs.Release(s.binding)
+		e.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+		e.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
+		e.ctx.Observe(obs.KindWriteback, c, s.id, s.pc)
+		e.ctx.Observe(obs.KindCommit, c, s.id, s.pc)
 		e.stations[idx] = station{}
 		e.inFlight--
 		e.retired++
@@ -367,7 +381,9 @@ func (e *Engine) tryMemOp(c int64, idx int) bool {
 	if !e.ctx.Bus.Reserve(c + lat) {
 		return false
 	}
-	e.flights = append(e.flights, flight{c + lat, s.tagID, true, s.dest, v, s.binding})
+	e.flights = append(e.flights, flight{c + lat, s.id, s.pc, s.tagID, true, s.dest, v, s.binding})
+	e.ctx.Observe(obs.KindDispatch, c, s.id, s.pc)
+	e.ctx.Observe(obs.KindExecute, c, s.id, s.pc)
 	e.release(idx)
 	return true
 }
@@ -379,6 +395,12 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 	}
 	if ins.Op == isa.Nop {
 		e.retired++
+		id := e.ctx.DecodeID
+		e.ctx.Observe(obs.KindIssue, c, id, pc)
+		e.ctx.Observe(obs.KindDispatch, c, id, pc)
+		e.ctx.Observe(obs.KindExecute, c, id, pc)
+		e.ctx.Observe(obs.KindWriteback, c, id, pc)
+		e.ctx.Observe(obs.KindCommit, c, id, pc)
 		return issue.StallNone
 	}
 	if ins.Op == isa.Trap {
@@ -408,6 +430,7 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 
 	s := station{
 		used:       true,
+		id:         e.ctx.DecodeID,
 		seq:        e.nextSeq,
 		pc:         pc,
 		ins:        ins,
@@ -449,6 +472,7 @@ func (e *Engine) TryIssue(c int64, pc int, ins isa.Instruction) issue.StallReaso
 	if s.isMem {
 		e.memQueue = append(e.memQueue, idx)
 	}
+	e.ctx.Observe(obs.KindIssue, c, s.id, s.pc)
 	return issue.StallNone
 }
 

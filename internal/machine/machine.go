@@ -15,6 +15,7 @@ import (
 	"ruu/internal/isa"
 	"ruu/internal/issue"
 	"ruu/internal/memsys"
+	"ruu/internal/obs"
 )
 
 // Config parameterises the shared frame.
@@ -51,8 +52,16 @@ type Config struct {
 	InterruptPenalty int
 	// Trace, when non-nil, receives one line per simulated cycle: the
 	// decode-stage contents, the engine occupancy, and the retired
-	// count (the pipeline-trace facility of cmd/ruusim -pipetrace).
+	// count (a legacy debugging facility; the structured alternative is
+	// Probe).
 	Trace io.Writer
+	// Probe, when non-nil, receives the structured pipeline event
+	// stream: per-instruction lifecycle events (fetch, decode, issue,
+	// dispatch, execute, writeback, commit, squash), decode-stall
+	// events, and one occupancy sample per cycle. See internal/obs for
+	// the consumers (metrics histograms, Chrome trace export, pipeline
+	// viewer). A nil probe costs nothing on the hot path.
+	Probe obs.Probe
 	// InstructionBuffers enables the CRAY-1-style instruction-buffer
 	// fetch model instead of the paper's assumption (ii)/(iii) that all
 	// instruction references hit the buffers. A fetch whose parcel is in
@@ -149,6 +158,19 @@ type Stats struct {
 	IBufMisses int64
 }
 
+// StallsByName returns the per-reason decode-stall cycle counts keyed by
+// reason name (the JSON-friendly form of Stalls); reasons with zero
+// cycles are omitted.
+func (s Stats) StallsByName() map[string]int64 {
+	out := make(map[string]int64)
+	for r := issue.StallReason(1); r < issue.NumStallReasons; r++ {
+		if n := s.Stalls[r]; n > 0 {
+			out[r.String()] = n
+		}
+	}
+	return out
+}
+
 // IssueRate returns instructions per cycle.
 func (s Stats) IssueRate() float64 {
 	if s.Cycles == 0 {
@@ -241,6 +263,8 @@ type decodeReg struct {
 	valid bool
 	pc    int
 	ins   isa.Instruction
+	id    int64 // dynamic-instruction id, assigned at fetch
+	seen  bool  // decode event emitted for this instruction
 }
 
 // Run executes prog to completion over the given initial architectural
@@ -260,6 +284,8 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 		LoadRegs:   memsys.NewLoadRegs(m.cfg.LoadRegs),
 		Lat:        m.cfg.Lat,
 		FwdLatency: m.cfg.FwdLatency,
+		Probe:      m.cfg.Probe,
+		DecodeID:   obs.NoID,
 	}
 	if fi := m.faultInjector; fi != nil {
 		ctx.Inject = fi
@@ -287,6 +313,8 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 	// resolved; it matures once the engine has retired that many.
 	type pendingRetire struct {
 		issuedBefore int64
+		id           int64
+		pc           int
 		branch       bool
 		taken        bool
 	}
@@ -296,6 +324,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 		pc           = st.PC
 		fetchDelay   = 0
 		halting      = false
+		nextID       = int64(0) // next dynamic-instruction id
 		machineRet   = int64(0) // matured machine-retired instructions
 		resolved     = int64(0) // all machine-resolved ones (progress tracking)
 		pending      []pendingRetire
@@ -307,13 +336,14 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 
 	engineIssued := func() int64 { return m.eng.Retired() + int64(m.eng.InFlight()) }
 	precise := m.eng.Precise()
-	retireMachine := func(branch, taken bool) {
+	retireMachine := func(c int64, branch, taken bool) {
 		resolved++
 		if !precise {
 			// Imprecise engines never resume after a trap, so provisional
 			// retirement is unnecessary (and their Retired counters do
 			// not track issue order the way maturity needs).
 			machineRet++
+			ctx.Observe(obs.KindCommit, c, dec.id, dec.pc)
 			if branch {
 				stats.Branches++
 				if taken {
@@ -322,14 +352,15 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 			}
 			return
 		}
-		pending = append(pending, pendingRetire{engineIssued(), branch, taken})
+		pending = append(pending, pendingRetire{engineIssued(), dec.id, dec.pc, branch, taken})
 	}
-	mature := func() {
+	mature := func(c int64) {
 		done := m.eng.Retired()
 		for len(pending) > 0 && pending[0].issuedBefore <= done {
 			p := pending[0]
 			pending = pending[1:]
 			machineRet++
+			ctx.Observe(obs.KindCommit, c, p.id, p.pc)
 			if p.branch {
 				stats.Branches++
 				if p.taken {
@@ -338,10 +369,18 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 			}
 		}
 	}
+	recordStall := func(c int64, r issue.StallReason) {
+		stats.Stalls[r]++
+		if dec.valid {
+			ctx.ObserveStall(c, r, dec.id, dec.pc)
+		} else {
+			ctx.ObserveStall(c, r, obs.NoID, pc)
+		}
+	}
 
 	total := func() int64 { return m.eng.Retired() + machineRet }
 	finalize := func(c int64) {
-		mature()
+		mature(c)
 		stats.Cycles = c + 1
 		stats.Instructions = total()
 		if ib != nil {
@@ -369,13 +408,16 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 
 		ctx.Bus.Advance(c)
 		m.eng.BeginCycle(c)
-		mature()
+		mature(c)
 
 		resumeAt := func(rpc int) {
 			// Provisionally resolved branches younger than the flush
 			// point are discarded; the resumed execution will resolve
 			// them again.
-			mature()
+			mature(c)
+			for _, p := range pending {
+				ctx.Observe(obs.KindSquash, c, p.id, p.pc)
+			}
 			resolved -= int64(len(pending))
 			pending = pending[:0]
 			m.eng.Flush()
@@ -389,6 +431,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 		// Architectural trap boundary.
 		if trap := m.eng.PendingTrap(); trap != nil {
 			precise := m.eng.Precise()
+			ctx.Observe(obs.KindTrap, c, obs.NoID, trap.PC)
 			ev := InterruptEvent{Trap: trap, Cycle: c, Precise: precise}
 			if precise && m.handler != nil {
 				act := m.handler(st, ev)
@@ -418,6 +461,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 				}
 			}
 			trap := &exec.Trap{Kind: exec.TrapExternal, PC: restart}
+			ctx.Observe(obs.KindTrap, c, obs.NoID, restart)
 			ev := InterruptEvent{Trap: trap, Cycle: c, Precise: precise}
 			if precise && m.handler != nil {
 				act := m.handler(st, ev)
@@ -449,17 +493,26 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 		}
 
 		// Decode / issue phase.
+		if dec.valid {
+			ctx.DecodeID = dec.id
+			if !dec.seen {
+				dec.seen = true
+				ctx.Observe(obs.KindDecode, c, dec.id, dec.pc)
+			}
+		} else {
+			ctx.DecodeID = obs.NoID
+		}
 		switch {
 		case !dec.valid:
-			stats.Stalls[issue.StallFetch]++
+			recordStall(c, issue.StallFetch)
 		case dec.ins.Op == isa.Halt:
 			if m.eng.Drained() {
-				retireMachine(false, false) // HALT counts as executed
+				retireMachine(c, false, false) // HALT counts as executed
 				stats.MaxInFlight = maxInt(stats.MaxInFlight, m.eng.InFlight())
 				finalize(c)
 				return result, nil
 			}
-			stats.Stalls[issue.StallDrain]++
+			recordStall(c, issue.StallDrain)
 		case dec.ins.Op == isa.Jmp:
 			target := int(dec.ins.Imm)
 			if speculating {
@@ -470,10 +523,10 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 					pc = target
 					fetchDelay = m.cfg.PredictedTakenBubble
 				} else {
-					stats.Stalls[r]++
+					recordStall(c, r)
 				}
 			} else {
-				retireMachine(true, true)
+				retireMachine(c, true, true)
 				dec = decodeReg{}
 				pc = target
 				fetchDelay = m.cfg.TakenPenalty
@@ -488,17 +541,17 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 					fetchDelay = m.cfg.PredictedTakenBubble
 				}
 			} else {
-				stats.Stalls[r]++
+				recordStall(c, r)
 			}
 		case dec.ins.Op.IsBranch():
 			condReg, _ := dec.ins.Op.CondReg()
 			v, ok := m.eng.TryReadCond(c, condReg)
 			if !ok {
-				stats.Stalls[issue.StallBranch]++
+				recordStall(c, issue.StallBranch)
 				break
 			}
 			taken := exec.BranchTaken(dec.ins.Op, v)
-			retireMachine(true, taken)
+			retireMachine(c, true, taken)
 			target := int(dec.ins.Imm)
 			fallthroughPC := dec.pc + 1
 			dec = decodeReg{}
@@ -513,7 +566,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 			if r := m.eng.TryIssue(c, dec.pc, dec.ins); r == issue.StallNone {
 				dec = decodeReg{}
 			} else {
-				stats.Stalls[r]++
+				recordStall(c, r)
 			}
 		}
 		stats.MaxInFlight = maxInt(stats.MaxInFlight, m.eng.InFlight())
@@ -523,6 +576,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 			fetchDelay--
 		} else if !dec.valid && !halting {
 			if pc < 0 || pc >= len(prog.Instructions) {
+				ctx.Observe(obs.KindTrap, c, obs.NoID, pc)
 				finalize(c)
 				result.Trap = &exec.Trap{Kind: exec.TrapBadPC, PC: pc}
 				result.Precise = m.eng.Precise()
@@ -536,11 +590,22 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 					continue
 				}
 			}
-			dec = decodeReg{valid: true, pc: pc, ins: prog.Instructions[pc]}
+			dec = decodeReg{valid: true, pc: pc, ins: prog.Instructions[pc], id: nextID}
+			ctx.Observe(obs.KindFetch, c, nextID, pc)
+			nextID++
 			if dec.ins.Op == isa.Halt {
 				halting = true
 			}
 			pc++
+		}
+
+		if ctx.Probe != nil {
+			ctx.ObserveSample(obs.Sample{
+				Cycle:    c,
+				InFlight: m.eng.InFlight(),
+				LoadRegs: ctx.LoadRegs.InUse(),
+				BusBusy:  ctx.Bus.Busy(c),
+			})
 		}
 
 		if w := m.cfg.Trace; w != nil {

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// stageOrder lists the stages rendered as timeline slices, oldest first.
+var stageOrder = [...]Kind{KindFetch, KindDecode, KindIssue, KindDispatch, KindExecute, KindWriteback}
+
+// timeline accumulates one dynamic instruction's stage stamps until it
+// commits or is squashed.
+type timeline struct {
+	pc     int
+	set    uint16 // bit per Kind
+	stamps [NumKinds]int64
+}
+
+func (tl *timeline) stamp(k Kind, c int64) {
+	if tl.set&(1<<k) == 0 {
+		tl.set |= 1 << k
+		tl.stamps[k] = c
+	}
+}
+
+func (tl *timeline) has(k Kind) bool { return tl.set&(1<<k) != 0 }
+
+// ChromeTracer is a probe that writes the event stream as Chrome
+// trace-event JSON (the format Perfetto and chrome://tracing load): one
+// track (thread) per dynamic instruction, one "X" slice per pipeline
+// stage, and an instant event at commit or squash. Timestamps are in
+// "microseconds", one microsecond per simulated cycle.
+//
+// A timeline is buffered per live instruction and written when the
+// instruction commits or is squashed, so memory stays proportional to
+// the number of in-flight instructions. Instructions still in flight
+// when the run stops (e.g. at a trap) are dropped at Close.
+type ChromeTracer struct {
+	w       *bufio.Writer
+	disasm  func(pc int) string
+	live    map[int64]*timeline
+	limit   int
+	written int
+	started bool
+	err     error
+}
+
+// NewChromeTracer returns a tracer writing to w. Call Close after the
+// run to terminate the JSON document.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	return &ChromeTracer{w: bufio.NewWriter(w), live: make(map[int64]*timeline)}
+}
+
+// SetDisasm installs a disassembler used to label instruction tracks
+// (typically prog.Instructions[pc].String).
+func (t *ChromeTracer) SetDisasm(f func(pc int) string) { t.disasm = f }
+
+// SetLimit caps the number of instruction timelines written (0 means
+// unlimited). Events past the limit are discarded, keeping trace files
+// bounded on long runs.
+func (t *ChromeTracer) SetLimit(n int) { t.limit = n }
+
+// Event implements Probe.
+func (t *ChromeTracer) Event(e Event) {
+	if e.ID == NoID || t.err != nil {
+		return
+	}
+	tl := t.live[e.ID]
+	if tl == nil {
+		if e.Kind == KindCommit || e.Kind == KindSquash || e.Kind == KindStall {
+			return // no timeline to attach to (e.g. limit reached)
+		}
+		tl = &timeline{pc: e.PC}
+		t.live[e.ID] = tl
+	}
+	switch e.Kind {
+	case KindStall:
+		// Stall cycles show up as width in the decode slice; nothing to
+		// record per cycle.
+	case KindCommit, KindSquash:
+		tl.stamp(e.Kind, e.Cycle)
+		delete(t.live, e.ID)
+		if t.limit <= 0 || t.written < t.limit {
+			t.flush(e.ID, tl)
+			t.written++
+		}
+	default:
+		tl.stamp(e.Kind, e.Cycle)
+	}
+}
+
+// Sample implements Probe; the tracer ignores occupancy samples.
+func (t *ChromeTracer) Sample(Sample) {}
+
+func (t *ChromeTracer) emit(format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	if t.started {
+		if _, err := t.w.WriteString(",\n"); err != nil {
+			t.err = err
+			return
+		}
+	} else {
+		if _, err := t.w.WriteString("{\"traceEvents\":[\n"); err != nil {
+			t.err = err
+			return
+		}
+		t.started = true
+	}
+	if _, err := fmt.Fprintf(t.w, format, args...); err != nil {
+		t.err = err
+	}
+}
+
+// flush writes one instruction's track: a thread_name metadata record,
+// an "X" slice per recorded stage (lasting until the next recorded
+// stage), and an instant event at the terminal commit/squash cycle.
+func (t *ChromeTracer) flush(id int64, tl *timeline) {
+	name := fmt.Sprintf("I%06d pc=%d", id, tl.pc)
+	if t.disasm != nil {
+		name += " " + t.disasm(tl.pc)
+	}
+	terminal := KindCommit
+	if tl.has(KindSquash) {
+		terminal = KindSquash
+		name += " [squashed]"
+	}
+	end := tl.stamps[terminal]
+	t.emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`, id, strconv.Quote(name))
+
+	for i, k := range stageOrder {
+		if !tl.has(k) {
+			continue
+		}
+		start := tl.stamps[k]
+		// The slice lasts until the next recorded stage (or the
+		// terminal event), with a minimum visible width of one cycle.
+		next := end
+		for _, k2 := range stageOrder[i+1:] {
+			if tl.has(k2) {
+				next = tl.stamps[k2]
+				break
+			}
+		}
+		dur := next - start
+		if dur < 1 {
+			dur = 1
+		}
+		t.emit(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"cycle":%d,"pc":%d}}`,
+			strconv.Quote(k.String()), start, dur, id, start, tl.pc)
+	}
+	t.emit(`{"name":%s,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"cycle":%d}}`,
+		strconv.Quote(terminal.String()), end, id, end)
+}
+
+// Close terminates the JSON document and flushes the writer. In-flight
+// timelines (instructions that never reached commit or squash) are
+// dropped. Close does not close the underlying writer.
+func (t *ChromeTracer) Close() error {
+	t.live = make(map[int64]*timeline)
+	if t.err == nil {
+		if t.started {
+			_, t.err = t.w.WriteString("\n]}\n")
+		} else {
+			_, t.err = t.w.WriteString("{\"traceEvents\":[]}\n")
+		}
+	}
+	if err := t.w.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+type traceDoc struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func runTracer(t *testing.T, feed func(*ChromeTracer)) traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	feed(tr)
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+func TestChromeTracerEmpty(t *testing.T) {
+	doc := runTracer(t, func(*ChromeTracer) {})
+	if len(doc.TraceEvents) != 0 {
+		t.Errorf("empty run produced %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestChromeTracerTimeline(t *testing.T) {
+	doc := runTracer(t, func(tr *ChromeTracer) {
+		tr.SetDisasm(func(pc int) string { return "fadd S1, S2, S3" })
+		tr.Event(Event{Kind: KindFetch, ID: 4, PC: 9, Cycle: 10})
+		tr.Event(Event{Kind: KindDecode, ID: 4, PC: 9, Cycle: 11})
+		tr.Event(Event{Kind: KindIssue, ID: 4, PC: 9, Cycle: 12})
+		tr.Event(Event{Kind: KindExecute, ID: 4, PC: 9, Cycle: 14})
+		tr.Event(Event{Kind: KindWriteback, ID: 4, PC: 9, Cycle: 18})
+		tr.Event(Event{Kind: KindCommit, ID: 4, PC: 9, Cycle: 20})
+		// Events with no instruction attach to nothing.
+		tr.Event(Event{Kind: KindStall, ID: NoID, Cycle: 15})
+	})
+
+	var meta, slices, instants []traceEvent
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta = append(meta, e)
+		case "X":
+			slices = append(slices, e)
+		case "i":
+			instants = append(instants, e)
+		}
+	}
+	if len(meta) != 1 {
+		t.Fatalf("want 1 thread_name record, got %d", len(meta))
+	}
+	name, _ := meta[0].Args["name"].(string)
+	if !strings.Contains(name, "I000004") || !strings.Contains(name, "pc=9") || !strings.Contains(name, "fadd") {
+		t.Errorf("track name = %q", name)
+	}
+	// Five recorded stages → five slices, each ending where the next begins.
+	if len(slices) != 5 {
+		t.Fatalf("want 5 stage slices, got %d: %+v", len(slices), slices)
+	}
+	byName := map[string]traceEvent{}
+	for _, s := range slices {
+		if s.Tid != 4 {
+			t.Errorf("slice %q on tid %d, want 4", s.Name, s.Tid)
+		}
+		byName[s.Name] = s
+	}
+	if s := byName["decode"]; s.Ts != 11 || s.Dur != 1 {
+		t.Errorf("decode slice = ts %d dur %d, want 11/1", s.Ts, s.Dur)
+	}
+	if s := byName["issue"]; s.Ts != 12 || s.Dur != 2 {
+		t.Errorf("issue slice = ts %d dur %d, want 12/2", s.Ts, s.Dur)
+	}
+	if s := byName["writeback"]; s.Ts != 18 || s.Dur != 2 {
+		t.Errorf("writeback slice lasts to the commit: ts %d dur %d, want 18/2", s.Ts, s.Dur)
+	}
+	if len(instants) != 1 || instants[0].Name != "commit" || instants[0].Ts != 20 {
+		t.Errorf("terminal instant = %+v", instants)
+	}
+}
+
+func TestChromeTracerSquashAndLimit(t *testing.T) {
+	doc := runTracer(t, func(tr *ChromeTracer) {
+		tr.SetLimit(1)
+		for id := int64(0); id < 3; id++ {
+			tr.Event(Event{Kind: KindIssue, ID: id, PC: int(id), Cycle: id})
+			tr.Event(Event{Kind: KindSquash, ID: id, PC: int(id), Cycle: id + 5})
+		}
+	})
+	var meta []traceEvent
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			meta = append(meta, e)
+		}
+	}
+	if len(meta) != 1 {
+		t.Fatalf("limit 1 wrote %d tracks", len(meta))
+	}
+	name, _ := meta[0].Args["name"].(string)
+	if !strings.Contains(name, "[squashed]") {
+		t.Errorf("squashed track not marked: %q", name)
+	}
+}

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+
+	"ruu/internal/report"
+)
+
+// Hist is a fixed-bucket histogram: a fixed number of buckets of fixed
+// width, with the last bucket absorbing overflow. Fixed shape keeps the
+// probe-on path allocation-free after construction.
+type Hist struct {
+	width  int64
+	counts []int64
+	n      int64
+	sum    int64
+	max    int64
+}
+
+// NewHist returns a histogram with the given bucket width and bucket
+// count (minimums of 1 apply). Bucket i covers [i*width, (i+1)*width);
+// the last bucket additionally absorbs everything beyond the range.
+func NewHist(width int64, buckets int) *Hist {
+	if width < 1 {
+		width = 1
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Hist{width: width, counts: make([]int64, buckets)}
+}
+
+// Observe records one value. Negative values clamp to the first bucket.
+func (h *Hist) Observe(v int64) {
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	i := int64(0)
+	if v > 0 {
+		i = v / h.width
+	}
+	if i >= int64(len(h.counts)) {
+		i = int64(len(h.counts)) - 1
+	}
+	h.counts[i]++
+}
+
+// N returns the number of observations.
+func (h *Hist) N() int64 { return h.n }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Width returns the bucket width.
+func (h *Hist) Width() int64 { return h.width }
+
+// Counts returns the bucket counts with trailing empty buckets trimmed.
+// The returned slice aliases the histogram; treat it as read-only.
+func (h *Hist) Counts() []int64 {
+	end := len(h.counts)
+	for end > 0 && h.counts[end-1] == 0 {
+		end--
+	}
+	return h.counts[:end]
+}
+
+// BucketLabel renders bucket i's value range ("3" for unit-width
+// buckets, "12-15" otherwise, with a "+" suffix on the overflow bucket).
+func (h *Hist) BucketLabel(i int) string {
+	lo := int64(i) * h.width
+	overflow := ""
+	if i == len(h.counts)-1 {
+		overflow = "+"
+	}
+	if h.width == 1 {
+		return fmt.Sprintf("%d%s", lo, overflow)
+	}
+	return fmt.Sprintf("%d-%d%s", lo, lo+h.width-1, overflow)
+}
+
+// HistSummary is the JSON-friendly rendering of a histogram.
+type HistSummary struct {
+	// BucketWidth is the value range covered by one bucket.
+	BucketWidth int64 `json:"bucket_width"`
+	// Counts are the bucket counts, trailing zeros trimmed; bucket i
+	// covers [i*width, (i+1)*width).
+	Counts []int64 `json:"counts"`
+	// N is the number of observations.
+	N int64 `json:"n"`
+	// Mean is the arithmetic mean.
+	Mean float64 `json:"mean"`
+	// Max is the largest observation.
+	Max int64 `json:"max"`
+}
+
+// Summary returns the JSON-friendly rendering.
+func (h *Hist) Summary() HistSummary {
+	return HistSummary{
+		BucketWidth: h.width,
+		Counts:      h.Counts(),
+		N:           h.n,
+		Mean:        h.Mean(),
+		Max:         h.max,
+	}
+}
+
+// Metrics is the metrics-collecting probe: occupancy and residency
+// histograms, per-reason stall cycles, event counts, and result-bus
+// utilisation.
+type Metrics struct {
+	stallNames []string
+
+	cycles   int64
+	busBusy  int64
+	events   [NumKinds]int64
+	stalls   []int64
+	issuedAt map[int64]int64
+
+	// Occupancy is the per-cycle engine occupancy (in-flight entries).
+	Occupancy *Hist
+	// LoadRegOccupancy is the per-cycle busy load-register count.
+	LoadRegOccupancy *Hist
+	// Residency is the per-committed-instruction issue→commit latency.
+	Residency *Hist
+}
+
+// NewMetrics returns a metrics probe. stallNames maps stall-reason codes
+// to names (issue.StallNames); unknown codes render as "stall-<code>".
+func NewMetrics(stallNames []string) *Metrics {
+	return &Metrics{
+		stallNames:       stallNames,
+		stalls:           make([]int64, len(stallNames)),
+		issuedAt:         make(map[int64]int64),
+		Occupancy:        NewHist(1, 64),
+		LoadRegOccupancy: NewHist(1, 32),
+		Residency:        NewHist(4, 64),
+	}
+}
+
+// Event implements Probe.
+func (m *Metrics) Event(e Event) {
+	m.events[e.Kind]++
+	switch e.Kind {
+	case KindIssue:
+		m.issuedAt[e.ID] = e.Cycle
+	case KindCommit:
+		if c, ok := m.issuedAt[e.ID]; ok {
+			m.Residency.Observe(e.Cycle - c)
+			delete(m.issuedAt, e.ID)
+		}
+	case KindSquash:
+		delete(m.issuedAt, e.ID)
+	case KindStall:
+		for int(e.Stall) >= len(m.stalls) {
+			m.stalls = append(m.stalls, 0)
+		}
+		m.stalls[e.Stall]++
+	}
+}
+
+// Sample implements Probe.
+func (m *Metrics) Sample(s Sample) {
+	m.cycles++
+	if s.BusBusy {
+		m.busBusy++
+	}
+	m.Occupancy.Observe(int64(s.InFlight))
+	m.LoadRegOccupancy.Observe(int64(s.LoadRegs))
+}
+
+// Cycles returns the number of sampled cycles.
+func (m *Metrics) Cycles() int64 { return m.cycles }
+
+// EventCount returns the number of events of kind k.
+func (m *Metrics) EventCount(k Kind) int64 { return m.events[k] }
+
+// BusUtilization returns the fraction of sampled cycles in which the
+// result bus carried a result.
+func (m *Metrics) BusUtilization() float64 {
+	if m.cycles == 0 {
+		return 0
+	}
+	return float64(m.busBusy) / float64(m.cycles)
+}
+
+func (m *Metrics) stallName(code int) string {
+	if code < len(m.stallNames) {
+		return m.stallNames[code]
+	}
+	return fmt.Sprintf("stall-%d", code)
+}
+
+// Stalls returns the per-reason stall cycle counts, keyed by reason
+// name; reasons with zero cycles are omitted.
+func (m *Metrics) Stalls() map[string]int64 {
+	out := make(map[string]int64)
+	for code, n := range m.stalls {
+		if n > 0 {
+			out[m.stallName(code)] = n
+		}
+	}
+	return out
+}
+
+// Summary is the JSON-friendly rendering of the collected metrics.
+type Summary struct {
+	Cycles           int64            `json:"cycles"`
+	BusUtilization   float64          `json:"bus_utilization"`
+	Stalls           map[string]int64 `json:"stalls"`
+	Occupancy        HistSummary      `json:"occupancy"`
+	LoadRegOccupancy HistSummary      `json:"loadreg_occupancy"`
+	Residency        HistSummary      `json:"residency"`
+	Events           map[string]int64 `json:"events"`
+}
+
+// Summary returns the JSON-friendly rendering.
+func (m *Metrics) Summary() Summary {
+	ev := make(map[string]int64)
+	for k := Kind(0); k < NumKinds; k++ {
+		if m.events[k] > 0 {
+			ev[k.String()] = m.events[k]
+		}
+	}
+	return Summary{
+		Cycles:           m.cycles,
+		BusUtilization:   m.BusUtilization(),
+		Stalls:           m.Stalls(),
+		Occupancy:        m.Occupancy.Summary(),
+		LoadRegOccupancy: m.LoadRegOccupancy.Summary(),
+		Residency:        m.Residency.Summary(),
+		Events:           ev,
+	}
+}
+
+// Tables renders the collected metrics as report tables (occupancy
+// distribution, residency distribution, stall breakdown, and a one-row
+// overview), for WriteText/WriteMarkdown/WriteCSV.
+func (m *Metrics) Tables() []*report.Table {
+	overview := report.New("Run overview",
+		"Cycles", "Committed", "Squashed", "Bus Utilization", "Mean Occupancy", "Mean Residency")
+	overview.Add(m.cycles, m.events[KindCommit], m.events[KindSquash],
+		m.BusUtilization(), m.Occupancy.Mean(), m.Residency.Mean())
+
+	occ := report.New("Engine occupancy (entries x cycles)", "Entries", "Cycles")
+	for i, n := range m.Occupancy.Counts() {
+		occ.Add(m.Occupancy.BucketLabel(i), n)
+	}
+
+	res := report.New("Residency (issue to commit, cycles x instructions)", "Cycles", "Instructions")
+	for i, n := range m.Residency.Counts() {
+		res.Add(m.Residency.BucketLabel(i), n)
+	}
+
+	st := report.New("Decode stalls by reason", "Reason", "Cycles")
+	for code, n := range m.stalls {
+		if n > 0 {
+			st.Add(m.stallName(code), n)
+		}
+	}
+
+	return []*report.Table{overview, occ, res, st}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistBuckets(t *testing.T) {
+	h := NewHist(4, 3) // buckets: [0,4) [4,8) [8,+)
+	for _, v := range []int64{0, 3, 4, 7, 8, 100} {
+		h.Observe(v)
+	}
+	counts := h.Counts()
+	if len(counts) != 3 || counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Errorf("Counts() = %v, want [2 2 2]", counts)
+	}
+	if h.N() != 6 {
+		t.Errorf("N() = %d, want 6", h.N())
+	}
+	if h.Max() != 100 {
+		t.Errorf("Max() = %d, want 100", h.Max())
+	}
+	if want := float64(0+3+4+7+8+100) / 6; h.Mean() != want {
+		t.Errorf("Mean() = %v, want %v", h.Mean(), want)
+	}
+	if got := h.BucketLabel(0); got != "0-3" {
+		t.Errorf("BucketLabel(0) = %q", got)
+	}
+	if got := h.BucketLabel(2); got != "8-11+" {
+		t.Errorf("BucketLabel(2) = %q (overflow marker missing?)", got)
+	}
+}
+
+func TestHistUnitWidthAndTrim(t *testing.T) {
+	h := NewHist(1, 8)
+	h.Observe(0)
+	h.Observe(2)
+	if got := h.Counts(); len(got) != 3 {
+		t.Errorf("trailing zeros not trimmed: %v", got)
+	}
+	if got := h.BucketLabel(2); got != "2" {
+		t.Errorf("BucketLabel(2) = %q, want \"2\"", got)
+	}
+	// Negative observations clamp into the first bucket.
+	h.Observe(-5)
+	if got := h.Counts(); got[0] != 2 {
+		t.Errorf("negative observation not clamped: %v", got)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	m := NewMetrics([]string{"none", "operand", "dest"})
+
+	// Instruction 1: issue at 10, commit at 25 → residency 15.
+	m.Event(Event{Kind: KindIssue, ID: 1, Cycle: 10})
+	m.Event(Event{Kind: KindCommit, ID: 1, Cycle: 25})
+	// Instruction 2: issued then squashed → no residency sample.
+	m.Event(Event{Kind: KindIssue, ID: 2, Cycle: 11})
+	m.Event(Event{Kind: KindSquash, ID: 2, Cycle: 13})
+	// Stalls: two "operand", one unknown code past the name table.
+	m.Event(Event{Kind: KindStall, Stall: 1, Cycle: 12})
+	m.Event(Event{Kind: KindStall, Stall: 1, Cycle: 13})
+	m.Event(Event{Kind: KindStall, Stall: 9, Cycle: 14})
+
+	if n := m.Residency.N(); n != 1 {
+		t.Fatalf("residency observations = %d, want 1", n)
+	}
+	if max := m.Residency.Max(); max != 15 {
+		t.Errorf("residency = %d, want 15", max)
+	}
+	st := m.Stalls()
+	if st["operand"] != 2 {
+		t.Errorf("stalls[operand] = %d, want 2", st["operand"])
+	}
+	if st["stall-9"] != 1 {
+		t.Errorf("unknown stall code not rendered: %v", st)
+	}
+	if m.EventCount(KindIssue) != 2 || m.EventCount(KindCommit) != 1 {
+		t.Errorf("event counts wrong: issue=%d commit=%d",
+			m.EventCount(KindIssue), m.EventCount(KindCommit))
+	}
+
+	// Samples drive cycles, occupancy and bus utilisation.
+	m.Sample(Sample{Cycle: 1, InFlight: 3, LoadRegs: 1, BusBusy: true})
+	m.Sample(Sample{Cycle: 2, InFlight: 5, LoadRegs: 0, BusBusy: false})
+	if m.Cycles() != 2 {
+		t.Errorf("Cycles() = %d, want 2", m.Cycles())
+	}
+	if u := m.BusUtilization(); u != 0.5 {
+		t.Errorf("BusUtilization() = %v, want 0.5", u)
+	}
+	if m.Occupancy.Max() != 5 {
+		t.Errorf("occupancy max = %d, want 5", m.Occupancy.Max())
+	}
+
+	s := m.Summary()
+	if s.Cycles != 2 || s.Stalls["operand"] != 2 || s.Residency.N != 1 {
+		t.Errorf("summary inconsistent: %+v", s)
+	}
+	if s.Events["commit"] != 1 {
+		t.Errorf("summary events = %v", s.Events)
+	}
+
+	var b strings.Builder
+	for _, tb := range m.Tables() {
+		tb.WriteText(&b)
+	}
+	out := b.String()
+	for _, want := range []string{"Run overview", "occupancy", "Residency", "operand"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package obs is the pipeline observability layer: a typed event stream
+// describing the lifecycle of every dynamic instruction (fetch, decode,
+// issue, dispatch, execute, writeback, commit, squash), per-cycle
+// occupancy samples, and the decode-stage stall record. The machine loop
+// (internal/machine) and the issue engines emit events through
+// issue.Context; anything implementing Probe can consume them.
+//
+// The package ships three consumers:
+//
+//   - Metrics: fixed-bucket histograms for engine occupancy, load-register
+//     occupancy and per-instruction residency (issue→commit latency),
+//     plus stall-reason cycle counts and result-bus utilisation.
+//   - ChromeTracer: a Chrome trace-event JSON exporter (one track per
+//     dynamic instruction, one slice per pipeline stage) loadable in
+//     Perfetto or chrome://tracing.
+//   - PipeViewer: a Konata/gem5-O3-style textual pipeline timeline.
+//
+// A nil Probe disables observability entirely: the emission helpers on
+// issue.Context branch on nil and allocate nothing (guarded by
+// testing.AllocsPerRun in the test suite), so the hot path pays one
+// predictable branch per would-be event.
+//
+// obs deliberately imports none of the simulator packages (the
+// dependency runs the other way: issue → obs), so stall reasons appear
+// here as raw codes; consumers that need names receive the name table at
+// construction (see issue.StallNames).
+package obs
+
+// Kind classifies a pipeline lifecycle event.
+type Kind uint8
+
+const (
+	// KindFetch: the instruction was fetched into the decode register.
+	KindFetch Kind = iota
+	// KindDecode: the decode stage first considered the instruction.
+	KindDecode
+	// KindIssue: the engine accepted the instruction (it occupies a
+	// reservation station / RUU entry / ROB slot, or — for the simple
+	// engine — went straight to a functional unit).
+	KindIssue
+	// KindDispatch: the instruction left its entry for a functional unit.
+	KindDispatch
+	// KindExecute: the functional unit began executing the operation.
+	KindExecute
+	// KindWriteback: the result appeared on the result bus (or the
+	// operation completed without a register result, e.g. a store
+	// buffering its data).
+	KindWriteback
+	// KindCommit: the instruction architecturally completed.
+	KindCommit
+	// KindSquash: the instruction was nullified (wrong-path entry behind
+	// a mispredicted branch, or a provisional machine retirement
+	// discarded by a precise interrupt).
+	KindSquash
+	// KindStall: the decode stage failed to make progress this cycle;
+	// Event.Stall carries the reason code.
+	KindStall
+	// KindTrap: a trap reached the architectural boundary.
+	KindTrap
+
+	// NumKinds is the number of event kinds.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"fetch", "decode", "issue", "dispatch", "execute",
+	"writeback", "commit", "squash", "stall", "trap",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind?"
+}
+
+// NoID marks events that are not tied to a dynamic instruction (fetch
+// stalls on an empty decode register, traps delivered between
+// instructions).
+const NoID int64 = -1
+
+// Event is one pipeline lifecycle occurrence. Events are delivered by
+// value and never retained by the emitter, so probes may keep them
+// without copying.
+type Event struct {
+	// Kind classifies the event.
+	Kind Kind
+	// Stall is the stall-reason code (an issue.StallReason) for
+	// KindStall events; zero otherwise.
+	Stall uint8
+	// PC is the instruction's static program counter (instruction
+	// index), or the trap PC for KindTrap.
+	PC int
+	// ID is the dynamic-instruction id assigned at fetch (NoID when the
+	// event concerns no particular instruction).
+	ID int64
+	// Cycle is the simulation cycle the event occurred in.
+	Cycle int64
+}
+
+// Sample is the per-cycle occupancy snapshot, emitted once per simulated
+// cycle after all of the cycle's events.
+type Sample struct {
+	// Cycle is the simulation cycle.
+	Cycle int64
+	// InFlight is the engine occupancy (issued, not yet retired).
+	InFlight int
+	// LoadRegs is the number of busy load registers.
+	LoadRegs int
+	// BusBusy reports whether a result occupied the result bus this
+	// cycle.
+	BusBusy bool
+}
+
+// Probe consumes the event stream. Implementations are driven from the
+// single-threaded machine loop and need no locking.
+type Probe interface {
+	// Event receives one lifecycle event.
+	Event(Event)
+	// Sample receives the per-cycle occupancy snapshot.
+	Sample(Sample)
+}
+
+// Multi fans the stream out to several probes in order.
+type Multi []Probe
+
+// Event implements Probe.
+func (m Multi) Event(e Event) {
+	for _, p := range m {
+		p.Event(e)
+	}
+}
+
+// Sample implements Probe.
+func (m Multi) Sample(s Sample) {
+	for _, p := range m {
+		p.Sample(s)
+	}
+}
+
+// Combine returns a probe fanning out to all non-nil arguments: nil when
+// none remain (preserving the nil fast path), the probe itself for one,
+// and a Multi otherwise.
+func Combine(probes ...Probe) Probe {
+	var live []Probe
+	for _, p := range probes {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return Multi(live)
+	}
+}

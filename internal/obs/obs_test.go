@@ -1,0 +1,81 @@
+package obs
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindFetch:     "fetch",
+		KindDecode:    "decode",
+		KindIssue:     "issue",
+		KindDispatch:  "dispatch",
+		KindExecute:   "execute",
+		KindWriteback: "writeback",
+		KindCommit:    "commit",
+		KindSquash:    "squash",
+		KindStall:     "stall",
+		KindTrap:      "trap",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if Kind(200).String() != "kind?" {
+		t.Errorf("out-of-range kind renders as %q", Kind(200).String())
+	}
+}
+
+func TestCombine(t *testing.T) {
+	if Combine() != nil {
+		t.Error("Combine() should be nil")
+	}
+	if Combine(nil, nil) != nil {
+		t.Error("Combine(nil, nil) should be nil (preserving the fast path)")
+	}
+	r := NewRecorder()
+	if got := Combine(nil, r, nil); got != Probe(r) {
+		t.Errorf("Combine with one live probe should return it unchanged, got %T", got)
+	}
+	r2 := NewRecorder()
+	m := Combine(r, nil, r2)
+	if _, ok := m.(Multi); !ok {
+		t.Fatalf("Combine with two live probes should return a Multi, got %T", m)
+	}
+	m.Event(Event{Kind: KindIssue, ID: 7, Cycle: 3})
+	m.Sample(Sample{Cycle: 3, InFlight: 1})
+	for i, rec := range []*Recorder{r, r2} {
+		if len(rec.Events) != 1 || rec.Events[0].ID != 7 {
+			t.Errorf("recorder %d missed the fanned-out event: %+v", i, rec.Events)
+		}
+		if len(rec.Samples) != 1 || rec.Samples[0].InFlight != 1 {
+			t.Errorf("recorder %d missed the fanned-out sample: %+v", i, rec.Samples)
+		}
+	}
+}
+
+func TestRecorderHelpers(t *testing.T) {
+	r := NewRecorder()
+	r.Event(Event{Kind: KindIssue, ID: 1, Cycle: 2})
+	r.Event(Event{Kind: KindCommit, ID: 1, Cycle: 9})
+	r.Event(Event{Kind: KindIssue, ID: 2, Cycle: 3})
+	r.Event(Event{Kind: KindSquash, ID: 2, Cycle: 5})
+
+	if got := r.ByID(1); len(got) != 2 {
+		t.Errorf("ByID(1) = %d events, want 2", len(got))
+	}
+	if c, ok := r.First(1, KindCommit); !ok || c != 9 {
+		t.Errorf("First(1, commit) = %d, %v", c, ok)
+	}
+	if _, ok := r.First(1, KindSquash); ok {
+		t.Error("First(1, squash) should not exist")
+	}
+	if n := r.Count(KindIssue); n != 2 {
+		t.Errorf("Count(issue) = %d, want 2", n)
+	}
+	if got := r.Committed(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Committed() = %v", got)
+	}
+	if got := r.Squashed(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Squashed() = %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// stageChar is the timeline letter for each stage.
+var stageChar = [NumKinds]byte{
+	KindFetch:     'F',
+	KindDecode:    'D',
+	KindIssue:     'I',
+	KindDispatch:  'P',
+	KindExecute:   'E',
+	KindWriteback: 'W',
+	KindCommit:    'C',
+	KindSquash:    'X',
+}
+
+// PipeViewer is a probe rendering a Konata / gem5-O3-pipeview-style
+// textual pipeline timeline: one line per dynamic instruction, one
+// column per cycle from fetch to commit:
+//
+//	I000007 @    42 |F.D.IPE..W...C| pc=5 fmul S3, S1, S2
+//
+// F=fetch D=decode I=issue P=dispatch E=execute W=writeback C=commit
+// X=squash, '.' = waiting. The '@' column is the fetch cycle, so
+// relative alignment between consecutive lines follows from the cycle
+// numbers. Lines are written when the instruction commits or is
+// squashed, in completion order.
+type PipeViewer struct {
+	w       *bufio.Writer
+	disasm  func(pc int) string
+	live    map[int64]*timeline
+	limit   int
+	written int
+	header  bool
+	err     error
+}
+
+// NewPipeViewer returns a viewer writing to w, stopping after limit
+// instructions (0 means unlimited). Call Close after the run.
+func NewPipeViewer(w io.Writer, limit int) *PipeViewer {
+	return &PipeViewer{w: bufio.NewWriter(w), limit: limit, live: make(map[int64]*timeline)}
+}
+
+// SetDisasm installs a disassembler used to label lines.
+func (v *PipeViewer) SetDisasm(f func(pc int) string) { v.disasm = f }
+
+// Event implements Probe.
+func (v *PipeViewer) Event(e Event) {
+	if e.ID == NoID || v.err != nil {
+		return
+	}
+	if v.limit > 0 && v.written >= v.limit {
+		return
+	}
+	tl := v.live[e.ID]
+	if tl == nil {
+		if e.Kind == KindCommit || e.Kind == KindSquash || e.Kind == KindStall {
+			return
+		}
+		tl = &timeline{pc: e.PC}
+		v.live[e.ID] = tl
+	}
+	switch e.Kind {
+	case KindStall:
+		// Stall cycles appear as '.' padding between stage letters.
+	case KindCommit, KindSquash:
+		tl.stamp(e.Kind, e.Cycle)
+		delete(v.live, e.ID)
+		v.render(e.ID, tl)
+		v.written++
+	default:
+		tl.stamp(e.Kind, e.Cycle)
+	}
+}
+
+// Sample implements Probe; the viewer ignores occupancy samples.
+func (v *PipeViewer) Sample(Sample) {}
+
+func (v *PipeViewer) render(id int64, tl *timeline) {
+	if !v.header {
+		v.header = true
+		fmt.Fprintln(v.w, "pipeline timeline: F=fetch D=decode I=issue P=dispatch E=execute W=writeback C=commit X=squash ('@' = fetch cycle)")
+	}
+	terminal := KindCommit
+	if tl.has(KindSquash) {
+		terminal = KindSquash
+	}
+	start := tl.stamps[terminal]
+	for k := Kind(0); k < NumKinds; k++ {
+		if tl.has(k) && tl.stamps[k] < start {
+			start = tl.stamps[k]
+		}
+	}
+	width := int(tl.stamps[terminal] - start + 1)
+	line := make([]byte, width)
+	for i := range line {
+		line[i] = '.'
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if tl.has(k) && stageChar[k] != 0 {
+			line[tl.stamps[k]-start] = stageChar[k]
+		}
+	}
+	label := ""
+	if v.disasm != nil {
+		label = " " + v.disasm(tl.pc)
+	}
+	_, err := fmt.Fprintf(v.w, "I%06d @%6d |%s| pc=%d%s\n", id, start, line, tl.pc, label)
+	if err != nil {
+		v.err = err
+	}
+}
+
+// Close flushes the viewer. In-flight instructions are dropped. Close
+// does not close the underlying writer.
+func (v *PipeViewer) Close() error {
+	v.live = make(map[int64]*timeline)
+	if err := v.w.Flush(); err != nil && v.err == nil {
+		v.err = err
+	}
+	return v.err
+}

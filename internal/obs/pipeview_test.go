@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipeViewer(t *testing.T) {
+	var b strings.Builder
+	v := NewPipeViewer(&b, 0)
+	v.SetDisasm(func(pc int) string { return "fmul S3, S1, S2" })
+	v.Event(Event{Kind: KindFetch, ID: 7, PC: 5, Cycle: 40})
+	v.Event(Event{Kind: KindDecode, ID: 7, PC: 5, Cycle: 41})
+	v.Event(Event{Kind: KindIssue, ID: 7, PC: 5, Cycle: 42})
+	v.Event(Event{Kind: KindExecute, ID: 7, PC: 5, Cycle: 44})
+	v.Event(Event{Kind: KindWriteback, ID: 7, PC: 5, Cycle: 48})
+	v.Event(Event{Kind: KindCommit, ID: 7, PC: 5, Cycle: 50})
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 { // header + one instruction
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	line := lines[1]
+	if !strings.Contains(line, "I000007") || !strings.Contains(line, "pc=5") || !strings.Contains(line, "fmul") {
+		t.Errorf("line = %q", line)
+	}
+	// Timeline spans fetch (40) to commit (50): 11 columns, stages at
+	// their cycle offsets, '.' elsewhere.
+	start := strings.Index(line, "|")
+	end := strings.LastIndex(line, "|")
+	tlStr := line[start+1 : end]
+	if tlStr != "FDI.E...W.C" {
+		t.Errorf("timeline = %q, want FDI.E...W.C", tlStr)
+	}
+}
+
+func TestPipeViewerLimit(t *testing.T) {
+	var b strings.Builder
+	v := NewPipeViewer(&b, 2)
+	for id := int64(0); id < 5; id++ {
+		v.Event(Event{Kind: KindIssue, ID: id, Cycle: id})
+		v.Event(Event{Kind: KindCommit, ID: id, Cycle: id + 3})
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 { // header + 2 instructions
+		t.Errorf("limit 2 wrote %d lines:\n%s", len(lines), b.String())
+	}
+}
+
+func TestPipeViewerSquash(t *testing.T) {
+	var b strings.Builder
+	v := NewPipeViewer(&b, 0)
+	v.Event(Event{Kind: KindIssue, ID: 1, Cycle: 10})
+	v.Event(Event{Kind: KindSquash, ID: 1, Cycle: 12})
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "I.X") {
+		t.Errorf("squash timeline missing X:\n%s", b.String())
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+// Recorder is a probe that stores the whole stream in memory — test and
+// debugging support for asserting on event ordering and occupancy.
+type Recorder struct {
+	// Events holds every delivered event in delivery order.
+	Events []Event
+	// Samples holds every per-cycle sample.
+	Samples []Sample
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Event implements Probe.
+func (r *Recorder) Event(e Event) { r.Events = append(r.Events, e) }
+
+// Sample implements Probe.
+func (r *Recorder) Sample(s Sample) { r.Samples = append(r.Samples, s) }
+
+// ByID returns the events of one dynamic instruction, in delivery order.
+func (r *Recorder) ByID(id int64) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the cycle of the first event of the given kind for the
+// given instruction, and whether one exists.
+func (r *Recorder) First(id int64, k Kind) (int64, bool) {
+	for _, e := range r.Events {
+		if e.ID == id && e.Kind == k {
+			return e.Cycle, true
+		}
+	}
+	return 0, false
+}
+
+// Count returns the number of events of kind k across all instructions.
+func (r *Recorder) Count(k Kind) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Committed returns the ids of instructions with a commit event, in
+// commit order.
+func (r *Recorder) Committed() []int64 {
+	var out []int64
+	for _, e := range r.Events {
+		if e.Kind == KindCommit {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// Squashed returns the ids of instructions with a squash event, in
+// squash order.
+func (r *Recorder) Squashed() []int64 {
+	var out []int64
+	for _, e := range r.Events {
+		if e.Kind == KindSquash {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}

@@ -93,15 +93,33 @@ func (t *Table) WriteMarkdown(w io.Writer) {
 }
 
 // WriteCSV renders the table as comma-separated values with a comment
-// line for the title (for plotting scripts).
+// line for the title (for plotting scripts). Cells containing a comma,
+// quote or line break are quoted per RFC 4180.
 func (t *Table) WriteCSV(w io.Writer) {
 	if t.Title != "" {
 		fmt.Fprintf(w, "# %s\n", t.Title)
 	}
-	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	writeCSVRow(w, t.Columns)
 	for _, r := range t.Rows {
-		fmt.Fprintln(w, strings.Join(r, ","))
+		writeCSVRow(w, r)
 	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, csvQuote(c))
+	}
+	io.WriteString(w, "\n")
+}
+
+func csvQuote(c string) string {
+	if !strings.ContainsAny(c, ",\"\n\r") {
+		return c
+	}
+	return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
 }
 
 // String renders the table as text.

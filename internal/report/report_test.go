@@ -59,6 +59,44 @@ func TestWriteMarkdown(t *testing.T) {
 	}
 }
 
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	sample().WriteCSV(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title comment, header, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "# Sample" {
+		t.Errorf("title comment = %q", lines[0])
+	}
+	if lines[1] != "Name,Count,Rate" {
+		t.Errorf("header = %q", lines[1])
+	}
+	if lines[2] != "alpha,12,0.500" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	tb := New("", "Label", "Value")
+	tb.Add("plain", 1)
+	tb.Add("comma, inside", 2)
+	tb.Add(`has "quotes"`, 3)
+	var b strings.Builder
+	tb.WriteCSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"comma, inside",2`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"has ""quotes""",3`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "plain,1") {
+		t.Errorf("plain cell should stay unquoted:\n%s", out)
+	}
+}
+
 func TestStringAndUntitled(t *testing.T) {
 	tb := New("", "A")
 	tb.Add(1)

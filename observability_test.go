@@ -1,0 +1,276 @@
+package ruu_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ruu"
+	"ruu/internal/issue"
+	"ruu/internal/livermore"
+	"ruu/internal/obs"
+)
+
+// runKernelWithProbe runs the named kernel under cfg with the probe
+// attached and returns the run result.
+func runKernelWithProbe(t *testing.T, cfg ruu.Config, kernel string, p ruu.Probe) ruu.Result {
+	t.Helper()
+	k := livermore.ByName(kernel)
+	if k == nil {
+		t.Fatalf("unknown kernel %q", kernel)
+	}
+	unit, err := k.Unit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := k.NewState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Machine.Probe = p
+	m, err := ruu.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(unit.Prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil {
+		t.Fatalf("unexpected trap: %v", res.Trap)
+	}
+	return res
+}
+
+// TestProbeEventOrdering checks the fundamental contract of the event
+// stream: every committed instruction's lifecycle cycles are monotone —
+// fetch ≤ decode ≤ (issue ≤ dispatch ≤ execute ≤ writeback ≤) commit —
+// on both a precise out-of-order engine (RUU) and an in-order reorder
+// buffer.
+func TestProbeEventOrdering(t *testing.T) {
+	cfgs := map[string]ruu.Config{
+		"ruu":     {Engine: ruu.EngineRUU, Entries: 12},
+		"reorder": {Engine: ruu.EngineReorder, Entries: 12},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			rec := ruu.NewProbeRecorder()
+			res := runKernelWithProbe(t, cfg, "LLL1", rec)
+
+			committed := rec.Committed()
+			if int64(len(committed)) != res.Stats.Instructions {
+				t.Fatalf("commit events %d != architectural instructions %d",
+					len(committed), res.Stats.Instructions)
+			}
+			chain := []ruu.ProbeKind{
+				ruu.KindFetch, ruu.KindDecode, ruu.KindIssue, ruu.KindDispatch,
+				ruu.KindExecute, ruu.KindWriteback, ruu.KindCommit,
+			}
+			for _, id := range committed {
+				if id == obs.NoID {
+					t.Fatal("commit event with no instruction id")
+				}
+				last := int64(-1)
+				lastKind := ruu.ProbeKind(0)
+				seen := 0
+				for _, k := range chain {
+					c, ok := rec.First(id, k)
+					if !ok {
+						// Machine-retired instructions (branches, NOP/HALT on
+						// some engines) have no issue..writeback stages; the
+						// stages an instruction does pass through must still
+						// be in order.
+						continue
+					}
+					seen++
+					if c < last {
+						t.Fatalf("I%d: %v@%d precedes %v@%d", id, k, c, lastKind, last)
+					}
+					last, lastKind = c, k
+				}
+				if _, ok := rec.First(id, ruu.KindFetch); !ok {
+					t.Errorf("I%d committed without a fetch event", id)
+				}
+				if seen < 3 { // at minimum fetch, decode, commit
+					t.Errorf("I%d committed with only %d lifecycle events", id, seen)
+				}
+			}
+			// An instruction that issued must show the full chain on these
+			// engines (degenerate same-cycle stages included).
+			full := 0
+			for _, id := range committed {
+				if _, ok := rec.First(id, ruu.KindIssue); !ok {
+					continue
+				}
+				for _, k := range chain[2:] {
+					if _, ok := rec.First(id, k); !ok {
+						t.Fatalf("I%d issued but lacks a %v event", id, k)
+					}
+				}
+				full++
+			}
+			if full == 0 {
+				t.Fatal("no instruction went through the full issue chain")
+			}
+		})
+	}
+}
+
+// TestSquashEvents drives a mispredicted branch: the predictor starts
+// weakly-taken, the branch's condition is produced by a long-latency
+// reciprocal, and the branch falls through — so the predicted (taken)
+// path issues conditionally and is squashed when the branch resolves.
+func TestSquashEvents(t *testing.T) {
+	src := `
+start:
+	lsi S1, 3
+	frecip S0, S1
+	jsz wrong
+	lsi S2, 1
+	lsi S3, 2
+	halt
+wrong:
+	lsi S4, 7
+	lsi S5, 8
+	lsi S6, 9
+	halt
+`
+	unit, err := ruu.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ruu.NewProbeRecorder()
+	cfg := ruu.Config{Engine: ruu.EngineRUU, Entries: 12}
+	cfg.Machine.Speculate = true
+	cfg.Machine.Probe = rec
+	m, err := ruu.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(unit.Prog, ruu.NewState(unit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trap != nil {
+		t.Fatalf("unexpected trap: %v", res.Trap)
+	}
+	if res.Stats.Mispredicts == 0 {
+		t.Fatal("test program did not mispredict (predictor changed?)")
+	}
+	squashed := rec.Squashed()
+	if len(squashed) == 0 {
+		t.Fatal("misprediction produced no squash events")
+	}
+	// Squashed instructions are wrong-path: they must come from the
+	// not-executed arm and never also commit.
+	committedSet := map[int64]bool{}
+	for _, id := range rec.Committed() {
+		committedSet[id] = true
+	}
+	for _, id := range squashed {
+		if committedSet[id] {
+			t.Errorf("I%d both squashed and committed", id)
+		}
+	}
+	// The architectural run never reaches the wrong arm, so S4 stays 0.
+	if got := rec.Count(ruu.KindSquash); got != len(squashed) {
+		t.Errorf("Count(squash) = %d, want %d", got, len(squashed))
+	}
+}
+
+// TestChromeTraceEndToEnd is the PR's acceptance criterion: a kernel run
+// with -trace-out semantics yields valid Chrome trace-event JSON with one
+// complete stage timeline per committed instruction.
+func TestChromeTraceEndToEnd(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := ruu.NewChromeTracer(&buf)
+	rec := ruu.NewProbeRecorder()
+	res := runKernelWithProbe(t, ruu.Config{Engine: ruu.EngineRUU, Entries: 12},
+		"LLL1", ruu.CombineProbes(tracer, rec))
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Tid  int64          `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	tracks := map[int64]bool{}
+	instants := map[int64]bool{}
+	slices := map[int64]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			tracks[e.Tid] = true
+		case "X":
+			slices[e.Tid]++
+		case "i":
+			instants[e.Tid] = true
+		}
+	}
+	if int64(len(tracks)) != res.Stats.Instructions {
+		t.Fatalf("%d instruction tracks for %d committed instructions",
+			len(tracks), res.Stats.Instructions)
+	}
+	for _, id := range rec.Committed() {
+		if !tracks[id] {
+			t.Fatalf("committed I%d has no track", id)
+		}
+		if !instants[id] {
+			t.Fatalf("committed I%d has no terminal commit event", id)
+		}
+		if slices[id] < 2 { // at least fetch + decode
+			t.Fatalf("committed I%d has only %d stage slices", id, slices[id])
+		}
+	}
+}
+
+// TestNilProbeZeroAlloc proves the no-observer fast path allocates
+// nothing: the emission helpers must be free when no probe is attached.
+func TestNilProbeZeroAlloc(t *testing.T) {
+	ctx := &issue.Context{}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx.Observe(obs.KindIssue, 42, 7, 3)
+		ctx.ObserveStall(42, issue.StallOperand, 7, 3)
+		ctx.ObserveSample(obs.Sample{Cycle: 42, InFlight: 5})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-probe emission allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestMetricsMatchesStats cross-checks the metrics probe against the
+// machine's own counters: commits equal architectural instructions,
+// stall cycles match Stats.Stalls, and occupancy sampling covers nearly
+// every cycle.
+func TestMetricsMatchesStats(t *testing.T) {
+	mc := ruu.NewMetricsCollector()
+	res := runKernelWithProbe(t, ruu.Config{Engine: ruu.EngineRUU, Entries: 12}, "LLL5", mc)
+
+	if got := mc.EventCount(ruu.KindCommit); got != res.Stats.Instructions {
+		t.Errorf("metrics commits %d != instructions %d", got, res.Stats.Instructions)
+	}
+	wantStalls := res.Stats.StallsByName()
+	gotStalls := mc.Stalls()
+	if fmt.Sprint(wantStalls) != fmt.Sprint(gotStalls) {
+		t.Errorf("stall breakdown differs:\nstats:   %v\nmetrics: %v", wantStalls, gotStalls)
+	}
+	if mc.Cycles() == 0 || mc.Cycles() > res.Stats.Cycles {
+		t.Errorf("sampled cycles %d outside (0, %d]", mc.Cycles(), res.Stats.Cycles)
+	}
+	if int(mc.Occupancy.Max()) > res.Stats.MaxInFlight {
+		t.Errorf("sampled occupancy max %d exceeds stats max %d",
+			mc.Occupancy.Max(), res.Stats.MaxInFlight)
+	}
+	if mc.Residency.N() == 0 {
+		t.Error("no residency observations")
+	}
+}

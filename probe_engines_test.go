@@ -1,0 +1,61 @@
+package ruu_test
+
+import (
+	"testing"
+
+	"ruu"
+)
+
+// TestAllEnginesCommitCount checks the cross-engine invariant of the
+// probe stream: on every issue mechanism, each architecturally executed
+// instruction produces exactly one commit event (and none twice) — the
+// property the metrics collector and trace exporter rely on.
+func TestAllEnginesCommitCount(t *testing.T) {
+	src := `
+.array buf 1
+	lai A1, 8
+	lai A0, 8
+	lsi S1, 3
+	fadd S2, S1, S1
+	fmul S3, S2, S1
+	lai A2, =buf
+	sts S3, 0(A2)
+	lds S4, 0(A2)
+	nop
+loop:
+	addai A3, A3, 1
+	addai A0, A0, -1
+	janz loop
+	halt
+`
+	for _, ek := range []ruu.EngineKind{ruu.EngineSimple, ruu.EngineTomasulo, ruu.EngineTagUnit, ruu.EngineRSPool, ruu.EngineRSTU, ruu.EngineRUU, ruu.EngineReorder, ruu.EngineReorderBypass, ruu.EngineReorderFuture} {
+		unit, err := ruu.Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := ruu.NewProbeRecorder()
+		cfg := ruu.Config{Engine: ek}
+		cfg.Machine.Probe = rec
+		m, err := ruu.NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(unit.Prog, ruu.NewState(unit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Trap != nil {
+			t.Fatalf("%s: trap %v", ek, res.Trap)
+		}
+		if int64(len(rec.Committed())) != res.Stats.Instructions {
+			t.Errorf("%s: commits %d != instructions %d", ek, len(rec.Committed()), res.Stats.Instructions)
+		}
+		seen := map[int64]bool{}
+		for _, id := range rec.Committed() {
+			if seen[id] {
+				t.Errorf("%s: I%d committed twice", ek, id)
+			}
+			seen[id] = true
+		}
+	}
+}

@@ -23,6 +23,7 @@ package ruu
 
 import (
 	"fmt"
+	"io"
 
 	"ruu/internal/asm"
 	"ruu/internal/core"
@@ -35,6 +36,7 @@ import (
 	"ruu/internal/issue/tagunit"
 	"ruu/internal/issue/tomasulo"
 	"ruu/internal/machine"
+	"ruu/internal/obs"
 )
 
 // EngineKind selects an instruction-issue mechanism.
@@ -108,6 +110,82 @@ type (
 	// Engine is the interface all issue mechanisms implement.
 	Engine = issue.Engine
 )
+
+// Re-exported observability types (internal/obs): attach a Probe via
+// MachineConfig.Probe to receive the pipeline lifecycle event stream.
+type (
+	// Probe receives pipeline lifecycle events and per-cycle samples.
+	Probe = obs.Probe
+	// ProbeEvent is one lifecycle event (fetch … commit/squash).
+	ProbeEvent = obs.Event
+	// ProbeSample is a per-cycle occupancy snapshot.
+	ProbeSample = obs.Sample
+	// ProbeKind classifies lifecycle events.
+	ProbeKind = obs.Kind
+	// MetricsCollector is a probe aggregating histograms and counters.
+	MetricsCollector = obs.Metrics
+	// MetricsSummary is the JSON-friendly rendering of the metrics.
+	MetricsSummary = obs.Summary
+	// ChromeTracer is a probe writing Chrome trace-event JSON (Perfetto).
+	ChromeTracer = obs.ChromeTracer
+	// PipeViewer is a probe rendering a textual pipeline timeline.
+	PipeViewer = obs.PipeViewer
+	// ProbeRecorder is a probe storing the whole stream (tests, tools).
+	ProbeRecorder = obs.Recorder
+)
+
+// Re-exported lifecycle-event kinds.
+const (
+	KindFetch     = obs.KindFetch
+	KindDecode    = obs.KindDecode
+	KindIssue     = obs.KindIssue
+	KindDispatch  = obs.KindDispatch
+	KindExecute   = obs.KindExecute
+	KindWriteback = obs.KindWriteback
+	KindCommit    = obs.KindCommit
+	KindSquash    = obs.KindSquash
+	KindStall     = obs.KindStall
+	KindTrap      = obs.KindTrap
+)
+
+// NewMetricsCollector returns a metrics probe wired to this machine's
+// stall-reason names.
+func NewMetricsCollector() *MetricsCollector {
+	return obs.NewMetrics(issue.StallNames())
+}
+
+// NewChromeTracer returns a probe writing Chrome trace-event JSON to w;
+// open the output in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Call Close after the run to terminate the document.
+func NewChromeTracer(w io.Writer) *ChromeTracer { return obs.NewChromeTracer(w) }
+
+// NewPipeViewer returns a probe rendering one timeline line per
+// committed (or squashed) instruction, stopping after limit instructions
+// (0 = unlimited). Call Close after the run.
+func NewPipeViewer(w io.Writer, limit int) *PipeViewer { return obs.NewPipeViewer(w, limit) }
+
+// NewProbeRecorder returns a probe recording the full event stream.
+func NewProbeRecorder() *ProbeRecorder { return obs.NewRecorder() }
+
+// CombineProbes fans one event stream out to several probes; nils are
+// dropped, and the result is nil when none remain (keeping the
+// no-observer fast path).
+func CombineProbes(probes ...Probe) Probe { return obs.Combine(probes...) }
+
+// StallNames returns the stall-reason names indexed by stall code (the
+// Stall field of a KindStall ProbeEvent).
+func StallNames() []string { return issue.StallNames() }
+
+// Disasm returns a disassembler for the unit's program, suitable for
+// ChromeTracer.SetDisasm / PipeViewer.SetDisasm.
+func Disasm(u *Unit) func(pc int) string {
+	return func(pc int) string {
+		if u == nil || pc < 0 || pc >= len(u.Prog.Instructions) {
+			return ""
+		}
+		return u.Prog.Instructions[pc].String()
+	}
+}
 
 // Config selects and sizes an issue mechanism plus the machine frame.
 type Config struct {
