@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet bench lint
 
-all: build test vet
+all: build test vet lint
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,9 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# lint runs ruulint, the repo's own static-analysis suite
+# (see docs/ANALYSIS.md). A finding is a build failure.
+lint:
+	$(GO) build ./...
+	$(GO) run ./cmd/ruulint ./...

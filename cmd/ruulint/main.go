@@ -1,0 +1,121 @@
+// Command ruulint runs the repository's static-analysis passes
+// (internal/analysis) over the module: determinism hygiene in
+// simulation packages, obs probe coverage in the issue engines, and the
+// precise-state mutation discipline.
+//
+// Usage:
+//
+//	ruulint ./...              # whole module (the only supported pattern)
+//	ruulint -list              # describe the passes
+//	ruulint -passes precisestate,probeemit ./...
+//
+// Findings print as file:line:col: [pass] message, relative to the
+// working directory. Exit status: 0 clean, 1 findings, 2 usage or load
+// error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ruu/internal/analysis"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list the passes and exit")
+		passes = flag.String("passes", "", "comma-separated pass names to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ruulint [-list] [-passes p1,p2] [./...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	if flag.NArg() > 1 || (flag.NArg() == 1 && flag.Arg(0) != "./...") {
+		fmt.Fprintf(os.Stderr, "ruulint: only the whole-module pattern ./... is supported\n")
+		os.Exit(2)
+	}
+
+	mod, err := analysis.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+	all := analysis.DefaultPasses(mod.Path)
+	if *list {
+		for _, p := range all {
+			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+	selected, err := selectPasses(all, *passes)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := analysis.Check(mod.Packages, selected)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ruulint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot ascends from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func selectPasses(all []*analysis.Pass, names string) ([]*analysis.Pass, error) {
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Pass{}
+	for _, p := range all {
+		byName[p.Name] = p
+	}
+	var out []*analysis.Pass
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown pass %q (try -list)", n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ruulint: %v\n", err)
+	os.Exit(2)
+}

@@ -11,6 +11,7 @@
 //	ruusim -kernel LLL1 -trace-out t.json        # Perfetto-loadable trace
 //	ruusim -kernel LLL1 -metrics                 # occupancy/residency tables
 //	ruusim -kernel LLL1 -pipetrace 40            # textual pipeline timeline
+//	ruusim -synth -seed 7                        # random synthesized program
 //	ruusim -list                                 # list built-in kernels
 package main
 
@@ -26,6 +27,7 @@ import (
 	"ruu/internal/issue"
 	"ruu/internal/livermore"
 	"ruu/internal/machine"
+	"ruu/internal/progsynth"
 )
 
 func main() {
@@ -40,6 +42,8 @@ func main() {
 		loadRegs  = flag.Int("loadregs", 6, "number of load registers")
 		speculate = flag.Bool("speculate", false, "enable branch prediction + conditional execution (RUU)")
 		kernel    = flag.String("kernel", "", "run a built-in Livermore kernel (LLL1..LLL14)")
+		synth     = flag.Bool("synth", false, "run a randomly synthesized program (see -seed)")
+		seed      = flag.Int64("seed", 1, "seed for -synth program and data generation")
 		list      = flag.Bool("list", false, "list built-in kernels")
 		verify    = flag.Bool("verify", true, "check the final state against the functional reference")
 		pipetrace = flag.Int("pipetrace", 0, "print a pipeline timeline for the first N committed instructions")
@@ -64,6 +68,13 @@ func main() {
 		err  error
 	)
 	switch {
+	case *synth:
+		if *kernel != "" {
+			log.Fatal("-synth and -kernel are mutually exclusive")
+		}
+		opts := progsynth.Options{Nested: true, CondBranches: true}
+		unit = &ruu.Unit{Prog: progsynth.Generate(*seed, opts)}
+		st = progsynth.NewState(*seed, opts)
 	case *kernel != "":
 		kk = livermore.ByName(*kernel)
 		if kk == nil {

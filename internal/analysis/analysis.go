@@ -1,0 +1,223 @@
+// Package analysis is the repository's static-analysis framework: a
+// small, dependency-free (go/ast + go/parser + go/types only) driver
+// plus the repo-specific passes that turn the simulator's correctness
+// conventions into machine-checked invariants.
+//
+// The paper's central claim — the RUU provides out-of-order issue *and*
+// precise interrupts from a single structure — survives in this
+// reproduction only while two disciplines hold: architectural state is
+// mutated exclusively on audited commit/writeback paths, and every run
+// is bit-for-bit reproducible. The runtime core.SelfCheck verifies the
+// first at simulation time for the configurations that happen to run;
+// the passes here verify both at the source level for every engine and
+// every configuration, so the disciplines scale with the codebase
+// instead of with reviewer attention. See docs/ANALYSIS.md.
+//
+// Three passes ship (see their files for details):
+//
+//   - simdeterminism: no wall-clock time, global math/rand, goroutines,
+//     channel selects, or order-sensitive map iteration in simulation
+//     packages.
+//   - probeemit: engine code that retires or squashes instructions must
+//     emit the matching obs lifecycle event.
+//   - precisestate: architectural register-file and memory writes only
+//     from allowlisted commit/writeback functions.
+//
+// A finding on a line carrying (or immediately preceded by) a comment
+// containing "ruulint:ok" is suppressed; use sparingly and justify the
+// suppression in the comment.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	// Pass is the name of the pass that produced the finding.
+	Pass string
+	// Pos is the source position of the offending node.
+	Pos token.Position
+	// Message describes the violation and the expected fix.
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Pass, f.Message)
+}
+
+// Pass is one analysis: a name, a one-line description, and a Run
+// function producing findings for a single type-checked package.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Finding
+}
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the package's import path ("ruu/internal/core").
+	Path string
+	// Fset positions all files of the enclosing load.
+	Fset *token.FileSet
+	// Files are the package's non-test source files, sorted by name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's expression and object maps.
+	Info *types.Info
+}
+
+// Pos resolves a node's source position.
+func (p *Package) Pos(n ast.Node) token.Position { return p.Fset.Position(n.Pos()) }
+
+// Module is a loaded module: its path, root directory, and packages.
+type Module struct {
+	// Path is the module path from go.mod ("ruu").
+	Path string
+	// Dir is the absolute module root.
+	Dir string
+	// Packages are the module's packages sorted by import path.
+	Packages []*Package
+}
+
+// Check runs the passes over the packages, drops suppressed findings,
+// and returns the rest sorted by position.
+func Check(pkgs []*Package, passes []*Pass) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		suppressed := suppressedLines(pkg)
+		for _, pass := range passes {
+			for _, f := range pass.Run(pkg) {
+				if suppressed[f.Pos.Filename][f.Pos.Line] {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// SortFindings orders findings by file, line, column, pass, message.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Message < b.Message
+	})
+}
+
+// suppressedLines collects, per file, the lines on which findings are
+// suppressed: the line of every "ruulint:ok" comment and the line after
+// it (so the marker works both trailing the offending line and on its
+// own line above it).
+func suppressedLines(pkg *Package) map[string]map[int]bool {
+	out := map[string]map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "ruulint:ok") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := out[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					out[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// inScope reports whether an import path falls under one of the scope
+// prefixes; an empty scope matches everything. A prefix matches the
+// path itself and everything below it ("ruu/internal/issue" matches
+// "ruu/internal/issue/rstu").
+func inScope(path string, scope []string) bool {
+	if len(scope) == 0 {
+		return true
+	}
+	for _, s := range scope {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls returns every function declaration (with a body) in the
+// package; used by passes that attribute findings to the containing
+// function.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// recvTypeName returns the bare name of a method's receiver type
+// ("Engine" for func (e *Engine) ...), or "" for plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// namedRecvOf returns the receiver's named type name for a method
+// object, dereferencing a pointer receiver, or "" when fn is not a
+// method on a named type.
+func namedRecvOf(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}

@@ -1,0 +1,65 @@
+package analysis
+
+// SimPackages lists the simulation packages (relative to the module
+// path) whose behaviour must be bit-for-bit reproducible; the
+// simdeterminism pass runs over these.
+var SimPackages = []string{
+	"internal/core",
+	"internal/issue",
+	"internal/machine",
+	"internal/memsys",
+	"internal/fu",
+	"internal/obs",
+}
+
+// EnginePackages lists the packages holding issue engines (relative to
+// the module path); the probeemit and precisestate passes run over
+// these.
+var EnginePackages = []string{
+	"internal/core",
+	"internal/issue",
+	"internal/machine",
+}
+
+// DefaultPreciseStateAllow is the audited set of architectural-state
+// mutator functions, per package (relative to the module path). The
+// RUU and the reorder buffer mutate only at commit (the precise
+// discipline); the imprecise engines mutate at completion, from the
+// result-broadcast and memory-op paths audited here. Extending this
+// list is an explicit, reviewed act — see docs/ANALYSIS.md.
+var DefaultPreciseStateAllow = map[string][]string{
+	// RUU (§5): all architectural writes happen at the head, in commit.
+	"internal/core": {"commit"},
+	// Reorder buffer variants: likewise commit-only.
+	"internal/issue/reorder": {"commit"},
+	// Simple in-order issue: registers update at result writeback in
+	// BeginCycle; stores write memory at issue (no store buffering).
+	"internal/issue/simple": {"BeginCycle", "TryIssue"},
+	// RSTU: register writeback in BeginCycle, stores from tryMemOp.
+	"internal/issue/rstu": {"BeginCycle", "tryMemOp"},
+	// Tomasulo / Tag Unit: register writeback in BeginCycle, stores
+	// from tryMemOp.
+	"internal/issue/tagunit": {"BeginCycle", "tryMemOp"},
+}
+
+// DefaultPasses returns the repository's pass set wired with the
+// default scopes and allowlist, for a module with the given path
+// ("ruu").
+func DefaultPasses(modulePath string) []*Pass {
+	prefix := func(rels []string) []string {
+		out := make([]string, len(rels))
+		for i, r := range rels {
+			out[i] = modulePath + "/" + r
+		}
+		return out
+	}
+	allow := Allowlist{}
+	for rel, fns := range DefaultPreciseStateAllow {
+		allow[modulePath+"/"+rel] = fns
+	}
+	return []*Pass{
+		NewSimDeterminism(prefix(SimPackages)...),
+		NewProbeEmit(prefix(EnginePackages)...),
+		NewPreciseState(allow, prefix(EnginePackages)...),
+	}
+}

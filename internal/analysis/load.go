@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks every non-test package of the module
+// rooted at dir (the directory holding go.mod). Only the standard
+// library and the module's own packages may be imported — by design the
+// module carries no external dependencies, and the loader enforces it:
+// an import outside both resolves through the source importer and fails
+// if absent from GOROOT.
+//
+// Directories named "testdata", hidden directories, and directories
+// without non-test Go files are skipped.
+func Load(dir string) (*Module, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	dirOf := map[string]string{}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		dirOf[imp] = path
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		dirOf:   dirOf,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	paths := make([]string, 0, len(dirOf))
+	for p := range dirOf {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	mod := &Module{Path: modPath, Dir: root}
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		mod.Packages = append(mod.Packages, pkg)
+	}
+	return mod, nil
+}
+
+// LoadDir parses and type-checks a single standalone directory of Go
+// files (test fixtures) under the given import path. Imports resolve
+// against the standard library only.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	l := &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		dirOf:   map[string]string{importPath: dir},
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	return l.load(importPath)
+}
+
+type loader struct {
+	fset    *token.FileSet
+	std     types.Importer
+	dirOf   map[string]string // module import path → directory
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Import implements types.Importer: module-local packages are
+// type-checked from source recursively, everything else is delegated to
+// the standard-library source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirOf[path]; ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirOf[path]
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: multiple packages in one directory (%s and %s)", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// goFileNames lists a directory's non-test Go files, sorted.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	names, err := goFileNames(dir)
+	return err == nil && len(names) > 0
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}

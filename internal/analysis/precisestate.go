@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// archMutators maps receiver type names to the methods that mutate
+// architectural state. RegState.SetReg (promoted through exec.State)
+// writes the register file; Memory.Write/Poke write memory words.
+var archMutators = map[string]map[string]bool{
+	"RegState": {"SetReg": true},
+	"State":    {"SetReg": true},
+	"Memory":   {"Write": true, "Poke": true},
+}
+
+// Allowlist maps an import path to the set of function (or method)
+// names within it that are audited architectural-state mutators.
+type Allowlist map[string][]string
+
+func (a Allowlist) allowed(pkgPath, fn string) bool {
+	for _, name := range a[pkgPath] {
+		if name == fn {
+			return true
+		}
+	}
+	return false
+}
+
+// NewPreciseState returns the precisestate pass, restricted to the
+// given import-path prefixes (empty scope = every package).
+//
+// The paper's precise-interrupt argument (§4-5) rests on architectural
+// state changing only at the commit boundary: the RUU buffers every
+// result and writes the register file and memory strictly from its
+// commit path, which is what makes the state at a trap recoverable. The
+// imprecise engines mutate at completion — that is their defined
+// discipline, and each of their mutator functions is individually
+// audited. Either way, the set of functions allowed to call
+// RegState.SetReg, Memory.Write, or Memory.Poke is closed: the pass
+// turns the discipline into a compile gate, so a new code path that
+// scribbles on architectural state from the wrong place is a lint
+// failure, not a latent interrupt-recovery bug. To extend the set, add
+// the function to the allowlist in docs/ANALYSIS.md order: audit the
+// call site, then list it in DefaultPreciseStateAllow (or the engine's
+// own entry).
+func NewPreciseState(allow Allowlist, scope ...string) *Pass {
+	p := &Pass{
+		Name: "precisestate",
+		Doc:  "architectural register/memory writes only from allowlisted commit/writeback functions",
+	}
+	p.Run = func(pkg *Package) []Finding {
+		if !inScope(pkg.Path, scope) {
+			return nil
+		}
+		var out []Finding
+		for _, fd := range funcDecls(pkg) {
+			if fd.Body == nil {
+				continue
+			}
+			fn := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, meth, ok := mutatorCall(pkg.Info, call)
+				if !ok || allow.allowed(pkg.Path, fn) {
+					return true
+				}
+				out = append(out, Finding{
+					Pass: p.Name,
+					Pos:  pkg.Pos(call),
+					Message: fmt.Sprintf(
+						"architectural state mutation %s.%s outside the audited commit/writeback set for %s (allowed: %s); see docs/ANALYSIS.md before extending the allowlist",
+						recv, meth, pkg.Path, allowedNames(allow, pkg.Path)),
+				})
+				return true
+			})
+		}
+		return out
+	}
+	return p
+}
+
+// mutatorCall reports whether a call invokes an architectural-state
+// mutator, resolving the callee through the type-checker so promoted
+// methods (st.SetReg via the embedded RegState) and any receiver
+// expression shape are recognised.
+func mutatorCall(info *types.Info, call *ast.CallExpr) (recvType, method string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	recv := namedRecvOf(fn)
+	if recv == "" {
+		return "", "", false
+	}
+	if ms, ok := archMutators[recv]; ok && ms[fn.Name()] {
+		return recv, fn.Name(), true
+	}
+	return "", "", false
+}
+
+func allowedNames(allow Allowlist, pkgPath string) string {
+	names := append([]string(nil), allow[pkgPath]...)
+	if len(names) == 0 {
+		return "none"
+	}
+	sort.Strings(names)
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+package analysis
+
+import "testing"
+
+func TestPreciseStateFixtures(t *testing.T) {
+	pkg := loadFixture(t, "precisestate")
+	allow := Allowlist{"precisestate": {"commit"}}
+	checkWants(t, pkg, NewPreciseState(allow))
+}
+
+func TestPreciseStateEmptyAllowlist(t *testing.T) {
+	pkg := loadFixture(t, "precisestate")
+	// With no allowlist even commit is flagged: the set is closed by
+	// configuration, not by naming convention.
+	findings := Check([]*Package{pkg}, []*Pass{NewPreciseState(nil)})
+	sawCommit := false
+	for _, f := range findings {
+		if f.Pos.Line > 0 && f.Pass == "precisestate" {
+			sawCommit = true
+		}
+	}
+	if !sawCommit || len(findings) != 5 {
+		// 3 in dispatch (bad.go) + 2 in commit (clean.go).
+		t.Errorf("empty allowlist: got %d findings, want 5: %v", len(findings), findings)
+	}
+}

@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// engineMethods is the method-set fingerprint identifying an
+// instruction-issue engine (the issue.Engine surface, by name, so the
+// pass also works on fixture packages that do not import the real
+// interface).
+var engineMethods = []string{"BeginCycle", "TryIssue", "Flush", "Retired", "InFlight", "Drained"}
+
+// engineEntryPoints are the per-cycle methods the machine loop calls;
+// the emission obligation is checked at these roots, with helper
+// methods contributing through the call graph. Reset and Flush are
+// deliberately absent: they legitimately clear counters and entries
+// without per-instruction events (a flush after a precise trap is not a
+// squash of architecturally-issued instructions).
+var engineEntryPoints = map[string]bool{
+	"BeginCycle": true, "Dispatch": true, "TryIssue": true,
+	"TryReadCond": true, "IssueBranch": true,
+}
+
+// NewProbeEmit returns the probeemit pass, restricted to the given
+// import-path prefixes (empty scope = every package).
+//
+// PR 1 threaded obs lifecycle events through every engine; the
+// observability layer is only trustworthy while that stays true. The
+// pass makes it structural: in any type implementing the engine method
+// set, an entry-point method that (transitively, through same-receiver
+// helpers) retires an instruction — increments the retired counter —
+// must also transitively emit obs.KindCommit, and one that squashes —
+// calls a *squash* helper or marks entries squashed — must emit
+// obs.KindSquash. A new engine that silently drops out of the
+// observability layer fails the lint instead of producing empty traces.
+func NewProbeEmit(scope ...string) *Pass {
+	p := &Pass{
+		Name: "probeemit",
+		Doc:  "engine methods that retire or squash instructions must emit the matching obs lifecycle event",
+	}
+	p.Run = func(pkg *Package) []Finding {
+		if !inScope(pkg.Path, scope) {
+			return nil
+		}
+		var out []Finding
+		for _, tn := range engineTypeNames(pkg) {
+			out = append(out, checkEngine(p.Name, pkg, tn)...)
+		}
+		return out
+	}
+	return p
+}
+
+// engineTypeNames lists the package-level named types whose declared
+// method set covers engineMethods.
+func engineTypeNames(pkg *Package) []string {
+	var out []string
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		have := map[string]bool{}
+		for i := 0; i < named.NumMethods(); i++ {
+			have[named.Method(i).Name()] = true
+		}
+		ok = true
+		for _, m := range engineMethods {
+			if !have[m] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// methodFacts is what the pass knows about one method body.
+type methodFacts struct {
+	decl    *ast.FuncDecl
+	emits   map[string]bool // obs kind names passed to calls ("KindCommit")
+	retires bool            // increments the retired counter
+	squash  bool            // marks entries squashed / named *squash*
+	calls   map[string]bool // same-receiver methods invoked
+}
+
+func checkEngine(passName string, pkg *Package, typeName string) []Finding {
+	facts := map[string]*methodFacts{}
+	for _, fd := range funcDecls(pkg) {
+		if fd.Recv == nil || recvTypeName(fd) != typeName || fd.Body == nil {
+			continue
+		}
+		facts[fd.Name.Name] = methodFactsOf(pkg, typeName, fd)
+	}
+
+	// Propagate facts through the same-receiver call graph to a fixed
+	// point: a method retires/squashes/emits if it does so directly or
+	// through any helper it calls.
+	for changed := true; changed; {
+		changed = false
+		for _, mf := range facts {
+			for callee := range mf.calls {
+				cf := facts[callee]
+				if cf == nil {
+					continue
+				}
+				if cf.retires && !mf.retires {
+					mf.retires = true
+					changed = true
+				}
+				if cf.squash && !mf.squash {
+					mf.squash = true
+					changed = true
+				}
+				for k := range cf.emits {
+					if !mf.emits[k] {
+						mf.emits[k] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(facts))
+	for n := range facts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, n := range names {
+		mf := facts[n]
+		if !engineEntryPoints[n] {
+			continue
+		}
+		if mf.retires && !mf.emits["KindCommit"] {
+			out = append(out, Finding{Pass: passName, Pos: pkg.Pos(mf.decl.Name),
+				Message: "(*" + typeName + ")." + n + " retires instructions but never emits obs.KindCommit (directly or via helpers); traces and metrics will silently miss them"})
+		}
+		if mf.squash && !mf.emits["KindSquash"] {
+			out = append(out, Finding{Pass: passName, Pos: pkg.Pos(mf.decl.Name),
+				Message: "(*" + typeName + ")." + n + " squashes instructions but never emits obs.KindSquash (directly or via helpers); traces and metrics will silently miss them"})
+		}
+	}
+	return out
+}
+
+func methodFactsOf(pkg *Package, typeName string, fd *ast.FuncDecl) *methodFacts {
+	mf := &methodFacts{
+		decl:  fd,
+		emits: map[string]bool{},
+		calls: map[string]bool{},
+	}
+	if isSquashName(fd.Name.Name) {
+		mf.squash = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Emission: any call carrying an obs kind constant argument
+			// (ctx.Observe(obs.KindCommit, ...), Probe.Event with a Kind
+			// field, or a local fixture equivalent).
+			for _, arg := range n.Args {
+				for _, k := range kindNamesIn(arg) {
+					mf.emits[k] = true
+				}
+			}
+			// Same-receiver helper calls, resolved through the
+			// type-checker so e.helper(), u.commit() etc. all count.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok && namedRecvOf(fn) == typeName {
+					mf.calls[sel.Sel.Name] = true
+					if isSquashName(sel.Sel.Name) {
+						mf.squash = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if n.Tok == token.INC && isFieldNamed(n.X, "retired") {
+				mf.retires = true
+			}
+		case *ast.AssignStmt:
+			mf.retires = mf.retires || retiresByAssign(n)
+			mf.squash = mf.squash || squashesByAssign(n)
+		}
+		return true
+	})
+	return mf
+}
+
+func isSquashName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "squash")
+}
+
+// retiresByAssign matches writes that advance the retired counter:
+// x.retired += n or x.retired = <non-zero>; the Reset idiom
+// x.retired = 0 is not a retirement.
+func retiresByAssign(s *ast.AssignStmt) bool {
+	if len(s.Lhs) == 0 || !isFieldNamed(s.Lhs[0], "retired") {
+		return false
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN:
+		return true
+	case token.ASSIGN:
+		return len(s.Rhs) != 1 || !isZeroLit(s.Rhs[0])
+	}
+	return false
+}
+
+// squashesByAssign matches x.squashed = true (marking an entry
+// nullified).
+func squashesByAssign(s *ast.AssignStmt) bool {
+	if len(s.Lhs) == 0 || len(s.Rhs) == 0 || !isFieldNamed(s.Lhs[0], "squashed") {
+		return false
+	}
+	id, ok := s.Rhs[0].(*ast.Ident)
+	return ok && id.Name == "true"
+}
+
+func isFieldNamed(e ast.Expr, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name
+}
+
+func isZeroLit(e ast.Expr) bool {
+	bl, ok := e.(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == "0"
+}
+
+// kindNamesIn collects obs event-kind identifiers (KindCommit,
+// KindSquash, ...) appearing anywhere in an expression.
+func kindNamesIn(e ast.Expr) []string {
+	var out []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		var name string
+		switch n := n.(type) {
+		case *ast.Ident:
+			name = n.Name
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		}
+		if strings.HasPrefix(name, "Kind") && len(name) > len("Kind") {
+			out = append(out, name)
+		}
+		return true
+	})
+	return out
+}

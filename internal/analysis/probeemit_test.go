@@ -1,0 +1,22 @@
+package analysis
+
+import "testing"
+
+func TestProbeEmitFixtures(t *testing.T) {
+	pkg := loadFixture(t, "probeemit")
+	checkWants(t, pkg, NewProbeEmit())
+}
+
+func TestEngineTypeDetection(t *testing.T) {
+	pkg := loadFixture(t, "probeemit")
+	got := engineTypeNames(pkg)
+	want := []string{"BadEngine", "GoodEngine"}
+	if len(got) != len(want) {
+		t.Fatalf("engineTypeNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("engineTypeNames = %v, want %v", got, want)
+		}
+	}
+}

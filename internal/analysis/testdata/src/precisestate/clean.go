@@ -1,0 +1,13 @@
+package precisestate
+
+// commit is on the allowlist the test wires up: the audited
+// architectural boundary.
+func (e *Engine) commit() {
+	e.st.SetReg(Reg{1}, 42)
+	e.st.Mem.Write(4096, 1)
+}
+
+// bookkeeping that never touches architectural state is always fine.
+func (e *Engine) occupancy() int {
+	return int(e.st.Mem.Read(0))
+}

@@ -1,0 +1,57 @@
+// Package probeemit holds fixtures for the probeemit pass: engine
+// types (identified by the issue.Engine method-set fingerprint) whose
+// entry points retire or squash instructions without emitting the
+// matching obs lifecycle event.
+package probeemit
+
+// Kind mirrors obs.Kind; the pass matches the Kind* identifiers by
+// name so fixtures need not import the real package.
+type Kind uint8
+
+const (
+	KindCommit Kind = iota
+	KindSquash
+)
+
+type ctx struct{}
+
+func (c *ctx) Observe(k Kind, cycle, id int64, pc int) {}
+
+// BadEngine retires and squashes without emitting events.
+type BadEngine struct {
+	ctx     *ctx
+	retired int64
+	entries []struct{ squashed bool }
+}
+
+func (e *BadEngine) Name() string      { return "bad" }
+func (e *BadEngine) Flush()            {}
+func (e *BadEngine) Retired() int64    { return e.retired }
+func (e *BadEngine) InFlight() int     { return 0 }
+func (e *BadEngine) Drained() bool     { return true }
+func (e *BadEngine) TryReadCond() bool { return false }
+
+func (e *BadEngine) BeginCycle(c int64) { // want `retires.*KindCommit`
+	e.retired++
+}
+
+func (e *BadEngine) TryIssue(c int64, pc int) bool { // want `squashes.*KindSquash`
+	e.squashWrongPath()
+	return true
+}
+
+// Dispatch retires through a helper; the obligation propagates up the
+// call graph to the entry point.
+func (e *BadEngine) Dispatch(c int64) { // want `retires.*KindCommit`
+	e.release()
+}
+
+func (e *BadEngine) release() {
+	e.retired += 2
+}
+
+func (e *BadEngine) squashWrongPath() {
+	for i := range e.entries {
+		e.entries[i].squashed = true
+	}
+}

@@ -1,0 +1,54 @@
+package probeemit
+
+// GoodEngine retires and squashes with the matching emissions, partly
+// through helpers — the pass follows the same-receiver call graph.
+type GoodEngine struct {
+	ctx     *ctx
+	retired int64
+	entries []struct{ squashed bool }
+}
+
+func (e *GoodEngine) Name() string      { return "good" }
+func (e *GoodEngine) Flush()            {}
+func (e *GoodEngine) Retired() int64    { return e.retired }
+func (e *GoodEngine) InFlight() int     { return 0 }
+func (e *GoodEngine) Drained() bool     { return true }
+func (e *GoodEngine) TryReadCond() bool { return false }
+
+// Reset clears the counter; a zero-assign is not a retirement.
+func (e *GoodEngine) Reset() {
+	e.retired = 0
+}
+
+func (e *GoodEngine) BeginCycle(c int64) {
+	e.ctx.Observe(KindCommit, c, 1, 0)
+	e.retired++
+}
+
+func (e *GoodEngine) TryIssue(c int64, pc int) bool {
+	e.squashWrongPath(c)
+	return true
+}
+
+// Dispatch retires via a helper that itself emits.
+func (e *GoodEngine) Dispatch(c int64) {
+	e.release(c)
+}
+
+func (e *GoodEngine) release(c int64) {
+	e.ctx.Observe(KindCommit, c, 1, 0)
+	e.retired++
+}
+
+func (e *GoodEngine) squashWrongPath(c int64) {
+	for i := range e.entries {
+		e.entries[i].squashed = true
+		e.ctx.Observe(KindSquash, c, int64(i), 0)
+	}
+}
+
+// NotAnEngine lacks the engine method set: retiring without events is
+// not this pass's business.
+type NotAnEngine struct{ retired int64 }
+
+func (n *NotAnEngine) BeginCycle(c int64) { n.retired++ }

@@ -1,0 +1,52 @@
+// Package simdeterminism holds deliberately violating fixtures for the
+// simdeterminism pass; each flagged line carries a want comment with a
+// regexp the finding message must match.
+package simdeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+type sim struct {
+	cycle int64
+	live  map[int64]int
+	out   []string
+}
+
+func emit(string) {}
+
+func (s *sim) wallClock() {
+	start := time.Now() // want `time\.Now`
+	_ = time.Since(start) // want `time\.Since`
+}
+
+func (s *sim) globalRand() int {
+	return rand.Intn(8) // want `math/rand`
+}
+
+func (s *sim) goroutine(ch chan int) {
+	go func() { ch <- 1 }() // want `single-threaded`
+	select { // want `scheduling-dependent`
+	case <-ch:
+	default:
+	}
+}
+
+// rangeEmit flushes a map in iteration order: the archetypal
+// nondeterministic trace writer.
+func (s *sim) rangeEmit(names map[int64]string) {
+	for _, name := range names { // want `order-dependent`
+		emit(name)
+	}
+}
+
+// rangeAppendValues collects values (not a sortable key set) and a
+// plain write to outer state — order reaches s.out.
+func (s *sim) rangeWrite() {
+	last := ""
+	for _, v := range s.live { // want `order-dependent`
+		last = string(rune(v))
+	}
+	s.out = append(s.out, last)
+}

@@ -1,0 +1,48 @@
+package simdeterminism
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// seededRand: randomness through an explicitly seeded *rand.Rand is the
+// sanctioned pattern.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(8)
+}
+
+// sortedFlush: collect keys (self-append is order-insensitive as a
+// set), sort, then iterate the slice.
+func (s *sim) sortedFlush(names map[int64]string) {
+	ids := make([]int64, 0, len(names))
+	for id := range names {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		emit(names[id])
+	}
+}
+
+// aggregate: counters, map-to-map copies, delete, and max-free
+// accumulation are order-insensitive.
+func (s *sim) aggregate(src map[string]int) (int, map[string]int) {
+	total := 0
+	dst := map[string]int{}
+	for k, v := range src {
+		total += v
+		dst[k] = v
+		if v == 0 {
+			delete(dst, k)
+		}
+	}
+	return total, dst
+}
+
+// suppressed: the escape hatch for an audited order-dependent loop.
+func (s *sim) suppressed(m map[int]int) {
+	for _, v := range m { //ruulint:ok summing into a fresh slice, order checked by the caller
+		emit(string(rune(v)))
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one fixture package under testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name), name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+// wantAt is one expectation parsed from a `// want `regexp`` comment.
+type wantAt struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]*)`")
+
+// parseWants collects the fixture's expectation comments.
+func parseWants(t *testing.T, pkg *Package) []*wantAt {
+	t.Helper()
+	var out []*wantAt
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &wantAt{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// checkWants runs a pass over the fixture and matches findings against
+// the want comments: every want must be hit on its line, and every
+// finding must be wanted.
+func checkWants(t *testing.T, pkg *Package, pass *Pass) {
+	t.Helper()
+	findings := Check([]*Package{pkg}, []*Pass{pass})
+	wants := parseWants(t, pkg)
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q, but no finding matched", relName(w.file), w.line, w.re)
+		}
+	}
+}
+
+func relName(name string) string {
+	if i := strings.LastIndex(name, "testdata"); i >= 0 {
+		return name[i:]
+	}
+	return name
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 )
 
@@ -36,7 +37,8 @@ func (tl *timeline) has(k Kind) bool { return tl.set&(1<<k) != 0 }
 // A timeline is buffered per live instruction and written when the
 // instruction commits or is squashed, so memory stays proportional to
 // the number of in-flight instructions. Instructions still in flight
-// when the run stops (e.g. at a trap) are dropped at Close.
+// when the run stops (e.g. at a trap) are flushed at Close in
+// dynamic-id order, their tracks marked "[in-flight]".
 type ChromeTracer struct {
 	w       *bufio.Writer
 	disasm  func(pc int) string
@@ -124,11 +126,27 @@ func (t *ChromeTracer) flush(id int64, tl *timeline) {
 		name += " " + t.disasm(tl.pc)
 	}
 	terminal := KindCommit
-	if tl.has(KindSquash) {
+	switch {
+	case tl.has(KindSquash):
 		terminal = KindSquash
 		name += " [squashed]"
+	case tl.has(KindCommit):
+	default:
+		// Still in flight at Close (the run stopped, e.g. at a trap):
+		// no terminal event; slices end at the last recorded stage.
+		terminal = NumKinds
+		name += " [in-flight]"
 	}
-	end := tl.stamps[terminal]
+	end := int64(0)
+	if terminal != NumKinds {
+		end = tl.stamps[terminal]
+	} else {
+		for k := Kind(0); k < NumKinds; k++ {
+			if tl.has(k) && tl.stamps[k] > end {
+				end = tl.stamps[k]
+			}
+		}
+	}
 	t.emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`, id, strconv.Quote(name))
 
 	for i, k := range stageOrder {
@@ -152,14 +170,31 @@ func (t *ChromeTracer) flush(id int64, tl *timeline) {
 		t.emit(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"cycle":%d,"pc":%d}}`,
 			strconv.Quote(k.String()), start, dur, id, start, tl.pc)
 	}
-	t.emit(`{"name":%s,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"cycle":%d}}`,
-		strconv.Quote(terminal.String()), end, id, end)
+	if terminal != NumKinds {
+		t.emit(`{"name":%s,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"cycle":%d}}`,
+			strconv.Quote(terminal.String()), end, id, end)
+	}
 }
 
-// Close terminates the JSON document and flushes the writer. In-flight
-// timelines (instructions that never reached commit or squash) are
-// dropped. Close does not close the underlying writer.
+// Close writes the timelines of instructions still in flight (never
+// committed or squashed, e.g. cut off by a trap) in ascending
+// dynamic-id order — map iteration order must never reach the output,
+// so traces are byte-stable across runs — then terminates the JSON
+// document and flushes the writer. Close does not close the underlying
+// writer.
 func (t *ChromeTracer) Close() error {
+	ids := make([]int64, 0, len(t.live))
+	for id := range t.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if t.limit > 0 && t.written >= t.limit {
+			break
+		}
+		t.flush(id, t.live[id])
+		t.written++
+	}
 	t.live = make(map[int64]*timeline)
 	if t.err == nil {
 		if t.started {

@@ -121,3 +121,61 @@ func TestChromeTracerSquashAndLimit(t *testing.T) {
 		t.Errorf("squashed track not marked: %q", name)
 	}
 }
+
+func TestChromeTracerFlushesInFlightSorted(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	for _, id := range []int64{12, 4, 31, 8, 19, 2} {
+		tr.Event(Event{Kind: KindIssue, ID: id, PC: int(id), Cycle: id})
+		tr.Event(Event{Kind: KindExecute, ID: id, PC: int(id), Cycle: id + 3})
+	}
+	first := tr.Close()
+	if first != nil {
+		t.Fatalf("Close: %v", first)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	var tids []int64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			tids = append(tids, e.Tid)
+			name, _ := e.Args["name"].(string)
+			if !strings.Contains(name, "[in-flight]") {
+				t.Errorf("track %d not marked in-flight: %q", e.Tid, name)
+			}
+		}
+		if e.Ph == "i" {
+			t.Errorf("in-flight instruction got a terminal instant: %+v", e)
+		}
+	}
+	want := []int64{2, 4, 8, 12, 19, 31}
+	if len(tids) != len(want) {
+		t.Fatalf("flushed %d tracks (%v), want %v", len(tids), tids, want)
+	}
+	for i := range want {
+		if tids[i] != want[i] {
+			t.Fatalf("track order %v, want ascending %v", tids, want)
+		}
+	}
+}
+
+// TestChromeTracerDeterministicClose runs the same in-flight event feed
+// twice and requires byte-identical output.
+func TestChromeTracerDeterministicClose(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		tr := NewChromeTracer(&buf)
+		for id := int64(0); id < 64; id++ {
+			tr.Event(Event{Kind: KindIssue, ID: id, PC: int(id), Cycle: id})
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("trace output differs between identical runs:\n%s\n---\n%s", a, b)
+	}
+}

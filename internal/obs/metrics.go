@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 
 	"ruu/internal/report"
 )
@@ -261,11 +262,23 @@ func (m *Metrics) Tables() []*report.Table {
 		res.Add(m.Residency.BucketLabel(i), n)
 	}
 
+	// Rows sort by reason name, not by stall code: the rendered table
+	// must be byte-stable even if the code numbering is reshuffled, and
+	// named lookup is what readers diff across runs.
 	st := report.New("Decode stalls by reason", "Reason", "Cycles")
+	type stallRow struct {
+		name string
+		n    int64
+	}
+	rows := make([]stallRow, 0, len(m.stalls))
 	for code, n := range m.stalls {
 		if n > 0 {
-			st.Add(m.stallName(code), n)
+			rows = append(rows, stallRow{m.stallName(code), n})
 		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		st.Add(r.name, r.n)
 	}
 
 	return []*report.Table{overview, occ, res, st}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // stageChar is the timeline letter for each stage.
@@ -28,7 +29,9 @@ var stageChar = [NumKinds]byte{
 // X=squash, '.' = waiting. The '@' column is the fetch cycle, so
 // relative alignment between consecutive lines follows from the cycle
 // numbers. Lines are written when the instruction commits or is
-// squashed, in completion order.
+// squashed, in completion order; instructions still in flight when the
+// run stops are written at Close in dynamic-id order (never in map
+// order — output must be byte-stable across runs).
 type PipeViewer struct {
 	w       *bufio.Writer
 	disasm  func(pc int) string
@@ -85,17 +88,26 @@ func (v *PipeViewer) render(id int64, tl *timeline) {
 		v.header = true
 		fmt.Fprintln(v.w, "pipeline timeline: F=fetch D=decode I=issue P=dispatch E=execute W=writeback C=commit X=squash ('@' = fetch cycle)")
 	}
-	terminal := KindCommit
-	if tl.has(KindSquash) {
-		terminal = KindSquash
-	}
-	start := tl.stamps[terminal]
+	// The line spans the earliest to the latest recorded stamp; for an
+	// instruction cut off in flight there is no terminal letter.
+	first := true
+	var start, last int64
 	for k := Kind(0); k < NumKinds; k++ {
-		if tl.has(k) && tl.stamps[k] < start {
+		if !tl.has(k) {
+			continue
+		}
+		if first || tl.stamps[k] < start {
 			start = tl.stamps[k]
 		}
+		if first || tl.stamps[k] > last {
+			last = tl.stamps[k]
+		}
+		first = false
 	}
-	width := int(tl.stamps[terminal] - start + 1)
+	if first {
+		return // nothing recorded; no line to draw
+	}
+	width := int(last - start + 1)
 	line := make([]byte, width)
 	for i := range line {
 		line[i] = '.'
@@ -109,15 +121,31 @@ func (v *PipeViewer) render(id int64, tl *timeline) {
 	if v.disasm != nil {
 		label = " " + v.disasm(tl.pc)
 	}
+	if !tl.has(KindCommit) && !tl.has(KindSquash) {
+		label += " [in-flight]"
+	}
 	_, err := fmt.Fprintf(v.w, "I%06d @%6d |%s| pc=%d%s\n", id, start, line, tl.pc, label)
 	if err != nil {
 		v.err = err
 	}
 }
 
-// Close flushes the viewer. In-flight instructions are dropped. Close
-// does not close the underlying writer.
+// Close renders instructions still in flight (never committed or
+// squashed, e.g. cut off by a trap) in ascending dynamic-id order, then
+// flushes the viewer. Close does not close the underlying writer.
 func (v *PipeViewer) Close() error {
+	ids := make([]int64, 0, len(v.live))
+	for id := range v.live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if v.limit > 0 && v.written >= v.limit {
+			break
+		}
+		v.render(id, v.live[id])
+		v.written++
+	}
 	v.live = make(map[int64]*timeline)
 	if err := v.w.Flush(); err != nil && v.err == nil {
 		v.err = err

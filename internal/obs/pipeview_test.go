@@ -65,3 +65,48 @@ func TestPipeViewerSquash(t *testing.T) {
 		t.Errorf("squash timeline missing X:\n%s", b.String())
 	}
 }
+
+func TestPipeViewerFlushesInFlightSorted(t *testing.T) {
+	var b strings.Builder
+	v := NewPipeViewer(&b, 0)
+	// Issue events arrive for several ids that never commit: Close must
+	// render them all, in ascending id order, marked in-flight.
+	for _, id := range []int64{9, 3, 17, 5, 11, 2, 14, 7} {
+		v.Event(Event{Kind: KindIssue, ID: id, PC: int(id), Cycle: id})
+		v.Event(Event{Kind: KindExecute, ID: id, PC: int(id), Cycle: id + 2})
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 9 { // header + 8 instructions
+		t.Fatalf("got %d lines:\n%s", len(lines), b.String())
+	}
+	wantOrder := []string{"I000002", "I000003", "I000005", "I000007", "I000009", "I000011", "I000014", "I000017"}
+	for i, want := range wantOrder {
+		line := lines[i+1]
+		if !strings.HasPrefix(line, want) {
+			t.Errorf("line %d = %q, want prefix %s (sorted id order)", i+1, line, want)
+		}
+		if !strings.Contains(line, "[in-flight]") {
+			t.Errorf("line %d = %q, missing [in-flight] marker", i+1, line)
+		}
+	}
+}
+
+func TestPipeViewerCloseHonorsLimit(t *testing.T) {
+	var b strings.Builder
+	v := NewPipeViewer(&b, 3)
+	v.Event(Event{Kind: KindIssue, ID: 0, Cycle: 1})
+	v.Event(Event{Kind: KindCommit, ID: 0, Cycle: 2})
+	for id := int64(1); id <= 5; id++ {
+		v.Event(Event{Kind: KindIssue, ID: id, Cycle: id})
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 4 { // header + 1 committed + 2 in-flight (limit 3)
+		t.Errorf("limit 3 wrote %d lines:\n%s", len(lines), b.String())
+	}
+}

@@ -59,17 +59,34 @@ const DataBase = 4096
 // Generate synthesizes a program from the seed. Equal seeds yield equal
 // programs.
 func Generate(seed int64, opts Options) *isa.Program {
+	return GenerateRand(rand.New(rand.NewSource(seed)), opts)
+}
+
+// GenerateRand synthesizes a program drawing randomness from r. The
+// caller owns the source: equal sources (same seed, same position)
+// yield equal programs, and threading one source through several
+// generator calls keeps a whole test campaign reproducible from a
+// single seed.
+func GenerateRand(r *rand.Rand, opts Options) *isa.Program {
 	opts.fill()
-	r := rand.New(rand.NewSource(seed))
 	g := &gen{r: r, o: opts}
 	return g.program()
 }
 
 // NewState returns an architectural state with the data window
 // initialised deterministically from the seed and A6 pointing at it.
+//
+// The seed is perturbed before use so that the data window and the
+// program drawn from the same seed are decorrelated; NewStateRand with
+// an explicitly positioned source skips the perturbation.
 func NewState(seed int64, opts Options) *exec.State {
+	return NewStateRand(rand.New(rand.NewSource(seed^0x5eed)), opts)
+}
+
+// NewStateRand returns an architectural state with the data window
+// drawn from r and A6 pointing at it. The caller owns the source.
+func NewStateRand(r *rand.Rand, opts Options) *exec.State {
 	opts.fill()
-	r := rand.New(rand.NewSource(seed ^ 0x5eed))
 	mem := memsys.NewMemory(0)
 	for i := 0; i < opts.DataWords; i++ {
 		mem.Poke(DataBase+int64(i), r.Int63n(1<<20)-1<<19)
