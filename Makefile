@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench lint
+.PHONY: all build test race vet bench lint lint-fix-check
 
 all: build test vet lint
 
@@ -20,7 +20,21 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # lint runs ruulint, the repo's own static-analysis suite
-# (see docs/ANALYSIS.md). A finding is a build failure.
+# (see docs/ANALYSIS.md). A finding is a build failure. Findings are
+# also written as JSON lines to out/ruulint.json for tooling (the CI
+# problem matcher consumes the plain-text output).
 lint:
 	$(GO) build ./...
+	@mkdir -p out
+	@$(GO) run ./cmd/ruulint -json ./... > out/ruulint.json; st=$$?; \
+	if [ $$st -ne 0 ] && [ $$st -ne 1 ] ; then exit $$st; fi; \
+	$(GO) run ./cmd/ruulint ./...
+
+# lint-fix-check is the CI fail-fast gate: formatting and lint findings
+# fail before the slower race/bench stages run.
+lint-fix-check:
+	@unformatted=$$(gofmt -l . | grep -v '^out/' || true); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 	$(GO) run ./cmd/ruulint ./...

@@ -1,20 +1,23 @@
 // Command ruulint runs the repository's static-analysis passes
 // (internal/analysis) over the module: determinism hygiene in
-// simulation packages, obs probe coverage in the issue engines, and the
-// precise-state mutation discipline.
+// simulation packages, obs probe coverage in the issue engines, the
+// precise-state mutation discipline, hot-path allocation freedom, enum
+// switch exhaustiveness, and paper-constant conformance.
 //
 // Usage:
 //
 //	ruulint ./...              # whole module (the only supported pattern)
 //	ruulint -list              # describe the passes
 //	ruulint -passes precisestate,probeemit ./...
+//	ruulint -json ./...        # one JSON object per finding per line
 //
 // Findings print as file:line:col: [pass] message, relative to the
-// working directory. Exit status: 0 clean, 1 findings, 2 usage or load
-// error.
+// working directory; with -json, as one {"pos","pass","msg"} object per
+// line. Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,9 +31,10 @@ func main() {
 	var (
 		list   = flag.Bool("list", false, "list the passes and exit")
 		passes = flag.String("passes", "", "comma-separated pass names to run (default: all)")
+		asJSON = flag.Bool("json", false, "emit one JSON object per finding per line")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruulint [-list] [-passes p1,p2] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ruulint [-list] [-json] [-passes p1,p2] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,6 +66,7 @@ func main() {
 
 	findings := analysis.Check(mod.Packages, selected)
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		name := f.Pos.Filename
 		if cwd != "" {
@@ -69,12 +74,29 @@ func main() {
 				name = rel
 			}
 		}
+		if *asJSON {
+			if err := enc.Encode(jsonFinding{
+				Pos:  fmt.Sprintf("%s:%d:%d", name, f.Pos.Line, f.Pos.Column),
+				Pass: f.Pass,
+				Msg:  f.Message,
+			}); err != nil {
+				fatal(err)
+			}
+			continue
+		}
 		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "ruulint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json line format, one object per finding.
+type jsonFinding struct {
+	Pos  string `json:"pos"` // file:line:col, relative to the working directory
+	Pass string `json:"pass"`
+	Msg  string `json:"msg"`
 }
 
 // moduleRoot ascends from the working directory to the nearest go.mod.

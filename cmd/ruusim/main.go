@@ -24,6 +24,7 @@ import (
 
 	"ruu"
 	"ruu/internal/exec"
+	"ruu/internal/isa"
 	"ruu/internal/issue"
 	"ruu/internal/livermore"
 	"ruu/internal/machine"
@@ -35,11 +36,11 @@ func main() {
 	log.SetPrefix("ruusim: ")
 	var (
 		engine    = flag.String("engine", "ruu", "issue mechanism: simple, tomasulo, tagunit, rspool, rstu, ruu, reorder, reorder-bypass, reorder-future")
-		entries   = flag.Int("entries", 12, "RSTU/RUU entries (or stations per unit)")
+		entries   = flag.Int("entries", isa.PaperDefaultRUUEntries, "RSTU/RUU entries (or stations per unit)")
 		paths     = flag.Int("paths", 1, "RSTU dispatch paths")
 		bypass    = flag.String("bypass", "full", "RUU bypass: full, none, limited")
-		counter   = flag.Int("counterbits", 3, "RUU NI/LI counter width")
-		loadRegs  = flag.Int("loadregs", 6, "number of load registers")
+		counter   = flag.Int("counterbits", isa.PaperCounterBits, "RUU NI/LI counter width")
+		loadRegs  = flag.Int("loadregs", isa.PaperLoadRegs, "number of load registers")
 		speculate = flag.Bool("speculate", false, "enable branch prediction + conditional execution (RUU)")
 		kernel    = flag.String("kernel", "", "run a built-in Livermore kernel (LLL1..LLL14)")
 		synth     = flag.Bool("synth", false, "run a randomly synthesized program (see -seed)")

@@ -13,7 +13,8 @@
 // every configuration, so the disciplines scale with the codebase
 // instead of with reviewer attention. See docs/ANALYSIS.md.
 //
-// Three passes ship (see their files for details):
+// Six passes ship (see their files for details). Three are syntactic
+// invariant checks:
 //
 //   - simdeterminism: no wall-clock time, global math/rand, goroutines,
 //     channel selects, or order-sensitive map iteration in simulation
@@ -22,6 +23,16 @@
 //     emit the matching obs lifecycle event.
 //   - precisestate: architectural register-file and memory writes only
 //     from allowlisted commit/writeback functions.
+//
+// Three more run on a lightweight dataflow layer (a module-wide
+// RTA-style call graph, see callgraph.go):
+//
+//   - hotpathalloc: no heap allocation, interface boxing, or fmt calls
+//     in code reachable from the machine's per-cycle step.
+//   - exhaustive: switches over the repo's uint8 enum types cover every
+//     member or carry an explicit default.
+//   - paperconst: model constants match internal/isa/paperconst.go; no
+//     drifted or restated magic numbers.
 //
 // A finding on a line carrying (or immediately preceded by) a comment
 // containing "ruulint:ok" is suppressed; use sparingly and justify the
@@ -53,9 +64,13 @@ func (f Finding) String() string {
 
 // Pass is one analysis: a name, a one-line description, and a Run
 // function producing findings for a single type-checked package.
+// A pass that needs whole-module context (e.g. a cross-package call
+// graph) may set Init, which Check calls once with every loaded
+// package before any Run.
 type Pass struct {
 	Name string
 	Doc  string
+	Init func([]*Package)
 	Run  func(*Package) []Finding
 }
 
@@ -89,6 +104,11 @@ type Module struct {
 // Check runs the passes over the packages, drops suppressed findings,
 // and returns the rest sorted by position.
 func Check(pkgs []*Package, passes []*Pass) []Finding {
+	for _, pass := range passes {
+		if pass.Init != nil {
+			pass.Init(pkgs)
+		}
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		suppressed := suppressedLines(pkg)

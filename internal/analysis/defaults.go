@@ -1,5 +1,7 @@
 package analysis
 
+import "ruu/internal/isa"
+
 // SimPackages lists the simulation packages (relative to the module
 // path) whose behaviour must be bit-for-bit reproducible; the
 // simdeterminism pass runs over these.
@@ -42,6 +44,81 @@ var DefaultPreciseStateAllow = map[string][]string{
 	"internal/issue/tagunit": {"BeginCycle", "tryMemOp"},
 }
 
+// HotPathPackages lists the packages (relative to the module path)
+// whose code runs on the machine's per-cycle step; the hotpathalloc
+// pass reports allocation sites reachable from the cycle loop here.
+var HotPathPackages = []string{
+	"internal/core",
+	"internal/issue",
+	"internal/machine",
+	"internal/memsys",
+	"internal/fu",
+	"internal/exec",
+}
+
+// DefaultHotRoots seed hot-path reachability: the cycle loop of
+// (*machine.Machine).Run. LoopOnly keeps the per-run setup above the
+// loop cold; everything the loop body reaches — through the
+// issue.Engine interface into every engine, and onward into
+// exec/fu/memsys — is hot.
+func DefaultHotRoots(modulePath string) []HotRoot {
+	return []HotRoot{
+		{Pkg: modulePath + "/internal/machine", Recv: "Machine", Func: "Run", LoopOnly: true},
+	}
+}
+
+// DefaultColdTypes are types whose construction ends or interrupts a
+// run; allocating them is off the per-cycle fast path.
+var DefaultColdTypes = []string{"Trap", "Fault"}
+
+// DefaultColdFuncs are functions the hot-path traversal treats as
+// cold boundaries: wholesale flush/reset runs once per interrupt or
+// misprediction recovery, not once per cycle (the same boundary
+// probeemit draws).
+var DefaultColdFuncs = []string{"Flush", "Reset"}
+
+// DefaultPaperSpec anchors the paperconst pass to
+// internal/isa/paperconst.go, the single source of truth for the
+// paper's model constants.
+func DefaultPaperSpec(modulePath string) PaperSpec {
+	return PaperSpec{
+		CanonicalPath: modulePath + "/internal/isa",
+		Anchors: map[string]PaperAnchor{
+			"numa":        {isa.PaperNumA, "isa.PaperNumA"},
+			"nums":        {isa.PaperNumS, "isa.PaperNumS"},
+			"numb":        {isa.PaperNumB, "isa.PaperNumB"},
+			"numt":        {isa.PaperNumT, "isa.PaperNumT"},
+			"resultbuses": {isa.PaperResultBuses, "isa.PaperResultBuses"},
+			"loadregs":    {isa.PaperLoadRegs, "isa.PaperLoadRegs"},
+			"counterbits": {isa.PaperCounterBits, "isa.PaperCounterBits"},
+			"commitwidth": {isa.PaperCommitWidth, "isa.PaperCommitWidth"},
+			"lataint":     {isa.LatAInt, "isa.LatAInt"},
+			"latamul":     {isa.LatAMul, "isa.LatAMul"},
+			"latslog":     {isa.LatSLog, "isa.LatSLog"},
+			"latsshift":   {isa.LatSShift, "isa.LatSShift"},
+			"latsadd":     {isa.LatSAdd, "isa.LatSAdd"},
+			"latfadd":     {isa.LatFAdd, "isa.LatFAdd"},
+			"latfmul":     {isa.LatFMul, "isa.LatFMul"},
+			"latfrecip":   {isa.LatFRecip, "isa.LatFRecip"},
+			"latmem":      {isa.LatMem, "isa.LatMem"},
+			"latmove":     {isa.LatMove, "isa.LatMove"},
+		},
+		Sweeps: map[string][]int64{
+			"rstusizes": toInt64(isa.PaperRSTUSizes[:]),
+			"ruusizes":  toInt64(isa.PaperRUUSizes[:]),
+		},
+		UnitPrefix: "Unit",
+		ScopePkgs: []string{
+			modulePath, // tables.go and the public configuration API
+			modulePath + "/internal/machine",
+			modulePath + "/internal/memsys",
+			modulePath + "/internal/fu",
+			modulePath + "/internal/core",
+		},
+		ScopePrefixes: []string{modulePath + "/cmd"},
+	}
+}
+
 // DefaultPasses returns the repository's pass set wired with the
 // default scopes and allowlist, for a module with the given path
 // ("ruu").
@@ -61,5 +138,22 @@ func DefaultPasses(modulePath string) []*Pass {
 		NewSimDeterminism(prefix(SimPackages)...),
 		NewProbeEmit(prefix(EnginePackages)...),
 		NewPreciseState(allow, prefix(EnginePackages)...),
+		NewHotPathAlloc(HotPathConfig{
+			Roots:     DefaultHotRoots(modulePath),
+			Scope:     prefix(HotPathPackages),
+			ColdTypes: DefaultColdTypes,
+			ColdFuncs: DefaultColdFuncs,
+		}),
+		NewExhaustive([]string{modulePath}),
+		NewPaperConst(DefaultPaperSpec(modulePath)),
 	}
+}
+
+// toInt64 widens a sweep list for the spec.
+func toInt64(xs []int) []int64 {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		out[i] = int64(x)
+	}
+	return out
 }

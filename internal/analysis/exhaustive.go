@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The exhaustive pass turns the repo's enum idiom into a checked
+// contract. The model is full of small uint8 enumerations — isa.Op,
+// isa.Format, obs.Kind, issue.StallReason, the engines' internal phase
+// types — and a switch that silently falls through for a member it
+// forgot is exactly how a new opcode or stall reason slips past the
+// simulator unmodelled (the paper's issue-rate tables are only
+// comparable if every instruction class is handled everywhere).
+//
+// Rule: an expression switch whose tag is a named type with underlying
+// uint8, declared in a module package with at least three constants of
+// that type, must either cover every declared constant value or carry
+// an explicit default clause. Sentinel count constants (names starting
+// with "Num": NumOps, NumKinds, ...) mark the end of a const block and
+// are not required. Type switches and expressionless switches are out
+// of scope.
+//
+// The fix is to add the missing cases (preferred — it forces the new
+// member through every consumer) or an explicit default documenting
+// why the remaining members share a fallback.
+
+// NewExhaustive returns the exhaustive pass. enumScope lists the
+// package-path prefixes whose named uint8 types count as enums (the
+// module path); the package under analysis always counts.
+func NewExhaustive(enumScope []string) *Pass {
+	return &Pass{
+		Name: "exhaustive",
+		Doc:  "switches over module uint8 enums cover every member or carry a default",
+		Run: func(pkg *Package) []Finding {
+			var out []Finding
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sw, ok := n.(*ast.SwitchStmt)
+					if !ok || sw.Tag == nil {
+						return true
+					}
+					if missing, tname := missingEnumCases(pkg, sw, enumScope); len(missing) > 0 {
+						out = append(out, Finding{
+							Pass: "exhaustive",
+							Pos:  pkg.Pos(sw),
+							Message: fmt.Sprintf("switch over %s is not exhaustive: missing %s; add the cases or an explicit default",
+								tname, strings.Join(missing, ", ")),
+						})
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// missingEnumCases returns the names of enum members a switch fails to
+// cover (nil when the tag is not an enum or a default is present) and
+// the enum type's name.
+func missingEnumCases(pkg *Package, sw *ast.SwitchStmt, enumScope []string) ([]string, string) {
+	tv, ok := pkg.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return nil, ""
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Uint8 {
+		return nil, ""
+	}
+	declPkg := named.Obj().Pkg()
+	if declPkg == nil {
+		return nil, ""
+	}
+	if declPkg != pkg.Types && !inScope(declPkg.Path(), enumScope) {
+		return nil, ""
+	}
+	members := enumMembers(declPkg, named)
+	if len(members) < 3 {
+		return nil, ""
+	}
+	covered := map[int64]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return nil, "" // explicit default satisfies the rule
+		}
+		for _, e := range cc.List {
+			if v, ok := constVal(pkg, e); ok {
+				covered[v] = true
+			}
+		}
+	}
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val] {
+			missing = append(missing, m.name)
+		}
+	}
+	sort.Strings(missing)
+	return missing, named.Obj().Name()
+}
+
+type enumMember struct {
+	name string
+	val  int64
+}
+
+// enumMembers lists the constants of type named declared in its
+// defining package, excluding "Num*" count sentinels. Aliased values
+// appear once per name; covering the value covers all its names.
+func enumMembers(declPkg *types.Package, named *types.Named) []enumMember {
+	var out []enumMember
+	scope := declPkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") {
+			continue
+		}
+		if v, ok := constant.Int64Val(c.Val()); ok {
+			out = append(out, enumMember{name, v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].val != out[j].val {
+			return out[i].val < out[j].val
+		}
+		return out[i].name < out[j].name
+	})
+	return out
+}
+
+// constVal evaluates a case expression to its constant value.
+func constVal(pkg *Package, e ast.Expr) (int64, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,10 @@
+package analysis
+
+import "testing"
+
+func TestExhaustiveFixtures(t *testing.T) {
+	pkg := loadFixture(t, "exhaustive")
+	// The declaring package always counts as in scope, so no explicit
+	// enum-scope entry is needed for a self-contained fixture.
+	checkWants(t, pkg, NewExhaustive(nil))
+}

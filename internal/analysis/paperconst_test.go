@@ -1,0 +1,34 @@
+package analysis
+
+import "testing"
+
+// fixturePaperSpec anchors the paperconst pass to values the fixture
+// deliberately restates, drifts from, or derives.
+func fixturePaperSpec() PaperSpec {
+	return PaperSpec{
+		CanonicalPath: "canonical", // not the fixture: the fixture is checked
+		Anchors: map[string]PaperAnchor{
+			"loadregs": {Value: 6, Ref: "isa.PaperLoadRegs"},
+			"numt":     {Value: 64, Ref: "isa.PaperNumT"},
+			"latmem":   {Value: 5, Ref: "isa.LatMem"},
+		},
+		Sweeps:     map[string][]int64{"ruusizes": {3, 4, 6}},
+		UnitPrefix: "Unit",
+		ScopePkgs:  []string{"paperconst"},
+	}
+}
+
+func TestPaperConstFixtures(t *testing.T) {
+	pkg := loadFixture(t, "paperconst")
+	checkWants(t, pkg, NewPaperConst(fixturePaperSpec()))
+}
+
+func TestPaperConstCanonicalExempt(t *testing.T) {
+	pkg := loadFixture(t, "paperconst")
+	spec := fixturePaperSpec()
+	// The canonical package is the one place the literals belong.
+	spec.CanonicalPath = "paperconst"
+	if fs := Check([]*Package{pkg}, []*Pass{NewPaperConst(spec)}); len(fs) != 0 {
+		t.Errorf("canonical package produced %d findings: %v", len(fs), fs)
+	}
+}

@@ -1,0 +1,114 @@
+// Package exhaustive holds fixtures for the exhaustive pass: switches
+// over a small uint8 enum, covering the full/defaulted/missing cases
+// and the out-of-scope shapes the pass must ignore.
+package exhaustive
+
+// Kind is an enum by the pass's rule: named, underlying uint8, with at
+// least three constants in the declaring package.
+type Kind uint8
+
+const (
+	KA Kind = iota
+	KB
+	KC
+	NumKinds // count sentinel: not a required member
+)
+
+// KAlias shares KA's value; covering the value covers both names.
+const KAlias = KA
+
+// tiny has fewer than three members, so it is not an enum.
+type tiny uint8
+
+const (
+	T0 tiny = iota
+	T1
+)
+
+// wide is not uint8, so it is not an enum under the rule.
+type wide int
+
+const (
+	W0 wide = iota
+	W1
+	W2
+)
+
+func full(k Kind) int {
+	switch k { // every member covered: clean
+	case KA:
+		return 1
+	case KB:
+		return 2
+	case KC:
+		return 3
+	}
+	return 0
+}
+
+func defaulted(k Kind) int {
+	switch k { // explicit default: clean
+	case KA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func aliased(k Kind) int {
+	switch k { // KAlias covers value 0, KB/KC the rest: clean
+	case KAlias:
+		return 1
+	case KB, KC:
+		return 2
+	}
+	return 0
+}
+
+func missing(k Kind) int {
+	switch k { // want `missing KB, KC`
+	case KA:
+		return 1
+	}
+	return 0
+}
+
+func missingOne(k Kind) int {
+	switch k { // want `missing KC`
+	case KA, KB:
+		return 1
+	}
+	return 0
+}
+
+func smallType(t tiny) int {
+	switch t { // below the member threshold: clean
+	case T0:
+		return 1
+	}
+	return 0
+}
+
+func wideType(w wide) int {
+	switch w { // not uint8: clean
+	case W0:
+		return 1
+	}
+	return 0
+}
+
+func typeSwitch(v any) int {
+	switch v.(type) { // type switches are out of scope
+	case Kind:
+		return 1
+	}
+	return 0
+}
+
+func expressionless(k Kind) int {
+	switch { // expressionless switches are out of scope
+	case k == KA:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,150 @@
+// Package hotpathalloc holds fixtures for the hotpathalloc pass: a
+// cycle-loop driver (Machine.Run) whose loop body reaches deliberately
+// allocating code, next to cold paths that must stay exempt. Each
+// flagged line carries a want comment with a regexp the finding message
+// must match.
+package hotpathalloc
+
+import "fmt"
+
+// Engine is dispatched through an interface from the cycle loop, so the
+// concrete engine's methods are hot only if the RTA resolution works.
+type Engine interface {
+	Step(c int64)
+	Flush()
+}
+
+// Probe mirrors the obs.Probe nil-fast-path idiom.
+type Probe interface {
+	Event(k int)
+}
+
+// Trap is a cold type: constructing one ends or interrupts a run.
+type Trap struct{ PC int }
+
+type pair struct{ a, b int }
+
+type Machine struct {
+	eng   Engine
+	probe Probe
+	setup []int
+}
+
+// Run is the loop root: straight-line setup above the loop stays cold,
+// everything the loop body reaches is hot.
+func (m *Machine) Run(n int) {
+	m.setup = make([]int, 8) // cold: per-run setup above the loop
+	m.setupCold()
+	for c := 0; c < n; c++ {
+		ids := []int{c} // want `slice literal allocates`
+		_ = ids
+		m.eng.Step(int64(c))
+		m.observe(c)
+		m.guarded(c)
+	}
+}
+
+func (m *Machine) setupCold() {
+	_ = make([]int, 4) // cold: only called before the loop
+}
+
+// observe is the nil-probe fast path: the leading nil check makes the
+// whole function exempt (it models obs emission, compiled away when no
+// probe is attached).
+func (m *Machine) observe(c int) {
+	if m.probe == nil {
+		return
+	}
+	evs := []int{c} // exempt: nil-probe fast path
+	m.probe.Event(evs[0])
+}
+
+// guarded allocates only under an interface non-nil guard, which is the
+// same slow path in block form.
+func (m *Machine) guarded(c int) {
+	if m.probe != nil {
+		evs := []int{c} // exempt: interface non-nil guard
+		m.probe.Event(evs[0])
+	}
+}
+
+// engine's methods become hot via interface dispatch from Run's loop.
+type engine struct {
+	queue []int
+	buf   []byte
+}
+
+func (e *engine) Step(c int64) {
+	p := &pair{a: int(c)} // want `&pair literal escapes`
+	_ = p
+	m := map[int]int{int(c): 1} // want `map literal allocates`
+	_ = m
+	e.buf = make([]byte, 4) // want `make allocates`
+	q := new(int)           // want `new allocates`
+	_ = q
+	e.box(c)
+	e.concat("x")
+	e.loopClosure(int(c))
+	e.pump(int(c))
+	e.drain()
+	e.report(c)
+	e.check(c)
+	_ = e.fault(int(c))
+	if c == 0 {
+		e.Flush()
+	}
+}
+
+// Flush is a cold boundary (trap recovery runs at interrupt rate, not
+// cycle rate), so its allocations are not findings.
+func (e *engine) Flush() {
+	e.queue = make([]int, 0, 8) // cold: Flush boundary
+}
+
+func sink(v any) { _ = v }
+
+func (e *engine) box(c int64) {
+	sink(c) // want `boxes int64 into any`
+}
+
+func (e *engine) concat(s string) {
+	v := "eng:" + s // want `string concatenation allocates`
+	_ = v
+}
+
+func (e *engine) loopClosure(n int) {
+	for i := 0; i < n; i++ {
+		f := func() int { return i } // want `function literal declared inside a loop`
+		_ = f()
+	}
+}
+
+func (e *engine) pump(v int) {
+	e.queue = append(e.queue, v) // want `append to queue, which is front-popped`
+}
+
+func (e *engine) drain() {
+	if len(e.queue) > 0 {
+		e.queue = e.queue[1:]
+	}
+}
+
+func (e *engine) report(c int64) {
+	fmt.Println("cycle", c) // want `on the per-cycle path`
+}
+
+func (e *engine) check(c int64) {
+	if c < 0 {
+		panic(fmt.Sprintf("negative cycle %d", c)) // exempt: panic argument
+	}
+}
+
+func (e *engine) fault(pc int) *Trap {
+	return &Trap{PC: pc} // exempt: cold type in return context
+}
+
+// coldHelper is unreachable from the cycle loop.
+func coldHelper() {
+	xs := make([]int, 4) // cold: not reachable from the root
+	_ = xs
+}

@@ -1,0 +1,60 @@
+// Package paperconst holds fixtures for the paperconst pass, checked
+// against an injected spec (see paperconst_test.go): anchors loadregs=6,
+// numt=64, latmem=5, sweep ruusizes={3,4,6}.
+package paperconst
+
+import "flag"
+
+const (
+	// DefaultLoadRegs restates the paper value under the "default"
+	// naming prefix.
+	DefaultLoadRegs = 6 // want `restates a paper constant; reference isa\.PaperLoadRegs`
+	// NumT drifted from the paper's 64.
+	NumT = 63 // want `drifts from the paper value 64`
+	// unrelated matches no anchor.
+	unrelated = 7
+)
+
+// Unit indexes the latency table, mirroring isa.Unit.
+type Unit uint8
+
+const UnitMem Unit = 0
+
+var lat [1]int
+
+func setLatencies() {
+	lat[UnitMem] = 4 // want `latency of UnitMem literal 4 drifts from the paper value 5`
+}
+
+type Config struct {
+	LoadRegs int
+	Entries  int
+}
+
+var cfg = Config{
+	LoadRegs: 6, // want `restates a paper constant`
+	Entries:  12,
+}
+
+// derived references a named constant instead of a literal: that is the
+// fix, not a finding.
+var derived = Config{LoadRegs: DefaultLoadRegs}
+
+var (
+	// RUUSizes drifted: the paper sweep is {3,4,6}.
+	RUUSizes = []int{3, 4, 5} // want `sweep literal \[3 4 5\] drifts`
+	// DefaultRUUSizes matches the sweep exactly, which is still a copy.
+	DefaultRUUSizes = []int{3, 4, 6} // want `sweep literal restates`
+)
+
+var flagLoadRegs = flag.Int("loadregs", 5, "load registers") // want `flag -loadregs literal 5 drifts`
+
+func use() {
+	setLatencies()
+	_ = unrelated
+	_ = cfg
+	_ = derived
+	_ = RUUSizes
+	_ = DefaultRUUSizes
+	_ = flagLoadRegs
+}

@@ -15,8 +15,8 @@ func (r *RegState) SetReg(reg Reg, v int64) { r.a[reg.n] = v }
 // Memory mirrors memsys.Memory.
 type Memory struct{ words []int64 }
 
-func (m *Memory) Write(addr, v int64) { m.words[addr] = v }
-func (m *Memory) Poke(addr, v int64)  { m.words[addr] = v }
+func (m *Memory) Write(addr, v int64)   { m.words[addr] = v }
+func (m *Memory) Poke(addr, v int64)    { m.words[addr] = v }
 func (m *Memory) Read(addr int64) int64 { return m.words[addr] }
 
 // State mirrors exec.State (RegState promoted).
@@ -30,8 +30,8 @@ type Engine struct{ st *State }
 // dispatch mutates architectural state from an execution-phase path:
 // exactly the scribble the precise-interrupt discipline forbids.
 func (e *Engine) dispatch() {
-	e.st.SetReg(Reg{1}, 42)       // want `RegState\.SetReg`
-	e.st.Mem.Write(4096, 1)       // want `Memory\.Write`
-	e.st.Mem.Poke(4097, 2)        // want `Memory\.Poke`
-	_ = e.st.Mem.Read(4096)       // reads are always legal
+	e.st.SetReg(Reg{1}, 42) // want `RegState\.SetReg`
+	e.st.Mem.Write(4096, 1) // want `Memory\.Write`
+	e.st.Mem.Poke(4097, 2)  // want `Memory\.Poke`
+	_ = e.st.Mem.Read(4096) // reads are always legal
 }

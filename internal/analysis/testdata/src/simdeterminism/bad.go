@@ -17,7 +17,7 @@ type sim struct {
 func emit(string) {}
 
 func (s *sim) wallClock() {
-	start := time.Now() // want `time\.Now`
+	start := time.Now()   // want `time\.Now`
 	_ = time.Since(start) // want `time\.Since`
 }
 
@@ -27,7 +27,7 @@ func (s *sim) globalRand() int {
 
 func (s *sim) goroutine(ch chan int) {
 	go func() { ch <- 1 }() // want `single-threaded`
-	select { // want `scheduling-dependent`
+	select {                // want `scheduling-dependent`
 	case <-ch:
 	default:
 	}

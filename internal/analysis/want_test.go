@@ -17,7 +17,7 @@ func loadFixture(t *testing.T, name string) *Package {
 	return pkg
 }
 
-// wantAt is one expectation parsed from a `// want `regexp`` comment.
+// wantAt is one expectation parsed from a `// want `regexp“ comment.
 type wantAt struct {
 	file string
 	line int

@@ -523,6 +523,8 @@ func (u *Unit) encodeMove(s *stmt, ins isa.Instruction) (isa.Instruction, error)
 		ins.I, ins.Imm = r0.Idx, int64(r1.Idx)
 	case isa.MovBA, isa.MovTS:
 		ins.Imm, ins.I = int64(r0.Idx), r1.Idx
+	default:
+		// Unreachable: parseMove is only dispatched for move mnemonics.
 	}
 	return ins, nil
 }

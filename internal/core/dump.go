@@ -31,6 +31,8 @@ func (u *RUU) Dump() string {
 			mem = " mem:unbound"
 		case memBound:
 			mem = fmt.Sprintf(" mem:bound@%d toMem=%v bind=%+v", s.addr, s.toMem, s.binding)
+		case memNone:
+			// Not a memory instruction: no phase annotation.
 		}
 		fmt.Fprintf(&b, "  [%2d] seq=%-5d pc=%-4d %-24s op1{r=%v reg=%d inst=%d} op2{r=%v reg=%d inst=%d} %-3s%s\n",
 			pos, s.seq, s.pc, s.ins.String(),

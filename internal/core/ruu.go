@@ -88,16 +88,16 @@ type Config struct {
 
 func (c *Config) fillDefaults() {
 	if c.Size <= 0 {
-		c.Size = 12
+		c.Size = isa.PaperDefaultRUUEntries
 	}
 	if c.CounterBits <= 0 {
-		c.CounterBits = 3
+		c.CounterBits = isa.PaperCounterBits
 	}
 	if c.CounterBits > 8 {
 		c.CounterBits = 8
 	}
 	if c.CommitWidth <= 0 {
-		c.CommitWidth = 1
+		c.CommitWidth = isa.PaperCommitWidth
 	}
 }
 
@@ -186,6 +186,7 @@ type RUU struct {
 	ffValid [isa.NumA]bool
 
 	memQueue []int // ring positions of unbound memory ops, program order
+	memHead  int   // first live element of memQueue (popped by index, not reslice)
 	pending  []pendingResult
 
 	// cycleEvents lists this cycle's result-bus broadcasts, for the
@@ -196,6 +197,7 @@ type RUU struct {
 	retired  int64
 	trap     *exec.Trap
 	outcomes []outcomeRec
+	outBuf   []issue.BranchOutcome // reused by TakeOutcomes; valid until the next call
 
 	// Architectural branch counters (committed branches only).
 	comBranches, comTaken, comMispredicts int64
@@ -232,7 +234,7 @@ func (u *RUU) Reset(ctx *issue.Context) {
 	u.ff = [isa.NumA]int64{}
 	u.ffInst = [isa.NumA]uint8{}
 	u.ffValid = [isa.NumA]bool{}
-	u.memQueue = u.memQueue[:0]
+	u.memQueue, u.memHead = u.memQueue[:0], 0
 	u.pending = u.pending[:0]
 	u.cycleEvents = u.cycleEvents[:0]
 	u.retired = 0
@@ -426,15 +428,25 @@ func (u *RUU) Dispatch(c int64) {
 	})
 }
 
+// popMem drops the head of the memory queue by advancing the head
+// index; when the queue drains, the backing array is reused from the
+// front so the steady state allocates nothing.
+func (u *RUU) popMem() {
+	u.memHead++
+	if u.memHead == len(u.memQueue) {
+		u.memQueue, u.memHead = u.memQueue[:0], 0
+	}
+}
+
 func (u *RUU) advanceMemFrontier(c int64) {
-	if u.trap != nil || len(u.memQueue) == 0 {
+	if u.trap != nil || u.memHead == len(u.memQueue) {
 		return
 	}
-	pos := u.memQueue[0]
+	pos := u.memQueue[u.memHead]
 	s := &u.slots[pos]
 	if !s.used || s.phase != memUnbound {
 		// Squashed; drop and retry next cycle.
-		u.memQueue = u.memQueue[1:]
+		u.popMem()
 		return
 	}
 	if s.issueCycle >= c || s.readyAt >= c || !s.op1.ready {
@@ -451,7 +463,7 @@ func (u *RUU) advanceMemFrontier(c int64) {
 			s.addr = addr
 			s.phase = memBound
 			s.executed = true
-			u.memQueue = u.memQueue[1:]
+			u.popMem()
 			return
 		}
 	}
@@ -474,7 +486,7 @@ func (u *RUU) advanceMemFrontier(c int64) {
 	s.binding = b
 	s.toMem = toMem
 	s.phase = memBound
-	u.memQueue = u.memQueue[1:]
+	u.popMem()
 	if toMem {
 		v, f := u.ctx.State.Mem.Read(addr)
 		if f != nil {
@@ -547,6 +559,8 @@ func (u *RUU) readOperand(r isa.Reg) operand {
 		if r.File == isa.FileA && u.ffValid[r.Idx] && u.ffInst[r.Idx] == inst {
 			return operand{ready: true, value: u.ff[r.Idx]}
 		}
+	case BypassNone:
+		// No bypass: the operand waits for the result to commit.
 	}
 	return operand{ready: false, reg: int16(f), inst: inst}
 }
@@ -585,7 +599,11 @@ func (u *RUU) issueSlot(c int64, pc int, ins isa.Instruction, custom func(*slot)
 		return issue.StallDest
 	}
 
-	s := slot{
+	// Build the entry in place in the ring: a local slot passed to the
+	// custom callback below would escape to the heap on every issue.
+	pos := u.tail
+	s := &u.slots[pos]
+	*s = slot{
 		used:       true,
 		seq:        u.nextSeq,
 		id:         u.ctx.DecodeID,
@@ -628,11 +646,9 @@ func (u *RUU) issueSlot(c int64, pc int, ins isa.Instruction, custom func(*slot)
 		}
 	}
 	if custom != nil {
-		custom(&s)
+		custom(s)
 	}
 
-	pos := u.tail
-	u.slots[pos] = s
 	u.tail = (u.tail + 1) % u.cfg.Size
 	u.count++
 	u.nextSeq++
@@ -685,7 +701,7 @@ func (u *RUU) Flush() {
 	u.ni = [isa.NumRegs]uint8{}
 	u.li = [isa.NumRegs]uint8{}
 	u.ffValid = [isa.NumA]bool{}
-	u.memQueue = u.memQueue[:0]
+	u.memQueue, u.memHead = u.memQueue[:0], 0
 	u.pending = u.pending[:0]
 	u.cycleEvents = u.cycleEvents[:0]
 	u.trap = nil

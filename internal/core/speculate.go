@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"ruu/internal/exec"
 	"ruu/internal/isa"
 	"ruu/internal/issue"
@@ -121,14 +119,15 @@ func (u *RUU) squashAfter(c int64, pos int, seq int64) {
 	}
 	u.tail = (pos + 1) % u.cfg.Size
 
-	// Drop squashed memory operations from the address frontier.
+	// Drop squashed memory operations from the address frontier,
+	// compacting the live window [memHead:] back to the front.
 	keep := u.memQueue[:0]
-	for _, p := range u.memQueue {
+	for _, p := range u.memQueue[u.memHead:] {
 		if u.slots[p].used && u.slots[p].seq <= seq {
 			keep = append(keep, p)
 		}
 	}
-	u.memQueue = keep
+	u.memQueue, u.memHead = keep, 0
 
 	// Drop outcomes of squashed (wrong-path) branches.
 	keepOut := u.outcomes[:0]
@@ -145,13 +144,20 @@ func (u *RUU) TakeOutcomes() []issue.BranchOutcome {
 	if len(u.outcomes) == 0 {
 		return nil
 	}
-	sort.Slice(u.outcomes, func(i, j int) bool { return u.outcomes[i].seq < u.outcomes[j].seq })
-	out := make([]issue.BranchOutcome, len(u.outcomes))
-	for i, o := range u.outcomes {
-		out[i] = o.out
+	// Insertion sort by seq (unique, so stability is moot): sort.Slice
+	// would box the slice into an interface, and the per-cycle outcome
+	// count is tiny.
+	for i := 1; i < len(u.outcomes); i++ {
+		for j := i; j > 0 && u.outcomes[j].seq < u.outcomes[j-1].seq; j-- {
+			u.outcomes[j], u.outcomes[j-1] = u.outcomes[j-1], u.outcomes[j]
+		}
+	}
+	u.outBuf = u.outBuf[:0]
+	for _, o := range u.outcomes {
+		u.outBuf = append(u.outBuf, o.out)
 	}
 	u.outcomes = u.outcomes[:0]
-	return out
+	return u.outBuf
 }
 
 // BranchStats returns architectural (committed) branch counts: resolved

@@ -27,16 +27,16 @@ type Latencies [isa.NumUnits]int
 // records the comparison).
 func DefaultLatencies() Latencies {
 	var l Latencies
-	l[isa.UnitAInt] = 2
-	l[isa.UnitAMul] = 6
-	l[isa.UnitSLog] = 1
-	l[isa.UnitSShift] = 2
-	l[isa.UnitSAdd] = 3
-	l[isa.UnitFAdd] = 6
-	l[isa.UnitFMul] = 7
-	l[isa.UnitFRecip] = 14
-	l[isa.UnitMem] = 5
-	l[isa.UnitMove] = 1
+	l[isa.UnitAInt] = isa.LatAInt
+	l[isa.UnitAMul] = isa.LatAMul
+	l[isa.UnitSLog] = isa.LatSLog
+	l[isa.UnitSShift] = isa.LatSShift
+	l[isa.UnitSAdd] = isa.LatSAdd
+	l[isa.UnitFAdd] = isa.LatFAdd
+	l[isa.UnitFMul] = isa.LatFMul
+	l[isa.UnitFRecip] = isa.LatFRecip
+	l[isa.UnitMem] = isa.LatMem
+	l[isa.UnitMove] = isa.LatMove
 	return l
 }
 

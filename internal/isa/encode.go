@@ -35,7 +35,11 @@ func Encode(p *Program) ([]Parcel, error) {
 			case MovAB, MovBA, MovST, MovTS:
 				// 6-bit save index in j:k.
 				first = Parcel(uint16(ins.Op)<<9 | uint16(ins.I&7)<<6 | uint16(ins.Imm&63))
+			default:
+				// MovSA/MovAS use the plain i:j register fields.
 			}
+		case FmtNone, FmtR2, FmtR3, FmtTrap:
+			// Single parcel, register fields only.
 		case FmtR2Imm, FmtRImm, FmtMem:
 			second = Parcel(uint16(int16(ins.Imm)))
 		case FmtBranch:
@@ -84,6 +88,8 @@ func Decode(parcels []Parcel) (*Program, error) {
 		case MovAB, MovBA, MovST, MovTS:
 			ins.Imm = int64(first & 63)
 			ins.J, ins.K = 0, 0
+		default:
+			// All other opcodes keep their i:j:k register fields as decoded.
 		}
 		byAddr[pc] = len(prog.Instructions)
 		if info.Parcels == 2 {
@@ -96,6 +102,8 @@ func Decode(parcels []Parcel) (*Program, error) {
 				ins.Imm = int64(int16(second))
 			case FmtBranch:
 				branches = append(branches, pend{len(prog.Instructions), int(second)})
+			default:
+				// Unreachable: only the four formats above are two-parcel.
 			}
 			pc += 2
 		} else {

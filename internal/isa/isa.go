@@ -28,12 +28,13 @@ const (
 	FileT
 )
 
-// Sizes of the register files.
+// Sizes of the register files, anchored to the paper constants in
+// paperconst.go (the single source of truth).
 const (
-	NumA = 8
-	NumS = 8
-	NumB = 64
-	NumT = 64
+	NumA = PaperNumA
+	NumS = PaperNumS
+	NumB = PaperNumB
+	NumT = PaperNumT
 	// NumRegs is the total number of architectural registers (the paper's
 	// "144 registers").
 	NumRegs = NumA + NumS + NumB + NumT
@@ -442,11 +443,15 @@ func (ins Instruction) Dst() (Reg, bool) {
 			return S(int(ins.I)), true
 		case MovTS:
 			return T(int(ins.Imm)), true
+		default:
+			// Only the six Mov* opcodes carry FmtMove.
 		}
 	case FmtMem:
 		if info.Load {
 			return Reg{info.File, ins.I}, true
 		}
+	case FmtNone, FmtBranch, FmtTrap:
+		// No destination register.
 	}
 	return None, false
 }
@@ -475,6 +480,8 @@ func (ins Instruction) Srcs(dst []Reg) []Reg {
 			dst = append(dst, T(int(ins.Imm)))
 		case MovTS:
 			dst = append(dst, S(int(ins.I)))
+		default:
+			// Only the six Mov* opcodes carry FmtMove.
 		}
 	case FmtMem:
 		dst = append(dst, A(int(ins.J))) // base address register
@@ -485,6 +492,8 @@ func (ins Instruction) Srcs(dst []Reg) []Reg {
 		if r, ok := ins.Op.CondReg(); ok {
 			dst = append(dst, r)
 		}
+	case FmtNone, FmtRImm, FmtTrap:
+		// No register sources (RImm writes from an immediate).
 	}
 	return dst
 }
@@ -551,6 +560,8 @@ func (ins Instruction) Validate() error {
 		if ins.Imm < 0 {
 			return fmt.Errorf("isa: %s: negative branch target %d", info.Name, ins.Imm)
 		}
+	case FmtNone, FmtTrap:
+		// No operand fields to check.
 	}
 	return nil
 }
@@ -584,6 +595,8 @@ func (ins Instruction) String() string {
 			return fmt.Sprintf("movst S%d, T%d", ins.I, ins.Imm)
 		case MovTS:
 			return fmt.Sprintf("movts T%d, S%d", ins.Imm, ins.I)
+		default:
+			// Only the six Mov* opcodes carry FmtMove.
 		}
 	case FmtMem:
 		return fmt.Sprintf("%s %s%d, %d(A%d)", info.Name, f, ins.I, ins.Imm, ins.J)

@@ -1,0 +1,76 @@
+package isa
+
+// This file is the single source of truth for every model constant the
+// paper pins down. Nothing outside this file may restate these numbers
+// as literals: the register-file geometry feeds the NumA/NumS/NumB/NumT
+// constants below, fu.DefaultLatencies builds its table from the Lat*
+// constants, memsys/core/cmd defaults reference Paper*, and tables.go
+// derives its sweep lists from PaperRSTUSizes/PaperRUUSizes. The
+// paperconst analysis pass (internal/analysis) enforces the discipline:
+// a magic number in cmd/, tables.go or the simulation packages that
+// restates (or drifts from) one of these anchors is a lint finding.
+//
+// Sources: Sohi & Vajapeyam, "Instruction Issue Logic for
+// High-Performance, Interruptable Pipelined Processors" — §2 for the
+// CRAY-1 scalar model architecture, Tables 2-6 for the evaluated
+// RSTU/RUU sizes.
+
+const (
+	// PaperNumA, PaperNumS, PaperNumB and PaperNumT are the CRAY-1
+	// scalar register files the model architecture inherits (§2):
+	// 8 address (A), 8 scalar (S), 64 address-save (B) and 64
+	// scalar-save (T) registers.
+	PaperNumA = 8
+	PaperNumS = 8
+	PaperNumB = 64
+	PaperNumT = 64
+
+	// PaperResultBuses is the number of result buses: "only one
+	// function can output data onto the result bus in any clock
+	// cycle" (§2). fu.ResultBus models exactly this one bus.
+	PaperResultBuses = 1
+
+	// PaperLoadRegs is the number of load registers the paper
+	// simulated with (§4.2).
+	PaperLoadRegs = 6
+
+	// PaperCounterBits is the NI/LI instance-counter width (§4.1):
+	// 3-bit counters, so up to 7 in-flight instances per register.
+	PaperCounterBits = 3
+
+	// PaperCommitWidth is the number of instructions that may update
+	// the architectural state per cycle: a single path from the RUU
+	// to the register file (§4.1).
+	PaperCommitWidth = 1
+
+	// PaperDefaultRUUEntries is the default RUU size used by the
+	// command-line tools and ablations: 12 entries, the knee of the
+	// paper's Table 4 speedup curve.
+	PaperDefaultRUUEntries = 12
+)
+
+// Functional-unit latencies (cycles from dispatch to result-bus
+// delivery). The exact CRAY-1 values are not reproduced bit-for-bit;
+// the relative magnitudes are, which is what the paper's relative
+// speedups depend on (see fu.DefaultLatencies and EXPERIMENTS.md).
+const (
+	LatAInt   = 2  // address integer add
+	LatAMul   = 6  // address multiply
+	LatSLog   = 1  // scalar logical
+	LatSShift = 2  // scalar shift
+	LatSAdd   = 3  // scalar integer add
+	LatFAdd   = 6  // floating add
+	LatFMul   = 7  // floating multiply
+	LatFRecip = 14 // floating reciprocal approximation
+	LatMem    = 5  // memory access
+	LatMove   = 1  // inter-file moves
+)
+
+// PaperRSTUSizes are the RSTU entry counts evaluated in Tables 2-3.
+// PaperRUUSizes are the RUU entry counts evaluated in Tables 4-6.
+// Callers must not mutate the returned slices' backing arrays; tables.go
+// copies them into its exported sweep lists.
+var (
+	PaperRSTUSizes = [...]int{3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25, 30}
+	PaperRUUSizes  = [...]int{3, 4, 6, 8, 10, 12, 15, 20, 25, 30, 40, 50}
+)

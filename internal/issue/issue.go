@@ -226,7 +226,8 @@ type Speculator interface {
 	// redirection and predictor training only; they may include branches
 	// that are later squashed (they resolved on what turns out to be a
 	// wrong path), so architectural branch statistics come from
-	// BranchStats instead.
+	// BranchStats instead. The returned slice may be reused by the
+	// engine; it is valid only until the next call.
 	TakeOutcomes() []BranchOutcome
 	// BranchStats returns committed (architectural) branch counts:
 	// branches, taken branches, mispredictions.

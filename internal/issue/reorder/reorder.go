@@ -205,6 +205,8 @@ func (e *Engine) readReg(r isa.Reg) (int64, bool) {
 		if e.ffFresh[f] {
 			return e.ff[f], true
 		}
+	case ModePlain:
+		// Plain reorder buffer: no forwarding, wait for commit.
 	}
 	return 0, false
 }

@@ -100,6 +100,7 @@ type Engine struct {
 	regTag  [isa.NumRegs]int
 
 	memQueue []int // entry indices of unbound memory ops, program order
+	memHead  int   // first live element of memQueue (popped by index, not reslice)
 	pending  []broadcast
 	seqBuf   []int // scratch for bySeq (avoids per-cycle allocation)
 
@@ -137,7 +138,7 @@ func (e *Engine) Reset(ctx *issue.Context) {
 	e.entries = make([]entry, e.size)
 	e.nextSeq = 0
 	e.regBusy = [isa.NumRegs]bool{}
-	e.memQueue = e.memQueue[:0]
+	e.memQueue, e.memHead = e.memQueue[:0], 0
 	e.pending = e.pending[:0]
 	e.inFlight = 0
 	e.retired = 0
@@ -284,10 +285,10 @@ func (e *Engine) bySeq() []int {
 // register. At most one address per cycle; younger memory operations
 // cannot bind before older ones.
 func (e *Engine) advanceMemFrontier(c int64) {
-	if e.trap != nil || len(e.memQueue) == 0 {
+	if e.trap != nil || e.memHead == len(e.memQueue) {
 		return
 	}
-	idx := e.memQueue[0]
+	idx := e.memQueue[e.memHead]
 	ent := &e.entries[idx]
 	if ent.issueCycle >= c || ent.readyAt >= c || !ent.op1.ready {
 		return
@@ -323,7 +324,12 @@ func (e *Engine) advanceMemFrontier(c int64) {
 	ent.binding = b
 	ent.toMem = toMem
 	ent.phase = memBound
-	e.memQueue = e.memQueue[1:]
+	// Pop by head index; when the queue drains, reuse the backing
+	// array from the front so the steady state allocates nothing.
+	e.memHead++
+	if e.memHead == len(e.memQueue) {
+		e.memQueue, e.memHead = e.memQueue[:0], 0
+	}
 	if toMem {
 		v, f := e.ctx.State.Mem.Read(addr)
 		if f != nil {
@@ -486,7 +492,7 @@ func (e *Engine) Precise() bool { return false }
 func (e *Engine) Flush() {
 	e.entries = make([]entry, e.size)
 	e.regBusy = [isa.NumRegs]bool{}
-	e.memQueue = e.memQueue[:0]
+	e.memQueue, e.memHead = e.memQueue[:0], 0
 	e.pending = e.pending[:0]
 	e.inFlight = 0
 	e.trap = nil

@@ -113,6 +113,7 @@ type Engine struct {
 	outstandingTags int
 
 	memQueue []int // station indices of unbound memory ops, program order
+	memHead  int   // first live element of memQueue (popped by index, not reslice)
 	flights  []flight
 	seqBuf   []int // scratch for bySeq
 
@@ -171,7 +172,7 @@ func (e *Engine) Reset(ctx *issue.Context) {
 	e.buildStations()
 	e.regBusy = [isa.NumRegs]bool{}
 	e.outstandingTags = 0
-	e.memQueue = e.memQueue[:0]
+	e.memQueue, e.memHead = e.memQueue[:0], 0
 	e.flights = e.flights[:0]
 	e.nextSeq = 0
 	e.inFlight = 0
@@ -306,10 +307,10 @@ func (e *Engine) bySeq() []int {
 }
 
 func (e *Engine) advanceMemFrontier(c int64) {
-	if e.trap != nil || len(e.memQueue) == 0 {
+	if e.trap != nil || e.memHead == len(e.memQueue) {
 		return
 	}
-	idx := e.memQueue[0]
+	idx := e.memQueue[e.memHead]
 	s := &e.stations[idx]
 	if s.issueCycle >= c || s.readyAt >= c || !s.op1.ready {
 		return
@@ -338,7 +339,12 @@ func (e *Engine) advanceMemFrontier(c int64) {
 	}
 	s.addr, s.binding, s.toMem = addr, b, toMem
 	s.phase = memBound
-	e.memQueue = e.memQueue[1:]
+	// Pop by head index; when the queue drains, reuse the backing
+	// array from the front so the steady state allocates nothing.
+	e.memHead++
+	if e.memHead == len(e.memQueue) {
+		e.memQueue, e.memHead = e.memQueue[:0], 0
+	}
 	if toMem {
 		v, f := e.ctx.State.Mem.Read(addr)
 		if f != nil {
@@ -498,7 +504,7 @@ func (e *Engine) Flush() {
 	e.buildStations()
 	e.regBusy = [isa.NumRegs]bool{}
 	e.outstandingTags = 0
-	e.memQueue = e.memQueue[:0]
+	e.memQueue, e.memHead = e.memQueue[:0], 0
 	e.flights = e.flights[:0]
 	e.inFlight = 0
 	e.trap = nil

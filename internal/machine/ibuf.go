@@ -39,7 +39,7 @@ func newIBufs(p *isa.Program, cfg Config) *ibufs {
 func (b *ibufs) fetch(index, parcels int) int {
 	pa := b.addrs[index]
 	stall := 0
-	for _, p := range []int{pa, pa + parcels - 1} {
+	for _, p := range [...]int{pa, pa + parcels - 1} {
 		base := p - p%b.size
 		if b.resident(base) {
 			continue

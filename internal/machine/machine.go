@@ -328,6 +328,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 		machineRet   = int64(0) // matured machine-retired instructions
 		resolved     = int64(0) // all machine-resolved ones (progress tracking)
 		pending      []pendingRetire
+		pendHead     = 0
 		lastProgress = int64(0)
 		lastRetired  = int64(-1)
 		result       Result
@@ -356,9 +357,9 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 	}
 	mature := func(c int64) {
 		done := m.eng.Retired()
-		for len(pending) > 0 && pending[0].issuedBefore <= done {
-			p := pending[0]
-			pending = pending[1:]
+		for pendHead < len(pending) && pending[pendHead].issuedBefore <= done {
+			p := pending[pendHead]
+			pendHead++
 			machineRet++
 			ctx.Observe(obs.KindCommit, c, p.id, p.pc)
 			if p.branch {
@@ -367,6 +368,10 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 					stats.Taken++
 				}
 			}
+		}
+		if pendHead == len(pending) {
+			// Drained: reuse the backing array from the front.
+			pending, pendHead = pending[:0], 0
 		}
 	}
 	recordStall := func(c int64, r issue.StallReason) {
@@ -379,6 +384,23 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 	}
 
 	total := func() int64 { return m.eng.Retired() + machineRet }
+	resumeAt := func(c int64, rpc int) {
+		// Provisionally resolved branches younger than the flush
+		// point are discarded; the resumed execution will resolve
+		// them again.
+		mature(c)
+		for _, p := range pending[pendHead:] {
+			ctx.Observe(obs.KindSquash, c, p.id, p.pc)
+		}
+		resolved -= int64(len(pending) - pendHead)
+		pending, pendHead = pending[:0], 0
+		m.eng.Flush()
+		stats.Interrupts++
+		dec = decodeReg{}
+		halting = false
+		pc = rpc
+		fetchDelay = m.cfg.InterruptPenalty
+	}
 	finalize := func(c int64) {
 		mature(c)
 		stats.Cycles = c + 1
@@ -410,24 +432,6 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 		m.eng.BeginCycle(c)
 		mature(c)
 
-		resumeAt := func(rpc int) {
-			// Provisionally resolved branches younger than the flush
-			// point are discarded; the resumed execution will resolve
-			// them again.
-			mature(c)
-			for _, p := range pending {
-				ctx.Observe(obs.KindSquash, c, p.id, p.pc)
-			}
-			resolved -= int64(len(pending))
-			pending = pending[:0]
-			m.eng.Flush()
-			stats.Interrupts++
-			dec = decodeReg{}
-			halting = false
-			pc = rpc
-			fetchDelay = m.cfg.InterruptPenalty
-		}
-
 		// Architectural trap boundary.
 		if trap := m.eng.PendingTrap(); trap != nil {
 			precise := m.eng.Precise()
@@ -436,7 +440,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 			if precise && m.handler != nil {
 				act := m.handler(st, ev)
 				if act.Resume {
-					resumeAt(act.ResumePC)
+					resumeAt(c, act.ResumePC)
 					continue
 				}
 			}
@@ -466,7 +470,7 @@ func (m *Machine) Run(prog *isa.Program, st *exec.State) (Result, error) {
 			if precise && m.handler != nil {
 				act := m.handler(st, ev)
 				if act.Resume {
-					resumeAt(act.ResumePC)
+					resumeAt(c, act.ResumePC)
 					continue
 				}
 			}

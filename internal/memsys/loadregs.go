@@ -1,10 +1,14 @@
 package memsys
 
-import "fmt"
+import (
+	"fmt"
+
+	"ruu/internal/isa"
+)
 
 // DefaultLoadRegs is the number of load registers the paper simulated
 // ("we used 6 load registers though 4 were sufficient for most cases").
-const DefaultLoadRegs = 6
+const DefaultLoadRegs = isa.PaperLoadRegs
 
 // Binding identifies one memory operation's claim on a load register: the
 // register slot and the operation's position in that register's chain of
@@ -126,11 +130,10 @@ func (lr *LoadRegs) Bind(addr int64, isStore bool) (b Binding, toMemory bool, ok
 	if free < 0 {
 		return Invalid, false, false
 	}
-	lr.regs[free] = loadReg{
-		addr:    addr,
-		chain:   []chainEntry{{isStore: isStore}},
-		pending: 1,
-	}
+	r := &lr.regs[free]
+	r.addr = addr
+	r.chain = append(r.chain[:0], chainEntry{isStore: isStore}) // reuse freed capacity
+	r.pending = 1
 	return Binding{free, 0}, !isStore, true
 }
 
@@ -224,6 +227,9 @@ func (lr *LoadRegs) finish(b Binding, squash bool) {
 	r := &lr.regs[b.Slot]
 	r.pending--
 	if r.pending == 0 {
-		*r = loadReg{}
+		// Free the register but keep the chain's backing array for the
+		// next Bind.
+		r.addr = 0
+		r.chain = r.chain[:0]
 	}
 }

@@ -166,6 +166,8 @@ func (m *Metrics) Event(e Event) {
 			m.stalls = append(m.stalls, 0)
 		}
 		m.stalls[e.Stall]++
+	default:
+		// Fetch/decode/dispatch/execute/writeback/trap only bump events[].
 	}
 }
 

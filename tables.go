@@ -5,6 +5,7 @@ import (
 
 	"ruu/internal/machine"
 
+	"ruu/internal/isa"
 	"ruu/internal/livermore"
 )
 
@@ -143,10 +144,11 @@ func Sweep(cfg Config, sizes []int) ([]SpeedupRow, error) {
 
 // The paper's sweep sizes.
 var (
-	// RSTUSizes are the entry counts of Tables 2 and 3.
-	RSTUSizes = []int{3, 4, 5, 6, 7, 8, 9, 10, 15, 20, 25, 30}
+	// RSTUSizes are the entry counts of Tables 2 and 3, from the
+	// canonical sweep list in internal/isa/paperconst.go.
+	RSTUSizes = append([]int(nil), isa.PaperRSTUSizes[:]...)
 	// RUUSizes are the entry counts of Tables 4, 5 and 6.
-	RUUSizes = []int{3, 4, 6, 8, 10, 12, 15, 20, 25, 30, 40, 50}
+	RUUSizes = append([]int(nil), isa.PaperRUUSizes[:]...)
 )
 
 // Table2 reproduces Table 2: RSTU speedup and issue rate, one dispatch
