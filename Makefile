@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench lint lint-fix-check
+.PHONY: all build test race vet bench lint lint-fix-check dfa
 
-all: build test vet lint
+all: build test vet lint dfa
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,19 @@ lint:
 	@$(GO) run ./cmd/ruulint -json ./... > out/ruulint.json; st=$$?; \
 	if [ $$st -ne 0 ] && [ $$st -ne 1 ] ; then exit $$st; fi; \
 	$(GO) run ./cmd/ruulint ./...
+
+# dfa runs ruudfa, the ISA-level dataflow analysis (see docs/DFA.md),
+# over the built-in Livermore kernels and the standalone example
+# programs. A program-lint finding is a build failure. The hazard
+# census and dataflow-limit table is also written as JSON lines to
+# out/dfa.json for tooling (the CI artifact).
+dfa:
+	$(GO) build ./...
+	@mkdir -p out
+	@$(GO) run ./cmd/ruudfa -json > out/dfa.json; st=$$?; \
+	if [ $$st -ne 0 ] && [ $$st -ne 1 ] ; then exit $$st; fi; \
+	$(GO) run ./cmd/ruudfa
+	$(GO) run ./cmd/ruudfa examples/asm/*.s
 
 # lint-fix-check is the CI fail-fast gate: formatting and lint findings
 # fail before the slower race/bench stages run.

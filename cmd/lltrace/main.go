@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"ruu"
 	"ruu/internal/asm"
@@ -57,11 +56,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case flag.NArg() == 1:
-		src, err := os.ReadFile(flag.Arg(0))
-		if err != nil {
-			log.Fatal(err)
-		}
-		unit, err = ruu.Assemble(string(src))
+		unit, err = ruu.AssembleFile(flag.Arg(0))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,190 @@
+// Command ruudfa runs the ISA-level dataflow analysis (internal/dfa)
+// over assembled programs: the dynamic hazard census (RAW/WAR/WAW
+// pairs), the dataflow-limit oracle (the cycle count no engine can
+// beat), and the program lint (uninitialized reads, dead stores,
+// unreachable instructions, loop-dead writes).
+//
+// Usage:
+//
+//	ruudfa                     # all built-in Livermore kernels
+//	ruudfa -kernel LLL3        # one built-in kernel
+//	ruudfa prog.s other.s      # assembly files
+//	ruudfa -json ...           # one JSON object per program per line
+//
+// Lint findings print as program: position: [rule] message. Exit
+// status: 0 clean, 1 lint findings, 2 usage, assembly, or replay error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ruu/internal/asm"
+	"ruu/internal/dfa"
+	"ruu/internal/exec"
+	"ruu/internal/livermore"
+	"ruu/internal/machine"
+	"ruu/internal/report"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "", "analyze one built-in Livermore kernel (LLL1..LLL14)")
+		asJSON = flag.Bool("json", false, "emit one JSON object per program per line")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ruudfa [-json] [-kernel NAME | file.s ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var progs []program
+	switch {
+	case *kernel != "":
+		if flag.NArg() > 0 {
+			fmt.Fprintf(os.Stderr, "ruudfa: -kernel and file arguments are mutually exclusive\n")
+			os.Exit(2)
+		}
+		k := livermore.ByName(*kernel)
+		if k == nil {
+			fatal(fmt.Errorf("unknown kernel %q", *kernel))
+		}
+		progs = append(progs, kernelProgram(k))
+	case flag.NArg() > 0:
+		for _, path := range flag.Args() {
+			progs = append(progs, fileProgram(path))
+		}
+	default:
+		for _, k := range livermore.Kernels() {
+			progs = append(progs, kernelProgram(k))
+		}
+	}
+
+	mc := machine.DefaultConfig()
+	bcfg := dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency}
+
+	var results []result
+	for _, p := range progs {
+		r, err := analyze(p, bcfg)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, r)
+	}
+
+	nFindings := 0
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range results {
+			if err := enc.Encode(r); err != nil {
+				fatal(err)
+			}
+			nFindings += len(r.Findings)
+		}
+	} else {
+		tbl := report.New("ISA dataflow analysis",
+			"Program", "Instrs", "RAW", "WAR", "WAW", "Branches", "Taken", "Crit Path", "Dataflow Limit")
+		for _, r := range results {
+			c, b := r.Census, r.Bound
+			tbl.Add(r.Program, c.DynInstrs, c.RAW, c.WAR, c.WAW, c.Branches, c.Taken, b.CritPath, b.Cycles)
+		}
+		tbl.WriteText(os.Stdout)
+		for _, r := range results {
+			for _, f := range r.Findings {
+				fmt.Printf("%s: %s\n", r.Program, f.Text)
+				nFindings++
+			}
+		}
+	}
+	if nFindings > 0 {
+		fmt.Fprintf(os.Stderr, "ruudfa: %d lint finding(s)\n", nFindings)
+		os.Exit(1)
+	}
+}
+
+// program is one analyzable input: a name and loaders for its unit and
+// initial state.
+type program struct {
+	name  string
+	unit  func() (*asm.Unit, error)
+	state func() (*exec.State, error)
+}
+
+func kernelProgram(k *livermore.Kernel) program {
+	return program{name: k.Name, unit: k.Unit, state: k.NewState}
+}
+
+func fileProgram(path string) program {
+	load := func() (*asm.Unit, error) { return asm.AssembleFile(path) }
+	return program{
+		name: filepath.Base(path),
+		unit: load,
+		state: func() (*exec.State, error) {
+			u, err := load()
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewState(u.NewMemory()), nil
+		},
+	}
+}
+
+// result is the analysis output for one program (also the -json line
+// format).
+type result struct {
+	Program  string        `json:"program"`
+	Census   dfa.Census    `json:"census"`
+	Bound    dfa.Bound     `json:"bound"`
+	Findings []jsonFinding `json:"findings"`
+}
+
+type jsonFinding struct {
+	Rule string `json:"rule"`
+	Line int    `json:"line"` // source line, 0 when unknown
+	Idx  int    `json:"idx"`  // instruction index
+	Text string `json:"text"`
+}
+
+func analyze(p program, bcfg dfa.BoundConfig) (result, error) {
+	r := result{Program: p.name, Findings: []jsonFinding{}}
+	u, err := p.unit()
+	if err != nil {
+		return r, err
+	}
+	for _, f := range dfa.Lint(u.Prog) {
+		r.Findings = append(r.Findings, jsonFinding{
+			Rule: f.Rule.String(), Line: f.Line, Idx: f.Idx, Text: f.String(),
+		})
+	}
+	st, err := p.state()
+	if err != nil {
+		return r, err
+	}
+	r.Census, err = dfa.ComputeCensus(u.Prog, st, 0)
+	if err != nil {
+		return r, fmt.Errorf("%s: %w", p.name, err)
+	}
+	if r.Census.Trap != nil {
+		return r, fmt.Errorf("%s: census replay trapped: %v", p.name, r.Census.Trap)
+	}
+	st, err = p.state()
+	if err != nil {
+		return r, err
+	}
+	r.Bound, err = dfa.ComputeBound(u.Prog, st, bcfg)
+	if err != nil {
+		return r, fmt.Errorf("%s: %w", p.name, err)
+	}
+	if r.Bound.Trap != nil {
+		return r, fmt.Errorf("%s: bound replay trapped: %v", p.name, r.Bound.Trap)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ruudfa: %v\n", err)
+	os.Exit(2)
+}

@@ -129,12 +129,15 @@ func emitSweep(emit func(*report.Table), id, title string, rows []ruu.SpeedupRow
 	if paper != nil {
 		cols = append(cols, "Paper Speedup")
 	}
+	// The dataflow limit (internal/dfa) is the speedup ceiling for the
+	// sweep's machine timing: no entry count can exceed it.
+	cols = append(cols, "Dataflow Limit")
 	t := report.New(title, cols...)
 	for _, r := range rows {
 		if paper != nil {
-			t.Add(r.Entries, r.Speedup, r.IssueRate, paper[r.Entries])
+			t.Add(r.Entries, r.Speedup, r.IssueRate, paper[r.Entries], r.Limit)
 		} else {
-			t.Add(r.Entries, r.Speedup, r.IssueRate)
+			t.Add(r.Entries, r.Speedup, r.IssueRate, r.Limit)
 		}
 	}
 	emit(t)

@@ -1,0 +1,228 @@
+package ruu
+
+import (
+	"testing"
+
+	"ruu/internal/dfa"
+	"ruu/internal/livermore"
+	"ruu/internal/machine"
+	"ruu/internal/progsynth"
+)
+
+// oracleEngines is the configuration matrix the dataflow-limit oracle is
+// checked against: every issue mechanism, plus an effectively unbounded
+// RUU with and without speculation.
+func oracleEngines() []struct {
+	name string
+	cfg  Config
+} {
+	spec := Config{Engine: EngineRUU, Entries: 2048, Bypass: BypassFull}
+	spec.Machine.Speculate = true
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"simple", Config{Engine: EngineSimple}},
+		{"tomasulo", Config{Engine: EngineTomasulo, Entries: 2}},
+		{"tagunit", Config{Engine: EngineTagUnit, Entries: 2, TagUnitSize: 20}},
+		{"rspool", Config{Engine: EngineRSPool, Entries: 10, TagUnitSize: 20}},
+		{"rstu", Config{Engine: EngineRSTU, Entries: 10}},
+		{"ruu", Config{Engine: EngineRUU, Entries: 10, Bypass: BypassFull}},
+		{"reorder", Config{Engine: EngineReorder, Entries: 10}},
+		{"reorder-bypass", Config{Engine: EngineReorderBypass, Entries: 10}},
+		{"reorder-future", Config{Engine: EngineReorderFuture, Entries: 10}},
+		{"ruu-inf", Config{Engine: EngineRUU, Entries: 2048, Bypass: BypassFull}},
+		{"ruu-inf-spec", spec},
+	}
+}
+
+// runKernelStats is runKernel, but keeps the full machine statistics.
+func runKernelStats(t *testing.T, cfg Config, k *livermore.Kernel) Result {
+	t.Helper()
+	u, err := k.Unit()
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	st, err := k.NewState()
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	res, err := m.Run(u.Prog, st)
+	if err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	if res.Trap != nil {
+		t.Fatalf("%s: unexpected trap %v", k.Name, res.Trap)
+	}
+	if err := k.Verify(st); err != nil {
+		t.Fatalf("%s: %v", k.Name, err)
+	}
+	return res
+}
+
+// TestDataflowOracleLivermore checks the dataflow-limit oracle against
+// every engine on every Livermore kernel:
+//
+//   - no engine finishes in fewer cycles than the dataflow limit (the
+//     bound is sound),
+//   - every engine executes exactly the dynamic instruction stream the
+//     bound was computed over,
+//   - simple issue never beats the unbounded RUU,
+//   - the speculative unbounded RUU comes within 10% of the limit on at
+//     least one kernel (the bound is not vacuously loose), and it does
+//     so while recovering from real mispredictions (the squash path
+//     cannot dodge the bound).
+func TestDataflowOracleLivermore(t *testing.T) {
+	mc := machine.DefaultConfig()
+	bcfg := dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency}
+	engines := oracleEngines()
+
+	minRatio := 0.0
+	minKernel := ""
+	var specMispredicts int64
+	for _, k := range livermore.Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			u, err := k.Unit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := k.NewState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := dfa.ComputeBound(u.Prog, st, bcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Trap != nil {
+				t.Fatalf("bound replay trapped: %v", b.Trap)
+			}
+
+			cycles := map[string]int64{}
+			for _, e := range engines {
+				res := runKernelStats(t, e.cfg, k)
+				cycles[e.name] = res.Stats.Cycles
+				if res.Stats.Cycles < b.Cycles {
+					t.Errorf("%s: %d cycles beats the dataflow limit %d (bound unsound)",
+						e.name, res.Stats.Cycles, b.Cycles)
+				}
+				if res.Stats.Instructions != b.DynInstrs {
+					t.Errorf("%s: executed %d instructions, bound replay saw %d",
+						e.name, res.Stats.Instructions, b.DynInstrs)
+				}
+				if e.name == "ruu-inf-spec" {
+					specMispredicts += res.Stats.Mispredicts
+				}
+			}
+			if cycles["simple"] < cycles["ruu-inf"] {
+				t.Errorf("simple issue (%d cycles) beats the unbounded RUU (%d cycles)",
+					cycles["simple"], cycles["ruu-inf"])
+			}
+			ratio := float64(cycles["ruu-inf-spec"]) / float64(b.Cycles)
+			if minKernel == "" || ratio < minRatio {
+				minRatio, minKernel = ratio, k.Name
+			}
+		})
+	}
+
+	// Measured: LLL3 and LLL12 run within 0.2% of the limit; anything
+	// above 1.10 means the bound (or an engine) regressed badly.
+	if minKernel == "" {
+		t.Fatal("no kernels ran")
+	}
+	t.Logf("tightest kernel: %s at %.3fx the dataflow limit", minKernel, minRatio)
+	if minRatio > 1.10 {
+		t.Errorf("speculative unbounded RUU never comes within 10%% of the dataflow limit (best %s at %.3fx)",
+			minKernel, minRatio)
+	}
+	if specMispredicts == 0 {
+		t.Error("speculative runs saw zero mispredictions: the squash-vs-bound interaction was not exercised")
+	}
+}
+
+// TestDataflowOracleSynthesized checks bound soundness over a seeded
+// progsynth corpus: programs with nested loops and data-dependent
+// conditional branches, where the dynamic stream differs per seed.
+func TestDataflowOracleSynthesized(t *testing.T) {
+	mc := machine.DefaultConfig()
+	bcfg := dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency}
+	opts := progsynth.Options{Nested: true, CondBranches: true}
+	spec := Config{Engine: EngineRUU, Entries: 2048, Bypass: BypassFull}
+	spec.Machine.Speculate = true
+	cfgs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"simple", Config{Engine: EngineSimple}},
+		{"rstu", Config{Engine: EngineRSTU, Entries: 10}},
+		{"reorder-future", Config{Engine: EngineReorderFuture, Entries: 10}},
+		{"ruu-inf-spec", spec},
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		prog := progsynth.Generate(seed, opts)
+		b, err := dfa.ComputeBound(prog, progsynth.NewState(seed, opts), bcfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if b.Trap != nil {
+			t.Fatalf("seed %d: bound replay trapped: %v", seed, b.Trap)
+		}
+		for _, e := range cfgs {
+			m, err := NewMachine(e.cfg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			st := progsynth.NewState(seed, opts)
+			res, err := m.Run(prog, st)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, e.name, err)
+			}
+			if res.Trap != nil {
+				t.Fatalf("seed %d %s: unexpected trap %v", seed, e.name, res.Trap)
+			}
+			if res.Stats.Cycles < b.Cycles {
+				t.Errorf("seed %d: %s finishes in %d cycles, below the dataflow limit %d",
+					seed, e.name, res.Stats.Cycles, b.Cycles)
+			}
+			if res.Stats.Instructions != b.DynInstrs {
+				t.Errorf("seed %d: %s executed %d instructions, bound replay saw %d",
+					seed, e.name, res.Stats.Instructions, b.DynInstrs)
+			}
+		}
+	}
+}
+
+// TestDataflowCensusMatchesMachineBranchCounts cross-checks the census
+// replay against the cycle-accurate machine's own branch accounting.
+func TestDataflowCensusMatchesMachineBranchCounts(t *testing.T) {
+	for _, k := range livermore.Kernels() {
+		u, err := k.Unit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := k.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := dfa.ComputeCensus(u.Prog, st, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if c.Trap != nil {
+			t.Fatalf("%s: census replay trapped: %v", k.Name, c.Trap)
+		}
+		res := runKernelStats(t, Config{Engine: EngineSimple}, k)
+		if c.DynInstrs != res.Stats.Instructions {
+			t.Errorf("%s: census counted %d instructions, machine %d", k.Name, c.DynInstrs, res.Stats.Instructions)
+		}
+		if c.Branches != res.Stats.Branches || c.Taken != res.Stats.Taken {
+			t.Errorf("%s: census branches %d/%d taken, machine %d/%d",
+				k.Name, c.Branches, c.Taken, res.Stats.Branches, res.Stats.Taken)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+; Dot product of two 64-element vectors (the quickstart program as a
+; standalone source file): the loop counter counts down in A0 (the
+; CRAY-style branch register), the index runs in A1, and the sum
+; accumulates in S1.
+;
+; Analyze it with:   go run ./cmd/ruudfa examples/asm/dotproduct.s
+; Trace it with:     go run ./cmd/lltrace examples/asm/dotproduct.s
+.equ  n 64
+.array x 64
+.array y 64
+.word result 0
+
+    lai   A7, 0
+    lai   A1, 0          ; index
+    lai   A0, =n         ; loop countdown
+    lsi   S1, 0          ; sum
+loop:
+    lds   S2, =x(A1)
+    lds   S3, =y(A1)
+    fmul  S2, S2, S3
+    addai A0, A0, -1
+    fadd  S1, S1, S2
+    addai A1, A1, 1
+    janz  loop
+    sts   S1, =result(A7)
+    halt

@@ -1,0 +1,25 @@
+; SAXPY: z[i] = a*x[i] + y[i] over 32 elements. The scalar a loads once
+; before the loop; each iteration is a load-load-multiply-add-store
+; chain, so the dataflow limit is dominated by the FMul+FAdd latencies.
+;
+; Analyze it with:   go run ./cmd/ruudfa examples/asm/saxpy.s
+.equ  n 32
+.f64  a 1.5
+.array x 32
+.array y 32
+.array z 32
+
+    lai   A7, 0
+    lai   A1, 0          ; index
+    lai   A0, =n         ; loop countdown
+    lds   S4, =a(A7)     ; scalar a
+loop:
+    lds   S1, =x(A1)
+    lds   S2, =y(A1)
+    fmul  S1, S1, S4
+    fadd  S1, S1, S2
+    sts   S1, =z(A1)
+    addai A1, A1, 1
+    addai A0, A0, -1
+    janz  loop
+    halt

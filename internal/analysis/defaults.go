@@ -54,16 +54,22 @@ var HotPathPackages = []string{
 	"internal/memsys",
 	"internal/fu",
 	"internal/exec",
+	"internal/dfa",
 }
 
 // DefaultHotRoots seed hot-path reachability: the cycle loop of
-// (*machine.Machine).Run. LoopOnly keeps the per-run setup above the
-// loop cold; everything the loop body reaches — through the
+// (*machine.Machine).Run, and the per-instruction replay loops of the
+// dataflow oracle (the oracle walks the same dynamic stream as the
+// machine, once per oracle test, so its loop bodies are held to the
+// same allocation-freedom bar). LoopOnly keeps the per-run setup above
+// each loop cold; everything the loop bodies reach — through the
 // issue.Engine interface into every engine, and onward into
 // exec/fu/memsys — is hot.
 func DefaultHotRoots(modulePath string) []HotRoot {
 	return []HotRoot{
 		{Pkg: modulePath + "/internal/machine", Recv: "Machine", Func: "Run", LoopOnly: true},
+		{Pkg: modulePath + "/internal/dfa", Func: "ComputeBound", LoopOnly: true},
+		{Pkg: modulePath + "/internal/dfa", Func: "ComputeCensus", LoopOnly: true},
 	}
 }
 

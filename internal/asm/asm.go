@@ -21,8 +21,10 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"os"
 	"strconv"
 	"strings"
 
@@ -50,6 +52,9 @@ type Unit struct {
 	Symbols map[string]int64
 	// DataEnd is one past the highest allocated data address.
 	DataEnd int64
+
+	// nIns is the pass-1 instruction count, for pass-2 range checks.
+	nIns int
 }
 
 // InitMemory writes the unit's data image into m.
@@ -67,13 +72,20 @@ func (u *Unit) NewMemory() *memsys.Memory {
 	return m
 }
 
-// Error is an assembly error with source position.
+// Error is an assembly error with source position. File is empty when
+// the source did not come from a file (Assemble on a string).
 type Error struct {
+	File string
 	Line int
 	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("asm: %s:%d: %s", e.File, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
 
 func errf(line int, format string, args ...any) error {
 	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
@@ -129,6 +141,7 @@ func Assemble(src string) (*Unit, error) {
 		nIns++
 	}
 	u.DataEnd = cursor
+	u.nIns = nIns
 
 	// Pass 2: encode instructions.
 	for i := range stmts {
@@ -144,6 +157,24 @@ func Assemble(src string) (*Unit, error) {
 	}
 	if err := u.Prog.Validate(); err != nil {
 		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return u, nil
+}
+
+// AssembleFile reads and assembles path; assembly errors carry the file
+// name, so diagnostics render as "asm: path:line: msg".
+func AssembleFile(path string) (*Unit, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	u, err := Assemble(string(src))
+	if err != nil {
+		var ae *Error
+		if errors.As(err, &ae) {
+			ae.File = path
+		}
+		return nil, err
 	}
 	return u, nil
 }
@@ -466,6 +497,13 @@ func (u *Unit) encode(s *stmt) (isa.Instruction, error) {
 		t, ok := u.Prog.Labels[s.fields[0]]
 		if !ok {
 			return ins, errf(s.line, "undefined branch target %q", s.fields[0])
+		}
+		if t >= u.nIns {
+			// A label on the final line with no instruction after it
+			// resolves past the end; catch it here so the diagnostic
+			// carries the branch's source line (Program.Validate would
+			// reject it without one).
+			return ins, errf(s.line, "branch target %q points past the last instruction", s.fields[0])
 		}
 		ins.Imm = int64(t)
 	}

@@ -1,7 +1,11 @@
 package asm
 
 import (
+	"errors"
+	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -165,13 +169,70 @@ func TestAssembleErrors(t *testing.T) {
 	}
 }
 
-func TestErrorHasLineNumber(t *testing.T) {
-	_, err := Assemble("nop\nnop\nbogus\nhalt")
+// TestDiagnosticLines pins the source line attached to each diagnostic:
+// ruudfa and lltrace print these positions verbatim, so every error kind
+// must point at the offending line, not just fail.
+func TestDiagnosticLines(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+		wantLine           int
+	}{
+		{"unknown mnemonic", "nop\nnop\nbogus\nhalt", "unknown mnemonic", 3},
+		{"undefined symbol", "nop\nlai A1, =nothing\nhalt", "undefined symbol", 2},
+		{"undefined branch target", "nop\nnop\nnop\njmp nowhere\nhalt", "undefined branch target", 4},
+		{"duplicate label", "x:\nnop\nnop\nx:\nhalt", "duplicate label", 4},
+		{"duplicate symbol", ".equ a 1\n.equ a 2\nhalt", "duplicate symbol", 2},
+		{"branch past end", "nop\njmp end\nhalt\nend:", "past the last instruction", 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble(c.src)
+			if err == nil {
+				t.Fatalf("assembled successfully, wanted error containing %q", c.wantSub)
+			}
+			var ae *Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("error %q is not an *asm.Error", err)
+			}
+			if !strings.Contains(ae.Msg, c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+			if ae.Line != c.wantLine {
+				t.Errorf("error %q on line %d, want line %d", err, ae.Line, c.wantLine)
+			}
+		})
+	}
+}
+
+func TestAssembleFile(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.s")
+	if err := os.WriteFile(good, []byte("lai A1, 1\nhalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := AssembleFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Prog.Instructions) != 2 {
+		t.Fatalf("got %d instructions, want 2", len(u.Prog.Instructions))
+	}
+
+	bad := filepath.Join(dir, "bad.s")
+	if err := os.WriteFile(bad, []byte("nop\nbogus\nhalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = AssembleFile(bad)
 	if err == nil {
 		t.Fatal("expected error")
 	}
-	if !strings.Contains(err.Error(), "line 3") {
-		t.Fatalf("error %q lacks line number", err)
+	if want := fmt.Sprintf("asm: %s:2: ", bad); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not carry %q", err, want)
+	}
+
+	if _, err := AssembleFile(filepath.Join(dir, "missing.s")); err == nil {
+		t.Error("expected error for a missing file")
 	}
 }
 

@@ -1,0 +1,141 @@
+package dfa
+
+import (
+	"fmt"
+
+	"ruu/internal/exec"
+	"ruu/internal/fu"
+	"ruu/internal/isa"
+)
+
+// BoundConfig parameterises the dataflow-limit oracle.
+type BoundConfig struct {
+	// Lat are the functional-unit latencies weighting the dependence
+	// edges (fu.DefaultLatencies when zero).
+	Lat fu.Latencies
+	// FwdLatency, when positive, caps the effective load latency at
+	// min(Lat[UnitMem], FwdLatency): the machine's load registers can
+	// satisfy a load by forwarding in FwdLatency cycles, so a bound
+	// weighting every load at the full memory latency would not be a
+	// lower bound. Zero disables the cap (no forwarding model).
+	FwdLatency int
+	// MaxInstr bounds the replay (exec.DefaultMaxInstructions if <= 0).
+	MaxInstr int64
+}
+
+// Bound is the dataflow limit of one dynamic execution: the longest
+// path through the dynamic register-dependence DAG, weighted by
+// functional-unit latencies. No engine of the model architecture can
+// finish the program in fewer cycles:
+//
+//   - every register RAW chain needs at least the sum of the producers'
+//     latencies (the engine timing contract: a consumer completes no
+//     earlier than its producer's completion plus its own latency),
+//   - the single decode stage handles at most one instruction per cycle
+//     in program order, so the k-th dynamic instruction starts no
+//     earlier than cycle k and the run needs at least DynInstrs cycles,
+//   - every taken branch redirects fetch, which costs at least one dead
+//     fetch cycle under any configuration (machine.Config clamps
+//     TakenPenalty and PredictedTakenBubble to >= 1), pushing every
+//     later instruction's earliest start one cycle further out.
+//
+// The bound deliberately ignores the single result bus, branch
+// penalties, structural stalls, and memory dependencies — all of these
+// only slow a real engine down, so omitting them keeps the bound sound
+// (a true lower bound) at the price of looseness. See docs/DFA.md.
+type Bound struct {
+	// CritPath is the latency-weighted longest path (cycles).
+	CritPath int64
+	// DynInstrs is the number of dynamic instructions executed.
+	DynInstrs int64
+	// Cycles is the dataflow limit: max(CritPath, DynInstrs).
+	Cycles int64
+	// Trap is non-nil if execution stopped at a trap; the bound then
+	// covers the executed prefix.
+	Trap *exec.Trap
+}
+
+// Speedup returns the largest speedup over baseCycles any engine could
+// reach on this program: baseCycles / Cycles.
+func (b Bound) Speedup(baseCycles int64) float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return float64(baseCycles) / float64(b.Cycles)
+}
+
+// ComputeBound replays the program on the functional executor, starting
+// from st (which it mutates), and computes the dataflow limit over the
+// same dynamic instruction stream every engine executes: ready[r] is
+// the completion time of register r's latest writer, each instruction
+// completes at max(ready of its sources) plus its unit latency, and the
+// critical path is the maximum completion over the whole trace.
+func ComputeBound(p *isa.Program, st *exec.State, cfg BoundConfig) (Bound, error) {
+	if cfg.Lat == (fu.Latencies{}) {
+		cfg.Lat = fu.DefaultLatencies()
+	}
+	if cfg.MaxInstr <= 0 {
+		cfg.MaxInstr = exec.DefaultMaxInstructions
+	}
+	memLat := cfg.Lat[isa.UnitMem]
+	if cfg.FwdLatency > 0 && cfg.FwdLatency < memLat {
+		memLat = cfg.FwdLatency
+	}
+
+	var (
+		b     Bound
+		ready [isa.NumRegs]int64
+		srcs  [2]isa.Reg
+		pos   int64 // earliest decode slot of the next instruction
+	)
+	for !st.Halted {
+		if b.DynInstrs >= cfg.MaxInstr {
+			return b, fmt.Errorf("dfa: bound instruction budget %d exhausted at pc=%d", cfg.MaxInstr, st.PC)
+		}
+		pc := st.PC
+		ins, trap := st.Step(p)
+		if trap != nil {
+			b.Trap = trap
+			break
+		}
+		b.DynInstrs++
+
+		// An instruction cannot leave the single decode stage before its
+		// slot in the in-order stream: one instruction per cycle, plus at
+		// least one dead fetch cycle after every taken branch. (A
+		// conditional branch whose target is its own fall-through cannot
+		// be told apart from an untaken one here; skipping it only
+		// loosens the bound.)
+		start := pos
+		pos++
+		if ins.Op == isa.Jmp || (ins.Op.IsConditional() && st.PC != pc+1) {
+			pos++
+		}
+		for _, r := range ins.Srcs(srcs[:0]) {
+			if t := ready[r.Flat()]; t > start {
+				start = t
+			}
+		}
+		unit := ins.Op.Info().Unit
+		var lat int64
+		if unit == isa.UnitMem {
+			// Loads may be satisfied by load-register forwarding, so the
+			// dependence edge is only as heavy as the cheaper path.
+			lat = int64(memLat)
+		} else if unit != isa.UnitNone {
+			lat = int64(cfg.Lat[unit])
+		}
+		done := start + lat
+		if done > b.CritPath {
+			b.CritPath = done
+		}
+		if d, ok := ins.Dst(); ok {
+			ready[d.Flat()] = done
+		}
+	}
+	b.Cycles = b.CritPath
+	if pos > b.Cycles {
+		b.Cycles = pos
+	}
+	return b, nil
+}

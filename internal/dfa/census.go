@@ -1,0 +1,98 @@
+package dfa
+
+import (
+	"fmt"
+
+	"ruu/internal/exec"
+	"ruu/internal/isa"
+)
+
+// Census counts the register-hazard pairs in one dynamic execution —
+// the quantities the paper's issue mechanisms exist to handle: RAW
+// hazards are resolved by waiting (reservation stations, the RUU's
+// ready logic); WAR and WAW hazards are what register renaming through
+// tags / RUU instances makes a non-issue (§3, §5).
+type Census struct {
+	// DynInstrs is the number of dynamic instructions executed (HALT and
+	// NOPs included, matching exec.RunResult.Executed and
+	// machine.Stats.Instructions).
+	DynInstrs int64
+	// RAW counts dynamic source reads of a register a previous
+	// instruction wrote (one per read operand, the flow dependencies an
+	// issue mechanism must wait for if the value is still in flight).
+	RAW int64
+	// WAR counts dynamic register writes where another instruction read
+	// the register since its previous write (anti dependencies).
+	WAR int64
+	// WAW counts dynamic register writes to a register already written
+	// (output dependencies).
+	WAW int64
+	// Branches and Taken count dynamic branches.
+	Branches, Taken int64
+	// Trap is non-nil if execution stopped at a trap; the census then
+	// covers the executed prefix.
+	Trap *exec.Trap
+}
+
+// ComputeCensus replays the program on the functional executor, starting
+// from st (which it mutates), and tallies the dynamic hazard census.
+// maxInstr bounds the replay (exec.DefaultMaxInstructions if <= 0).
+func ComputeCensus(p *isa.Program, st *exec.State, maxInstr int64) (Census, error) {
+	if maxInstr <= 0 {
+		maxInstr = exec.DefaultMaxInstructions
+	}
+	var (
+		c         Census
+		written   [isa.NumRegs]bool
+		readSince [isa.NumRegs]bool
+		srcs      [2]isa.Reg
+	)
+	for !st.Halted {
+		if c.DynInstrs >= maxInstr {
+			return c, fmt.Errorf("dfa: census instruction budget %d exhausted at pc=%d", maxInstr, st.PC)
+		}
+		pc := st.PC
+		ins, trap := st.Step(p)
+		if trap != nil {
+			c.Trap = trap
+			return c, nil
+		}
+		c.DynInstrs++
+		if ins.Op.IsBranch() {
+			c.Branches++
+			if st.PC != pc+1 {
+				c.Taken++
+			}
+		}
+
+		// A write hazard pairs this instruction with an *earlier* one, so
+		// the destination's prior state is sampled before this
+		// instruction's own reads are recorded (reading your own
+		// destination operand is not a hazard).
+		dstFlat := -1
+		prevWritten, prevRead := false, false
+		if d, ok := ins.Dst(); ok {
+			dstFlat = d.Flat()
+			prevWritten = written[dstFlat]
+			prevRead = readSince[dstFlat]
+		}
+		for _, r := range ins.Srcs(srcs[:0]) {
+			f := r.Flat()
+			if written[f] {
+				c.RAW++
+			}
+			readSince[f] = true
+		}
+		if dstFlat >= 0 {
+			if prevWritten {
+				c.WAW++
+			}
+			if prevRead {
+				c.WAR++
+			}
+			written[dstFlat] = true
+			readSince[dstFlat] = false
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,137 @@
+package dfa
+
+import (
+	"fmt"
+	"sort"
+
+	"ruu/internal/isa"
+)
+
+// Rule identifies one program lint rule.
+type Rule uint8
+
+const (
+	// RuleUninitRead flags a read that a synthetic entry definition
+	// reaches: on some path no instruction wrote the register before the
+	// read, so the program depends on the architectural zero-fill.
+	// Kernel code is expected to initialize every register it reads (the
+	// Livermore sources do); synthesized progsynth programs deliberately
+	// rely on zero-fill and are not held to this rule.
+	RuleUninitRead Rule = iota
+	// RuleDeadStore flags a register write that no instruction reads and
+	// that is overwritten on every path before any program exit: the
+	// write cannot be observed at all.
+	RuleDeadStore
+	// RuleUnreachable flags an instruction no CFG path from the entry
+	// reaches.
+	RuleUnreachable
+	// RuleLoopDeadWrite flags a register written inside a loop but never
+	// read by any instruction: the value is not live out of the loop (it
+	// only reaches the final state), so the per-iteration work is wasted.
+	RuleLoopDeadWrite
+
+	// NumRules is the number of lint rules.
+	NumRules
+)
+
+// String returns the rule's stable kebab-case name (used in ruudfa
+// output and want-annotated fixtures).
+func (r Rule) String() string {
+	switch r {
+	case RuleUninitRead:
+		return "uninit-read"
+	case RuleDeadStore:
+		return "dead-store"
+	case RuleUnreachable:
+		return "unreachable"
+	case RuleLoopDeadWrite:
+		return "loop-dead-write"
+	default:
+		return "rule?"
+	}
+}
+
+// RuleByName resolves a rule name as printed by Rule.String.
+func RuleByName(name string) (Rule, bool) {
+	for r := Rule(0); r < NumRules; r++ {
+		if r.String() == name {
+			return r, true
+		}
+	}
+	return NumRules, false
+}
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Rule Rule
+	// Idx is the instruction index within the program.
+	Idx int
+	// Line is the source line (0 for synthesized programs).
+	Line int
+	// Reg is the register involved (isa.None for RuleUnreachable).
+	Reg isa.Reg
+	// Msg is the human-readable diagnostic.
+	Msg string
+}
+
+// String renders the finding as "line L: [rule] msg" (or "instr I" when
+// no source line is attached).
+func (f Finding) String() string {
+	if f.Line > 0 {
+		return fmt.Sprintf("line %d: [%s] %s", f.Line, f.Rule, f.Msg)
+	}
+	return fmt.Sprintf("instr %d: [%s] %s", f.Idx, f.Rule, f.Msg)
+}
+
+// Lint runs every rule over the analysis, returning findings ordered by
+// instruction index, then rule.
+func (a *Analysis) Lint() []Finding {
+	var out []Finding
+	n := len(a.Prog.Instructions)
+	for i := 0; i < n; i++ {
+		ins := a.Prog.Instructions[i]
+		if !a.Reachable[i] {
+			out = append(out, Finding{
+				Rule: RuleUnreachable, Idx: i, Line: ins.Line,
+				Msg: fmt.Sprintf("unreachable instruction %q", ins.String()),
+			})
+			continue
+		}
+		for _, r := range a.uninitReads[i] {
+			out = append(out, Finding{
+				Rule: RuleUninitRead, Idx: i, Line: ins.Line, Reg: r,
+				Msg: fmt.Sprintf("%s read before any write on some path", r),
+			})
+		}
+		d := a.defReg[i]
+		if d < 0 || len(a.UsesOf[i]) > 0 {
+			continue
+		}
+		reg := isa.FromFlat(d)
+		switch {
+		case !a.exitOut.has(i):
+			out = append(out, Finding{
+				Rule: RuleDeadStore, Idx: i, Line: ins.Line, Reg: reg,
+				Msg: fmt.Sprintf("%s written here is overwritten before any read (dead store)", reg),
+			})
+		case a.InLoop(i):
+			out = append(out, Finding{
+				Rule: RuleLoopDeadWrite, Idx: i, Line: ins.Line, Reg: reg,
+				Msg: fmt.Sprintf("%s written inside a loop is never read (not live out of the loop)", reg),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Idx != out[j].Idx {
+			return out[i].Idx < out[j].Idx
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// Lint analyzes p and runs every rule (the one-call form of
+// Analyze(p).Lint()).
+func Lint(p *isa.Program) []Finding {
+	return Analyze(p).Lint()
+}

@@ -1,0 +1,170 @@
+package dfa
+
+import (
+	"math/bits"
+
+	"ruu/internal/isa"
+)
+
+// The reaching-definitions analysis works at instruction granularity
+// over a definition ID space with two halves: IDs [0, n) are the real
+// definitions (instruction i defining its Dst register has ID i), and
+// IDs [n, n+isa.NumRegs) are synthetic entry definitions, one per
+// architectural register, modelling the register's value at program
+// entry. An entry definition reaching a read means the read can observe
+// a value no instruction of the program wrote — the uninitialized-read
+// lint condition.
+
+// bitset is a fixed-capacity bit vector over definition IDs.
+type bitset []uint64
+
+func newBitset(nbits int) bitset { return make(bitset, (nbits+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// or folds o into b and reports whether b changed.
+func (b bitset) or(o bitset) bool {
+	changed := false
+	for w := range b {
+		if n := b[w] | o[w]; n != b[w] {
+			b[w] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// andNot clears every bit of o from b.
+func (b bitset) andNot(o bitset) {
+	for w := range b {
+		b[w] &^= o[w]
+	}
+}
+
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+
+func (b bitset) equal(o bitset) bool {
+	for w := range b {
+		if b[w] != o[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// clear zeroes the set.
+func (b bitset) clear() {
+	for w := range b {
+		b[w] = 0
+	}
+}
+
+// reachingDefs computes IN[i] (the definitions reaching instruction i)
+// and OUT[i] for every instruction by iterating the classic forward
+// dataflow equations to a fixpoint:
+//
+//	IN[i]  = ∪ OUT[p] over CFG predecessors p   (entry defs at i=0)
+//	OUT[i] = (IN[i] \ kill[i]) ∪ gen[i]
+func (a *Analysis) reachingDefs() {
+	n := len(a.Prog.Instructions)
+	nd := n + isa.NumRegs
+
+	// defMask[r] = every definition ID (real or entry) of flat register r.
+	a.defMask = make([]bitset, isa.NumRegs)
+	for r := range a.defMask {
+		a.defMask[r] = newBitset(nd)
+		a.defMask[r].set(n + r)
+	}
+	a.defReg = make([]int, n)
+	for i, ins := range a.Prog.Instructions {
+		a.defReg[i] = -1
+		if d, ok := ins.Dst(); ok {
+			a.defReg[i] = d.Flat()
+			a.defMask[d.Flat()].set(i)
+		}
+	}
+
+	a.in = make([]bitset, n)
+	out := make([]bitset, n)
+	for i := 0; i < n; i++ {
+		a.in[i] = newBitset(nd)
+		out[i] = newBitset(nd)
+	}
+	entry := newBitset(nd)
+	for r := 0; r < isa.NumRegs; r++ {
+		entry.set(n + r)
+	}
+
+	scratch := newBitset(nd)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if !a.Reachable[i] {
+				continue
+			}
+			scratch.clear()
+			if i == 0 {
+				scratch.or(entry)
+			}
+			for _, p := range a.Preds[i] {
+				scratch.or(out[p])
+			}
+			a.in[i].copyFrom(scratch)
+			if r := a.defReg[i]; r >= 0 {
+				scratch.andNot(a.defMask[r])
+				scratch.set(i)
+			}
+			if !scratch.equal(out[i]) {
+				out[i].copyFrom(scratch)
+				changed = true
+			}
+		}
+	}
+
+	// exitOut is the union of OUT over every exit (an instruction with
+	// no successors: HALT, or falling off the program end). A definition
+	// in exitOut is observable in the final architectural state.
+	a.exitOut = newBitset(nd)
+	for i := 0; i < n; i++ {
+		if a.Reachable[i] && len(a.Succs[i]) == 0 {
+			a.exitOut.or(out[i])
+		}
+	}
+}
+
+// buildChains derives the def-use chains: for every reachable read of a
+// register, the reaching real definitions gain the reader in UsesOf,
+// and a reaching entry definition records an uninitialized read.
+func (a *Analysis) buildChains() {
+	n := len(a.Prog.Instructions)
+	var srcs [2]isa.Reg
+	for i, ins := range a.Prog.Instructions {
+		if !a.Reachable[i] {
+			continue
+		}
+		if a.defReg[i] >= 0 {
+			if _, ok := a.UsesOf[i]; !ok {
+				a.UsesOf[i] = nil
+			}
+		}
+		for _, r := range ins.Srcs(srcs[:0]) {
+			f := r.Flat()
+			mask := a.defMask[f]
+			for w := range mask {
+				word := a.in[i][w] & mask[w]
+				for word != 0 {
+					d := w*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					if d < n {
+						if us := a.UsesOf[d]; len(us) == 0 || us[len(us)-1] != i {
+							a.UsesOf[d] = append(us, i)
+						}
+					} else if rs := a.uninitReads[i]; len(rs) == 0 || rs[len(rs)-1] != r {
+						a.uninitReads[i] = append(rs, r)
+					}
+				}
+			}
+		}
+	}
+}

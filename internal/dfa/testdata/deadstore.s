@@ -1,0 +1,5 @@
+; The first write to A1 is overwritten before anything reads it.
+    lai   A1, 1         ; want dead-store
+    lai   A1, 2
+    movsa S1, A1
+    halt

@@ -1,0 +1,10 @@
+; T0 is written every iteration but never read by any instruction: the
+; value survives to the final state, so it is not a dead store, but no
+; code in or after the loop consumes it.
+    lai   A0, 3
+    lsi   S1, 7
+loop:
+    movts T0, S1        ; want loop-dead-write
+    addai A0, A0, -1
+    janz  loop
+    halt

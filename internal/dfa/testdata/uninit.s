@@ -1,0 +1,7 @@
+; Reads of registers no path has written: the movsa reads A2 and the
+; conditional branch reads its condition register A0, both untouched.
+    movsa S1, A2        ; want uninit-read
+    jaz   done          ; want uninit-read
+    lai   A1, 1
+done:
+    halt

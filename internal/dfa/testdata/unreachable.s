@@ -1,0 +1,5 @@
+; No CFG path from the entry reaches the nop behind the unconditional jmp.
+    jmp   end
+    nop                 ; want unreachable
+end:
+    halt

@@ -282,6 +282,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 // Assemble assembles model-architecture assembly source.
 func Assemble(src string) (*Unit, error) { return asm.Assemble(src) }
 
+// AssembleFile reads and assembles an assembly source file; diagnostics
+// carry the file name ("asm: path:line: msg").
+func AssembleFile(path string) (*Unit, error) { return asm.AssembleFile(path) }
+
 // NewState returns a fresh architectural state over the unit's data
 // image.
 func NewState(u *Unit) *State { return exec.NewState(u.NewMemory()) }

@@ -5,6 +5,8 @@ import (
 
 	"ruu/internal/machine"
 
+	"ruu/internal/dfa"
+	"ruu/internal/fu"
 	"ruu/internal/isa"
 	"ruu/internal/livermore"
 )
@@ -108,22 +110,67 @@ func Table1() ([]Table1Row, error) {
 
 // SpeedupRow is one row of the size-sweep tables (Tables 2-7): an entry
 // count, the speedup relative to simple issue (total cycles ratio over
-// the whole kernel suite), and the aggregate instruction issue rate.
+// the whole kernel suite), the aggregate instruction issue rate, and
+// the dataflow-limit speedup — the ceiling no entry count can exceed
+// (internal/dfa's oracle; constant down a sweep since it depends only
+// on the machine timing, not on the issue mechanism).
 type SpeedupRow struct {
 	Entries   int
 	Speedup   float64
 	IssueRate float64
+	Limit     float64
+}
+
+// DataflowLimit sums the per-kernel dataflow limits (internal/dfa's
+// latency-weighted critical path over the dynamic trace) across the
+// whole kernel suite under the given machine timing. Zero-value timing
+// fields take the machine defaults, matching what NewMachine runs with.
+func DataflowLimit(mcfg MachineConfig) (int64, error) {
+	d := machine.DefaultConfig()
+	bcfg := dfa.BoundConfig{Lat: mcfg.Lat, FwdLatency: mcfg.FwdLatency}
+	if bcfg.Lat == (fu.Latencies{}) {
+		bcfg.Lat = d.Lat
+	}
+	if bcfg.FwdLatency <= 0 {
+		bcfg.FwdLatency = d.FwdLatency
+	}
+	var total int64
+	for _, k := range livermore.Kernels() {
+		u, err := k.Unit()
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		st, err := k.NewState()
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		b, err := dfa.ComputeBound(u.Prog, st, bcfg)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		if b.Trap != nil {
+			return 0, fmt.Errorf("%s: bound replay trapped: %v", k.Name, b.Trap)
+		}
+		total += b.Cycles
+	}
+	return total, nil
 }
 
 // Sweep runs the kernel suite at each entry count, with cfg as the
 // template (its Entries field is overwritten), and reports speedups
-// relative to the simple baseline.
+// relative to the simple baseline, alongside the dataflow-limit
+// ceiling.
 func Sweep(cfg Config, sizes []int) ([]SpeedupRow, error) {
 	base, err := RunKernels(Config{Engine: EngineSimple, Machine: cfg.Machine})
 	if err != nil {
 		return nil, err
 	}
 	baseTotal := Totals(base)
+	bound, err := DataflowLimit(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	limit := float64(baseTotal.Cycles) / float64(bound)
 	rows := make([]SpeedupRow, 0, len(sizes))
 	for _, n := range sizes {
 		c := cfg
@@ -137,6 +184,7 @@ func Sweep(cfg Config, sizes []int) ([]SpeedupRow, error) {
 			Entries:   n,
 			Speedup:   float64(baseTotal.Cycles) / float64(t.Cycles),
 			IssueRate: t.IssueRate(),
+			Limit:     limit,
 		})
 	}
 	return rows, nil
