@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench lint lint-fix-check dfa
+.PHONY: all build test race vet bench lint lint-fix-check dfa serve quickstart-http
 
 all: build test vet lint dfa
 
@@ -42,6 +42,17 @@ dfa:
 	if [ $$st -ne 0 ] && [ $$st -ne 1 ] ; then exit $$st; fi; \
 	$(GO) run ./cmd/ruudfa
 	$(GO) run ./cmd/ruudfa examples/asm/*.s
+
+# serve runs the ruuserve HTTP API on :8093 (see docs/SERVICE.md).
+serve:
+	$(GO) run ./cmd/ruuserve
+
+# quickstart-http exercises the ruuserve HTTP API end to end: the
+# client self-hosts the service on a loopback port, simulates a
+# program, runs an async sweep job, checks the cache-hit metrics, and
+# drains the server. CI runs this to cover the HTTP path.
+quickstart-http:
+	$(GO) run ./examples/quickstart/client
 
 # lint-fix-check is the CI fail-fast gate: formatting and lint findings
 # fail before the slower race/bench stages run.

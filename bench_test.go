@@ -1,6 +1,7 @@
 package ruu_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -122,6 +123,56 @@ func BenchmarkAblationCounterWidth(b *testing.B) {
 func BenchmarkAblationLoadRegs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ruu.AblationLoadRegs(15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- simulation service (internal/sched + service.go) ----------------------
+
+// sweepBenchSizes keeps the scheduler benchmarks to a representative
+// slice of the Table 2 sweep so one iteration stays sub-second.
+var sweepBenchSizes = []int{3, 6, 10, 15}
+
+// BenchmarkSweepSerial is the baseline: the Table 2-style sweep on the
+// calling goroutine (nil pool), exactly what the package-level Sweep
+// runs.
+func BenchmarkSweepSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ruu.Sweep(ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel is the same sweep fanned out across
+// GOMAXPROCS workers with the result cache disabled, so every iteration
+// re-simulates (speedup over BenchmarkSweepSerial ≈ core count; ~1.0x
+// on a single-core host). Output equality with the serial path is
+// golden-tested in service_test.go.
+func BenchmarkSweepParallel(b *testing.B) {
+	r := ruu.NewRunner(ruu.RunnerConfig{CacheEntries: -1})
+	defer r.Close()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Sweep(context.Background(), ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheHit measures a fully-cached sweep: after one warm run,
+// every (config, kernel) job is answered from the content-addressed
+// cache, so an iteration costs key hashing plus lookups — no
+// simulation.
+func BenchmarkCacheHit(b *testing.B) {
+	r := ruu.NewRunner(ruu.RunnerConfig{})
+	defer r.Close()
+	if _, err := r.Sweep(context.Background(), ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Sweep(context.Background(), ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
 			b.Fatal(err)
 		}
 	}

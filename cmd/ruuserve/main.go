@@ -1,0 +1,90 @@
+// Command ruuserve exposes the simulator as an HTTP/JSON service:
+// synchronous single-program simulation, asynchronous sweep jobs over
+// the Livermore suite, health, and scheduler/cache metrics — all backed
+// by one worker pool and one content-addressed result cache.
+//
+// Usage:
+//
+//	ruuserve                         # listen on :8093, GOMAXPROCS workers
+//	ruuserve -addr :9000 -workers 8
+//	ruuserve -cachesize 0            # default cache; negative disables
+//
+// Endpoints (see docs/SERVICE.md for the full reference):
+//
+//	POST   /v1/simulate   run one program (inline asm or built-in kernel)
+//	POST   /v1/sweep      start an async entry-count sweep job
+//	GET    /v1/jobs/{id}  poll a sweep job
+//	DELETE /v1/jobs/{id}  cancel a sweep job
+//	GET    /healthz       liveness (reports draining during shutdown)
+//	GET    /metrics       scheduler depth, cache hit rate, latency histograms
+//
+// On SIGINT/SIGTERM the server drains gracefully: new POSTs get 503,
+// in-flight requests and jobs run to completion, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ruu"
+	"ruu/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ruuserve: ")
+	var (
+		addr      = flag.String("addr", ":8093", "listen address")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the simulation scheduler")
+		cachesize = flag.Int("cachesize", ruu.DefaultCacheEntries, "result-cache capacity in entries (0 = default, negative = disabled)")
+		maxBody   = flag.Int64("max-body", server.DefaultMaxRequestBytes, "request body size limit in bytes")
+		timeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request simulation deadline")
+		drainFor  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	runner := ruu.NewRunner(ruu.RunnerConfig{Workers: *workers, CacheEntries: *cachesize})
+	defer runner.Close()
+
+	srv := server.New(server.Config{
+		Runner:          runner,
+		MaxRequestBytes: *maxBody,
+		RequestTimeout:  *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, cache %d entries)", *addr, *workers, *cachesize)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: refuse new work, let in-flight HTTP requests
+	// and async sweep jobs finish, then stop the pool.
+	log.Printf("draining (budget %v)...", *drainFor)
+	srv.StartDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("job drain: %v", err)
+	}
+	log.Print("drained")
+}

@@ -12,15 +12,18 @@
 //	ruusim -kernel LLL1 -metrics                 # occupancy/residency tables
 //	ruusim -kernel LLL1 -pipetrace 40            # textual pipeline timeline
 //	ruusim -synth -seed 7                        # random synthesized program
+//	ruusim -synth -synthruns 32 -workers 8       # 32-seed sweep across 8 cores
 //	ruusim -list                                 # list built-in kernels
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"ruu"
 	"ruu/internal/exec"
@@ -29,6 +32,8 @@ import (
 	"ruu/internal/livermore"
 	"ruu/internal/machine"
 	"ruu/internal/progsynth"
+	"ruu/internal/report"
+	"ruu/internal/sched"
 )
 
 func main() {
@@ -45,6 +50,8 @@ func main() {
 		kernel    = flag.String("kernel", "", "run a built-in Livermore kernel (LLL1..LLL14)")
 		synth     = flag.Bool("synth", false, "run a randomly synthesized program (see -seed)")
 		seed      = flag.Int64("seed", 1, "seed for -synth program and data generation")
+		synthRuns = flag.Int("synthruns", 1, "with -synth: sweep this many consecutive seeds (seed..seed+N-1)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the -synthruns sweep")
 		list      = flag.Bool("list", false, "list built-in kernels")
 		verify    = flag.Bool("verify", true, "check the final state against the functional reference")
 		pipetrace = flag.Int("pipetrace", 0, "print a pipeline timeline for the first N committed instructions")
@@ -58,6 +65,31 @@ func main() {
 	if *list {
 		for _, k := range livermore.Kernels() {
 			fmt.Printf("%-7s %s\n", k.Name, k.Description)
+		}
+		return
+	}
+
+	if *synthRuns > 1 {
+		if !*synth {
+			log.Fatal("-synthruns requires -synth")
+		}
+		if *kernel != "" {
+			log.Fatal("-synth and -kernel are mutually exclusive")
+		}
+		cfg := ruu.Config{
+			Engine:      ruu.EngineKind(*engine),
+			Entries:     *entries,
+			Paths:       *paths,
+			Bypass:      ruu.BypassKind(*bypass),
+			CounterBits: *counter,
+			Machine: machine.Config{
+				LoadRegs:           *loadRegs,
+				Speculate:          *speculate,
+				InstructionBuffers: *ibuf,
+			},
+		}
+		if err := synthSweep(cfg, *seed, *synthRuns, *workers, *verify, *jsonOut); err != nil {
+			log.Fatal(err)
 		}
 		return
 	}
@@ -271,4 +303,89 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// synthRow is one seed's outcome in a -synthruns sweep.
+type synthRow struct {
+	Seed         int64   `json:"seed"`
+	Instructions int64   `json:"instructions"`
+	Cycles       int64   `json:"cycles"`
+	IssueRate    float64 `json:"issue_rate"`
+	Trap         string  `json:"trap,omitempty"`
+	Verified     bool    `json:"verified"`
+}
+
+// synthSweep runs n synthesized programs (seeds seed..seed+n-1) on the
+// scheduler's worker pool, verifying each against the functional
+// reference, and prints one row per seed. Results come back in seed
+// order regardless of worker count (sched.Map's ordering guarantee), so
+// the output is identical to a serial sweep.
+func synthSweep(cfg ruu.Config, seed int64, n, workers int, verify, jsonOut bool) error {
+	p := sched.New(sched.Config{Workers: workers})
+	defer p.Close()
+	opts := progsynth.Options{Nested: true, CondBranches: true}
+	rows, err := sched.Map(context.Background(), p, n, nil,
+		func(_ context.Context, i int) (synthRow, error) {
+			s := seed + int64(i)
+			prog := progsynth.Generate(s, opts)
+			st := progsynth.NewState(s, opts)
+			m, err := ruu.NewMachine(cfg)
+			if err != nil {
+				return synthRow{}, err
+			}
+			var ref *exec.State
+			var refRes exec.RunResult
+			if verify {
+				ref, refRes, err = exec.Reference(prog, progsynth.NewState(s, opts), 0)
+				if err != nil {
+					return synthRow{}, fmt.Errorf("seed %d: reference: %w", s, err)
+				}
+			}
+			res, err := m.Run(prog, st)
+			if err != nil {
+				return synthRow{}, fmt.Errorf("seed %d: %w", s, err)
+			}
+			row := synthRow{
+				Seed:         s,
+				Instructions: res.Stats.Instructions,
+				Cycles:       res.Stats.Cycles,
+				IssueRate:    res.Stats.IssueRate(),
+			}
+			if res.Trap != nil {
+				row.Trap = res.Trap.Error()
+				return row, nil
+			}
+			if verify {
+				if res.Stats.Instructions != refRes.Executed {
+					return row, fmt.Errorf("seed %d: instruction count %d != reference %d", s, res.Stats.Instructions, refRes.Executed)
+				}
+				if !st.EqualRegs(ref) {
+					return row, fmt.Errorf("seed %d: registers differ from reference: %v", s, st.DiffRegs(ref))
+				}
+				if d := st.Mem.FirstDiff(ref.Mem); d >= 0 {
+					return row, fmt.Errorf("seed %d: memory differs from reference at word %d", s, d)
+				}
+				row.Verified = true
+			}
+			return row, nil
+		})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rows)
+	}
+	t := report.New(fmt.Sprintf("Synthesized sweep: %d seeds from %d (%s)", n, seed, cfg.Engine),
+		"Seed", "Instructions", "Cycles", "Issue Rate", "Verified")
+	for _, r := range rows {
+		verdict := fmt.Sprintf("%v", r.Verified)
+		if r.Trap != "" {
+			verdict = "trap: " + r.Trap
+		}
+		t.Add(r.Seed, r.Instructions, r.Cycles, r.IssueRate, verdict)
+	}
+	t.WriteText(os.Stdout)
+	return nil
 }

@@ -8,13 +8,22 @@
 //	tables -table 4       # just Table 4
 //	tables -table A1      # ablation A1
 //	tables -markdown      # markdown output (for EXPERIMENTS.md)
+//	tables -workers 8     # fan kernel runs out across 8 workers
+//
+// Every table is generated through the simulation service (ruu.Runner):
+// the (configuration, kernel) matrix fans out across -workers cores and
+// repeated configurations are answered from the content-addressed result
+// cache. The output is byte-identical to the serial path at any worker
+// count (golden-tested in service_test.go).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"ruu"
@@ -37,7 +46,13 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 1-7, A1, A2, A3, A4, A5 (default: all)")
 	markdown := flag.Bool("markdown", false, "emit markdown instead of aligned text")
 	csv := flag.Bool("csv", false, "emit comma-separated values (for plotting)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the simulation scheduler (1 = serial)")
+	cachesize := flag.Int("cachesize", ruu.DefaultCacheEntries, "result-cache capacity in entries (0 = default, negative = disabled)")
 	flag.Parse()
+
+	ctx := context.Background()
+	runner := ruu.NewRunner(ruu.RunnerConfig{Workers: *workers, CacheEntries: *cachesize})
+	defer runner.Close()
 
 	emit := func(t *report.Table) {
 		switch {
@@ -56,7 +71,7 @@ func main() {
 	}
 
 	if want("1") {
-		rows, err := ruu.Table1()
+		rows, err := runner.Table1(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,20 +86,20 @@ func main() {
 	sweeps := []struct {
 		id    string
 		title string
-		f     func() ([]ruu.SpeedupRow, error)
+		f     func(context.Context) ([]ruu.SpeedupRow, error)
 	}{
-		{"2", "Table 2: Relative Speedup and Issue Rate with a RSTU", ruu.Table2},
-		{"3", "Table 3: RSTU with 2 Data Paths", ruu.Table3},
-		{"4", "Table 4: RUU with Bypass Logic", ruu.Table4},
-		{"5", "Table 5: RUU without Bypass Logic", ruu.Table5},
-		{"6", "Table 6: RUU with Limited Bypass Logic (A future file)", ruu.Table6},
-		{"7", "Table 7 (extension): RUU with Branch Prediction and Conditional Execution", ruu.Table7},
+		{"2", "Table 2: Relative Speedup and Issue Rate with a RSTU", runner.Table2},
+		{"3", "Table 3: RSTU with 2 Data Paths", runner.Table3},
+		{"4", "Table 4: RUU with Bypass Logic", runner.Table4},
+		{"5", "Table 5: RUU without Bypass Logic", runner.Table5},
+		{"6", "Table 6: RUU with Limited Bypass Logic (A future file)", runner.Table6},
+		{"7", "Table 7 (extension): RUU with Branch Prediction and Conditional Execution", runner.Table7},
 	}
 	for _, s := range sweeps {
 		if !want(s.id) {
 			continue
 		}
-		rows, err := s.f()
+		rows, err := s.f(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,24 +109,26 @@ func main() {
 	ablations := []struct {
 		id    string
 		title string
-		f     func() ([]ruu.AblationRow, error)
+		f     func(context.Context) ([]ruu.AblationRow, error)
 	}{
 		{"A1", "Ablation A1: Reservation-Station Organisations (§3.1-§3.2.3, §5)",
-			ruu.AblationRSOrganisation},
+			runner.AblationRSOrganisation},
 		{"A4", "Ablation A4: Precise-Interrupt Schemes (Smith & Pleszkun vs the RUU, 12 entries)",
-			func() ([]ruu.AblationRow, error) { return ruu.AblationPreciseSchemes(12) }},
+			func(ctx context.Context) ([]ruu.AblationRow, error) { return runner.AblationPreciseSchemes(ctx, 12) }},
 		{"A5", "Ablation A5: Instruction-Buffer Fetch Model (RUU 12, full bypass)",
-			func() ([]ruu.AblationRow, error) { return ruu.AblationInstructionBuffers(12) }},
+			func(ctx context.Context) ([]ruu.AblationRow, error) {
+				return runner.AblationInstructionBuffers(ctx, 12)
+			}},
 		{"A2", "Ablation A2: NI/LI Counter Width (RUU 15, full bypass)",
-			func() ([]ruu.AblationRow, error) { return ruu.AblationCounterWidth(15) }},
+			func(ctx context.Context) ([]ruu.AblationRow, error) { return runner.AblationCounterWidth(ctx, 15) }},
 		{"A3", "Ablation A3: Number of Load Registers (RUU 15, full bypass)",
-			func() ([]ruu.AblationRow, error) { return ruu.AblationLoadRegs(15) }},
+			func(ctx context.Context) ([]ruu.AblationRow, error) { return runner.AblationLoadRegs(ctx, 15) }},
 	}
 	for _, a := range ablations {
 		if !want(a.id) {
 			continue
 		}
-		rows, err := a.f()
+		rows, err := a.f(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

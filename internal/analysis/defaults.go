@@ -4,7 +4,12 @@ import "ruu/internal/isa"
 
 // SimPackages lists the simulation packages (relative to the module
 // path) whose behaviour must be bit-for-bit reproducible; the
-// simdeterminism pass runs over these.
+// simdeterminism pass runs over these. internal/sched and
+// internal/server are deliberately in scope even though they are the
+// module's two goroutine-bearing packages: every goroutine, select, and
+// time.Now they contain must carry an individually justified
+// //ruulint:ok (no blanket suppression), so any new concurrency added
+// there without a written justification is a lint failure.
 var SimPackages = []string{
 	"internal/core",
 	"internal/issue",
@@ -12,6 +17,8 @@ var SimPackages = []string{
 	"internal/memsys",
 	"internal/fu",
 	"internal/obs",
+	"internal/sched",
+	"internal/server",
 }
 
 // EnginePackages lists the packages holding issue engines (relative to
@@ -55,6 +62,7 @@ var HotPathPackages = []string{
 	"internal/fu",
 	"internal/exec",
 	"internal/dfa",
+	"internal/sched",
 }
 
 // DefaultHotRoots seed hot-path reachability: the cycle loop of
@@ -70,6 +78,10 @@ func DefaultHotRoots(modulePath string) []HotRoot {
 		{Pkg: modulePath + "/internal/machine", Recv: "Machine", Func: "Run", LoopOnly: true},
 		{Pkg: modulePath + "/internal/dfa", Func: "ComputeBound", LoopOnly: true},
 		{Pkg: modulePath + "/internal/dfa", Func: "ComputeCensus", LoopOnly: true},
+		// The scheduler's per-job dispatch loop: job bodies allocate
+		// freely (they run whole simulations), but the dispatch path
+		// itself must not.
+		{Pkg: modulePath + "/internal/sched", Recv: "Pool", Func: "worker", LoopOnly: true},
 	}
 }
 

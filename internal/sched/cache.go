@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sync"
+)
+
+// Key is a content address: the stable hash of everything that
+// determines a job's result. Two jobs with equal keys are
+// interchangeable — the simulator is deterministic, so (machine
+// configuration, engine, program bytes, initial state) fixes the
+// outcome bit for bit. The zero Key means "uncacheable".
+type Key [sha256.Size]byte
+
+// NoKey is the zero Key: a job submitted under it is never cached or
+// deduplicated.
+var NoKey Key
+
+// IsZero reports whether k is the uncacheable sentinel.
+func (k Key) IsZero() bool { return k == NoKey }
+
+// Hasher builds a Key from labeled, length-prefixed fields, so that
+// adjacent fields can never alias each other ("ab"+"c" vs "a"+"bc")
+// and a field added in one writer position cannot collide with another.
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHasher returns an empty Hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+func (h *Hasher) label(l string, n int) {
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(len(l)))
+	h.h.Write(h.buf[:])
+	h.h.Write([]byte(l))
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(n))
+	h.h.Write(h.buf[:])
+}
+
+// String hashes one labeled string field.
+func (h *Hasher) String(label, s string) {
+	h.label(label, len(s))
+	h.h.Write([]byte(s))
+}
+
+// Int hashes one labeled integer field.
+func (h *Hasher) Int(label string, v int64) {
+	h.label(label, 8)
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(v))
+	h.h.Write(h.buf[:])
+}
+
+// Bool hashes one labeled boolean field.
+func (h *Hasher) Bool(label string, v bool) {
+	var x int64
+	if v {
+		x = 1
+	}
+	h.Int(label, x)
+}
+
+// Bytes hashes one labeled byte-string field.
+func (h *Hasher) Bytes(label string, b []byte) {
+	h.label(label, len(b))
+	h.h.Write(b)
+}
+
+// Words hashes one labeled sequence of n int64 values produced by at,
+// without materialising the sequence (memory images are hashed through
+// this).
+func (h *Hasher) Words(label string, n int, at func(i int) int64) {
+	h.label(label, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(h.buf[:], uint64(at(i)))
+		h.h.Write(h.buf[:])
+	}
+}
+
+// Int64s hashes one labeled []int64 field.
+func (h *Hasher) Int64s(label string, vs []int64) {
+	h.label(label, 8*len(vs))
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(h.buf[:], uint64(v))
+		h.h.Write(h.buf[:])
+	}
+}
+
+// Sum returns the accumulated Key.
+func (h *Hasher) Sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
+
+// CacheStats is a point-in-time snapshot of a cache's counters.
+type CacheStats struct {
+	// Entries is the current entry count; Capacity the configured
+	// maximum.
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Hits, Misses and Evictions count Get hits, Get misses, and
+	// entries displaced by Put since construction.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRate returns Hits / (Hits + Misses), 0 when no lookups happened.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a content-addressed result cache with LRU eviction. It is
+// safe for concurrent use. Values are stored as given; the simulator's
+// result types are immutable-by-convention (plain data, no shared
+// mutable state), which is what makes returning a cached value
+// equivalent to re-running the job.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[Key]*list.Element
+	lru       *list.List // front = most recent
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key   Key
+	value any
+}
+
+// NewCache returns a cache holding at most capacity entries
+// (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the value stored under k, marking it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	if k.IsZero() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).value, true
+}
+
+// Put stores v under k, evicting the least recently used entry when
+// the cache is full. A zero key is ignored.
+func (c *Cache) Put(k Key, v any) {
+	if k.IsZero() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		e.Value.(*cacheEntry).value = v
+		c.lru.MoveToFront(e)
+		return
+	}
+	for len(c.entries) >= c.capacity {
+		oldest := c.lru.Back()
+		if oldest == nil {
+			break
+		}
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	// Per-job bookkeeping, not per-cycle: one entry per completed
+	// simulation, each of which ran millions of cycles. //ruulint:ok
+	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, value: v})
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

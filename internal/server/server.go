@@ -1,0 +1,542 @@
+// Package server implements the ruuserve HTTP/JSON API: simulation as a
+// service over the ruu.Runner scheduler. Synchronous single-program
+// simulation (POST /v1/simulate) and asynchronous sweep jobs
+// (POST /v1/sweep + GET /v1/jobs/{id}) share one worker pool and one
+// content-addressed result cache, so identical submissions are answered
+// without re-simulating.
+//
+// The package is one of the two places in the module where goroutines
+// are allowed (the other is internal/sched); the ruulint simdeterminism
+// pass covers it, and every goroutine/time.Now below carries an
+// individually justified //ruulint:ok — see docs/ANALYSIS.md for the
+// policy.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ruu"
+	"ruu/internal/asm"
+	"ruu/internal/livermore"
+	"ruu/internal/obs"
+)
+
+// Defaults for Config's zero values.
+const (
+	// DefaultMaxRequestBytes bounds a request body (1 MiB holds any
+	// plausible assembly source).
+	DefaultMaxRequestBytes = 1 << 20
+	// DefaultRequestTimeout bounds a synchronous simulation.
+	DefaultRequestTimeout = 60 * time.Second
+	// DefaultMaxSweepSizes bounds the entry-count list of one sweep job.
+	DefaultMaxSweepSizes = 64
+	// StatusClientClosedRequest is the (nginx-convention) status
+	// reported when the client disconnected mid-simulation.
+	StatusClientClosedRequest = 499
+)
+
+// Config parameterises New.
+type Config struct {
+	// Runner executes the simulations (required).
+	Runner *ruu.Runner
+	// MaxRequestBytes bounds a request body (default
+	// DefaultMaxRequestBytes).
+	MaxRequestBytes int64
+	// RequestTimeout is the per-request simulation deadline for
+	// POST /v1/simulate (default DefaultRequestTimeout). A request's
+	// timeout_ms field may shorten it, never extend it.
+	RequestTimeout time.Duration
+}
+
+// Server is the ruuserve HTTP API. Create with New, serve via Handler,
+// stop with StartDrain + Drain (see cmd/ruuserve for the full graceful
+// shutdown sequence).
+type Server struct {
+	runner          *ruu.Runner
+	mux             *http.ServeMux
+	maxRequestBytes int64
+	requestTimeout  time.Duration
+
+	mu       sync.Mutex
+	jobs     map[string]*jobEntry
+	nextJob  int
+	draining bool
+	latency  map[string]*obs.Hist // per-engine wall-clock ms histograms
+
+	jobsWG sync.WaitGroup
+}
+
+// jobEntry is one asynchronous sweep job. Its fields are guarded by the
+// server mutex; done is closed when the job finishes in any state.
+type jobEntry struct {
+	id     string
+	state  string // "queued", "running", "done", "failed", "cancelled"
+	rows   []ruu.SpeedupRow
+	errMsg string
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// New returns a Server over cfg.Runner.
+func New(cfg Config) *Server {
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		runner:          cfg.Runner,
+		mux:             http.NewServeMux(),
+		maxRequestBytes: cfg.MaxRequestBytes,
+		requestTimeout:  cfg.RequestTimeout,
+		jobs:            make(map[string]*jobEntry),
+		latency:         make(map[string]*obs.Hist),
+	}
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the API's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDrain puts the server in draining mode: new POSTs are refused
+// with 503 while GETs (health, metrics, job polls) keep working, so
+// clients can collect results of jobs already in flight.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain blocks until every in-flight asynchronous job has finished (the
+// jobs keep their results, so a poll after Drain returns the drained
+// outcome) or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	// Waiting on a WaitGroup with a deadline requires a helper
+	// goroutine; it only signals completion and touches no simulation
+	// state. //ruulint:ok
+	go func() {
+		s.jobsWG.Wait()
+		close(done)
+	}()
+	// Two-channel wait: "all jobs finished" vs "caller gave up"; job
+	// results are unaffected by which arm wins. //ruulint:ok
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// apiError is the JSON error body. File/Line carry assembler
+// diagnostics (POST /v1/simulate with bad asm).
+type apiError struct {
+	Error string `json:"error"`
+	File  string `json:"file,omitempty"`
+	Line  int    `json:"line,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the response is already committed
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode reads a size-limited JSON request body, mapping oversize
+// bodies to 413 and malformed JSON to 400. It reports whether the
+// request can proceed.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return false
+	}
+	return true
+}
+
+// refuseIfDraining answers POSTs with 503 during shutdown.
+func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+	}
+	return draining
+}
+
+// machineRequest is the configuration block shared by simulate and
+// sweep requests; zero values take the same defaults as ruu.Config.
+type machineRequest struct {
+	Engine      string `json:"engine"`
+	Entries     int    `json:"entries"`
+	Paths       int    `json:"paths"`
+	TagUnitSize int    `json:"tag_unit_size"`
+	Bypass      string `json:"bypass"`
+	CounterBits int    `json:"counter_bits"`
+	CommitWidth int    `json:"commit_width"`
+	LoadRegs    int    `json:"load_regs"`
+	Speculate   bool   `json:"speculate"`
+}
+
+func (m machineRequest) config() (ruu.Config, error) {
+	cfg := ruu.Config{
+		Engine:      ruu.EngineKind(m.Engine),
+		Entries:     m.Entries,
+		Paths:       m.Paths,
+		TagUnitSize: m.TagUnitSize,
+		Bypass:      ruu.BypassKind(m.Bypass),
+		CounterBits: m.CounterBits,
+		CommitWidth: m.CommitWidth,
+	}
+	cfg.Machine.LoadRegs = m.LoadRegs
+	cfg.Machine.Speculate = m.Speculate
+	// Validate eagerly so a bad engine name is a 422 on the request,
+	// not a failed job later.
+	if _, err := ruu.NewEngine(cfg); err != nil {
+		return ruu.Config{}, err
+	}
+	return cfg, nil
+}
+
+// engineName returns the display name used as the latency-histogram
+// key (the configured kind, defaulting like ruu.Config does).
+func (m machineRequest) engineName() string {
+	if m.Engine == "" {
+		return string(ruu.EngineRUU)
+	}
+	return m.Engine
+}
+
+// simulateRequest is the body of POST /v1/simulate: a machine
+// configuration plus exactly one program source — inline assembly or a
+// built-in Livermore kernel name.
+type simulateRequest struct {
+	machineRequest
+	Asm    string `json:"asm,omitempty"`
+	Kernel string `json:"kernel,omitempty"`
+	// Verify (default true) checks the final state against the
+	// functional reference.
+	Verify *bool `json:"verify,omitempty"`
+	// TimeoutMS shortens the server's per-request deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// simulateResponse is the body of a successful POST /v1/simulate.
+type simulateResponse struct {
+	Outcome ruu.SimOutcome `json:"outcome"`
+	// ElapsedMS is the service-side wall-clock time, including queueing
+	// (near zero on a cache hit).
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	var req simulateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	var unit *ruu.Unit
+	switch {
+	case req.Asm != "" && req.Kernel != "":
+		writeError(w, http.StatusUnprocessableEntity, "asm and kernel are mutually exclusive")
+		return
+	case req.Asm != "":
+		unit, err = ruu.Assemble(req.Asm)
+		if err != nil {
+			var aerr *asm.Error
+			if errors.As(err, &aerr) {
+				writeJSON(w, http.StatusUnprocessableEntity,
+					apiError{Error: aerr.Error(), File: aerr.File, Line: aerr.Line})
+				return
+			}
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	case req.Kernel != "":
+		k := livermore.ByName(req.Kernel)
+		if k == nil {
+			writeError(w, http.StatusUnprocessableEntity, "unknown kernel %q", req.Kernel)
+			return
+		}
+		unit, err = k.Unit()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "need asm or kernel")
+		return
+	}
+
+	timeout := s.requestTimeout
+	if req.TimeoutMS > 0 && time.Duration(req.TimeoutMS)*time.Millisecond < timeout {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	verify := req.Verify == nil || *req.Verify
+	// Service latency is operational telemetry about this process, not
+	// simulation state; the simulated machine never sees it. //ruulint:ok
+	start := time.Now()
+	out, err := s.runner.RunProgram(ctx, cfg, unit, verify)
+	// Same telemetry clock as above; never enters a simulation. //ruulint:ok
+	elapsed := time.Since(start)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "simulation exceeded %v", timeout)
+		case errors.Is(err, context.Canceled):
+			// The client went away; the status code is for the access
+			// log (nginx's 499 convention).
+			writeError(w, StatusClientClosedRequest, "client closed request")
+		default:
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		}
+		return
+	}
+	s.observeLatency(req.engineName(), elapsed)
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Outcome:   out,
+		ElapsedMS: elapsed.Milliseconds(),
+	})
+}
+
+// sweepRequest is the body of POST /v1/sweep: a machine configuration
+// template plus the entry counts to sweep over the Livermore suite.
+type sweepRequest struct {
+	machineRequest
+	Sizes []int `json:"sizes"`
+}
+
+// jobResponse is the rendering of one job (202 on create, 200 on poll).
+type jobResponse struct {
+	ID    string           `json:"id"`
+	State string           `json:"state"`
+	URL   string           `json:"url"`
+	Rows  []ruu.SpeedupRow `json:"rows,omitempty"`
+	Error string           `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	var req sweepRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	cfg, err := req.config()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if len(req.Sizes) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, "sizes must be non-empty")
+		return
+	}
+	if len(req.Sizes) > DefaultMaxSweepSizes {
+		writeError(w, http.StatusUnprocessableEntity, "sizes exceeds %d entries", DefaultMaxSweepSizes)
+		return
+	}
+	for _, n := range req.Sizes {
+		if n < 1 {
+			writeError(w, http.StatusUnprocessableEntity, "sizes must be positive (got %d)", n)
+			return
+		}
+	}
+
+	// The job outlives the creating request by design: its lifetime is
+	// controlled by DELETE /v1/jobs/{id} and server drain, not by the
+	// submitting connection.
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.nextJob++
+	j := &jobEntry{
+		id:     fmt.Sprintf("job-%d", s.nextJob),
+		state:  "queued",
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	engine := req.engineName()
+	s.jobsWG.Add(1)
+	// One goroutine per sweep job: the fan-out across kernels happens
+	// inside Runner.Sweep on the shared worker pool; this goroutine
+	// only waits for it and records the outcome. //ruulint:ok
+	go func() {
+		defer s.jobsWG.Done()
+		defer close(j.done)
+		s.setJobState(j, "running", nil, nil)
+		// Job wall-clock telemetry, invisible to the simulation.
+		// //ruulint:ok
+		start := time.Now()
+		rows, err := s.runner.Sweep(ctx, cfg, req.Sizes)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				s.setJobState(j, "cancelled", nil, err)
+			} else {
+				s.setJobState(j, "failed", nil, err)
+			}
+			return
+		}
+		// Telemetry clock again; the sweep's results are already fixed
+		// by its inputs. //ruulint:ok
+		s.observeLatency(engine, time.Since(start))
+		s.setJobState(j, "done", rows, nil)
+	}()
+
+	writeJSON(w, http.StatusAccepted, s.renderJob(j))
+}
+
+func (s *Server) setJobState(j *jobEntry, state string, rows []ruu.SpeedupRow, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// A cancelled job stays cancelled even if the sweep raced to a
+	// result after the DELETE.
+	if j.state == "cancelled" && state != "cancelled" {
+		return
+	}
+	j.state = state
+	j.rows = rows
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+}
+
+func (s *Server) renderJob(j *jobEntry) jobResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return jobResponse{
+		ID:    j.id,
+		State: j.state,
+		URL:   "/v1/jobs/" + j.id,
+		Rows:  j.rows,
+		Error: j.errMsg,
+	}
+}
+
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) *jobEntry {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+	}
+	return j
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, s.renderJob(j))
+	}
+}
+
+func (s *Server) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	s.mu.Lock()
+	if j.state == "queued" || j.state == "running" {
+		j.state = "cancelled"
+	}
+	delete(s.jobs, j.id)
+	s.mu.Unlock()
+	j.cancel()
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "state": "cancelled"})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": draining})
+}
+
+// observeLatency records one request's wall-clock service time in the
+// per-engine histogram (10 ms buckets, 2 s overflow).
+func (s *Server) observeLatency(engine string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.latency[engine]
+	if h == nil {
+		h = obs.NewHist(10, 200)
+		s.latency[engine] = h
+	}
+	h.Observe(d.Milliseconds())
+}
+
+// metricsResponse is the body of GET /v1/metrics: scheduler and cache
+// counters, job states, and per-engine service latency histograms.
+type metricsResponse struct {
+	Scheduler any            `json:"scheduler"`
+	Jobs      map[string]int `json:"jobs"`
+	LatencyMS map[string]any `json:"latency_ms"`
+	Draining  bool           `json:"draining"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := metricsResponse{
+		Jobs:      map[string]int{},
+		LatencyMS: map[string]any{},
+	}
+	if p := s.runner.Pool(); p != nil {
+		resp.Scheduler = p.Metrics()
+	}
+	s.mu.Lock()
+	resp.Draining = s.draining
+	for _, j := range s.jobs {
+		resp.Jobs[j.state]++
+	}
+	names := make([]string, 0, len(s.latency))
+	for name := range s.latency {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		resp.LatencyMS[name] = s.latency[name].Summary()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,210 @@
+package ruu
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ruu/internal/livermore"
+)
+
+// Golden property of the service layer: the parallel Runner's output is
+// byte-identical to the serial harness's — same rows, same floats, same
+// error text. The tests render results with %#v so any drift (ordering,
+// aggregation, wrapping) shows up as a byte difference.
+
+// sweepTestSizes is a small subset of the paper's sweep, kept short so
+// the golden comparison (which runs everything twice) stays cheap.
+var sweepTestSizes = []int{3, 6, 10}
+
+func parallelRunner(t *testing.T) *Runner {
+	t.Helper()
+	r := NewRunner(RunnerConfig{Workers: 4})
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestParallelSweepByteIdenticalToSerial(t *testing.T) {
+	cfg := Config{Engine: EngineRSTU}
+	serial, err := Sweep(cfg, sweepTestSizes)
+	if err != nil {
+		t.Fatalf("serial Sweep: %v", err)
+	}
+	par, err := parallelRunner(t).Sweep(context.Background(), cfg, sweepTestSizes)
+	if err != nil {
+		t.Fatalf("parallel Sweep: %v", err)
+	}
+	got, want := fmt.Sprintf("%#v", par), fmt.Sprintf("%#v", serial)
+	if got != want {
+		t.Errorf("parallel sweep diverges from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestParallelRunKernelsByteIdenticalToSerial(t *testing.T) {
+	cfg := Config{Engine: EngineRUU, Entries: 8, Bypass: BypassFull}
+	serial, err := RunKernels(cfg)
+	if err != nil {
+		t.Fatalf("serial RunKernels: %v", err)
+	}
+	par, err := parallelRunner(t).RunKernels(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("parallel RunKernels: %v", err)
+	}
+	got, want := fmt.Sprintf("%#v", par), fmt.Sprintf("%#v", serial)
+	if got != want {
+		t.Errorf("parallel kernel runs diverge from serial:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestParallelSweepErrorMatchesSerial(t *testing.T) {
+	cfg := Config{Engine: "no-such-engine"}
+	_, serialErr := Sweep(cfg, []int{3})
+	if serialErr == nil {
+		t.Fatal("serial Sweep of a bogus engine succeeded")
+	}
+	_, parErr := parallelRunner(t).Sweep(context.Background(), cfg, []int{3})
+	if parErr == nil {
+		t.Fatal("parallel Sweep of a bogus engine succeeded")
+	}
+	if parErr.Error() != serialErr.Error() {
+		t.Errorf("parallel error %q != serial error %q", parErr, serialErr)
+	}
+}
+
+func TestRunnerCacheHitOnResubmission(t *testing.T) {
+	r := parallelRunner(t)
+	cfg := Config{Engine: EngineRSTU, Entries: 6}
+	first, err := r.RunKernels(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("first RunKernels: %v", err)
+	}
+	m := r.Pool().Metrics()
+	if m.Cache.Hits != 0 {
+		t.Fatalf("cold cache reported %d hits", m.Cache.Hits)
+	}
+	second, err := r.RunKernels(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("second RunKernels: %v", err)
+	}
+	if got, want := fmt.Sprintf("%#v", second), fmt.Sprintf("%#v", first); got != want {
+		t.Errorf("cached result diverges:\n got %s\nwant %s", got, want)
+	}
+	m = r.Pool().Metrics()
+	if m.Cache.Hits == 0 {
+		t.Error("resubmission produced no cache hits")
+	}
+	if m.Submitted != int64(len(first)) {
+		t.Errorf("Submitted = %d after a fully-cached rerun, want %d", m.Submitted, len(first))
+	}
+}
+
+func TestRunnerObservedConfigRunsSerially(t *testing.T) {
+	r := parallelRunner(t)
+	rec := NewProbeRecorder()
+	cfg := Config{Engine: EngineSimple}
+	cfg.Machine.Probe = rec
+	if p := r.poolFor(cfg); p != nil {
+		t.Fatal("observed config was given the worker pool")
+	}
+	if k := kernelKey(cfg, livermore.Kernels()[0]); !k.IsZero() {
+		t.Fatal("observed config produced a cacheable key")
+	}
+	runs, err := r.RunKernels(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("observed RunKernels: %v", err)
+	}
+	if len(runs) == 0 || len(rec.Events) == 0 {
+		t.Fatalf("observed run produced %d runs, %d events", len(runs), len(rec.Events))
+	}
+}
+
+func TestRunProgramVerifiedAndCached(t *testing.T) {
+	u, err := Assemble(serviceTestSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	r := parallelRunner(t)
+	cfg := Config{Engine: EngineRUU, Entries: 12, Bypass: BypassFull}
+	out, err := r.RunProgram(context.Background(), cfg, u, true)
+	if err != nil {
+		t.Fatalf("RunProgram: %v", err)
+	}
+	if !out.Verified || out.Trap != "" || out.Instructions == 0 {
+		t.Fatalf("unexpected outcome: %+v", out)
+	}
+	// Serial path must agree byte for byte.
+	serial, err := serialRunner.RunProgram(context.Background(), cfg, u, true)
+	if err != nil {
+		t.Fatalf("serial RunProgram: %v", err)
+	}
+	if fmt.Sprintf("%#v", out) != fmt.Sprintf("%#v", serial) {
+		t.Errorf("parallel outcome %#v != serial %#v", out, serial)
+	}
+	again, err := r.RunProgram(context.Background(), cfg, u, true)
+	if err != nil {
+		t.Fatalf("cached RunProgram: %v", err)
+	}
+	if fmt.Sprintf("%#v", again) != fmt.Sprintf("%#v", out) {
+		t.Errorf("cached outcome diverges: %#v != %#v", again, out)
+	}
+	if hits := r.Pool().Metrics().Cache.Hits; hits == 0 {
+		t.Error("identical resubmission produced no cache hit")
+	}
+	// Unverified runs must not share the verified run's cache slot.
+	unv, err := r.RunProgram(context.Background(), cfg, u, false)
+	if err != nil {
+		t.Fatalf("unverified RunProgram: %v", err)
+	}
+	if unv.Verified {
+		t.Error("unverified run answered from the verified cache slot")
+	}
+}
+
+func TestJobKeySeparatesConfigsProgramsAndState(t *testing.T) {
+	u, err := Assemble(serviceTestSrc)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	base := Config{Engine: EngineRUU, Entries: 12}
+	k0 := jobKey(base, u, NewState(u))
+	if k0.IsZero() {
+		t.Fatal("cacheable job hashed to NoKey")
+	}
+	if k := jobKey(base, u, NewState(u)); k != k0 {
+		t.Error("identical inputs produced different keys")
+	}
+	other := base
+	other.Entries = 16
+	if k := jobKey(other, u, NewState(u)); k == k0 {
+		t.Error("different Entries produced the same key")
+	}
+	mcfg := base
+	mcfg.Machine.FwdLatency = 5
+	if k := jobKey(mcfg, u, NewState(u)); k == k0 {
+		t.Error("different machine timing produced the same key")
+	}
+	st := NewState(u)
+	st.Mem.Poke(0, 12345)
+	if k := jobKey(base, u, st); k == k0 {
+		t.Error("different initial memory produced the same key")
+	}
+}
+
+const serviceTestSrc = `
+.equ  n 32
+.array x 32
+.word result 0
+
+    lai   A7, 0
+    lai   A1, 0
+    lai   A0, =n
+    lsi   S1, 0
+loop:
+    lds   S2, =x(A1)
+    fadd  S1, S1, S2
+    addai A0, A0, -1
+    addai A1, A1, 1
+    janz  loop
+    sts   S1, =result(A7)
+    halt
+`

@@ -1,6 +1,7 @@
 package ruu
 
 import (
+	"context"
 	"fmt"
 
 	"ruu/internal/machine"
@@ -15,6 +16,11 @@ import (
 // paper's evaluation (and this reproduction's extension/ablation tables)
 // from scratch. See DESIGN.md §3 for the experiment index and
 // EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Every generator here delegates to the serial (nil-pool) Runner; the
+// scheduler-backed parallel versions are the Runner methods in
+// service.go, which produce byte-identical output (golden-tested in
+// service_test.go).
 
 // KernelRun is the outcome of one kernel under one configuration.
 type KernelRun struct {
@@ -36,15 +42,7 @@ func (k KernelRun) IssueRate() float64 {
 // mirror (an experiment that produces wrong answers is not an
 // experiment).
 func RunKernels(cfg Config) ([]KernelRun, error) {
-	var out []KernelRun
-	for _, k := range livermore.Kernels() {
-		r, err := runKernel(cfg, k)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return serialRunner.RunKernels(context.Background(), cfg)
 }
 
 func runKernel(cfg Config, k *livermore.Kernel) (KernelRun, error) {
@@ -95,17 +93,7 @@ type Table1Row struct {
 // Table1 reproduces Table 1: the simple issue mechanism on each of the
 // 14 kernels, plus the total.
 func Table1() ([]Table1Row, error) {
-	runs, err := RunKernels(Config{Engine: EngineSimple})
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]Table1Row, 0, len(runs)+1)
-	for _, r := range runs {
-		rows = append(rows, Table1Row{r.Kernel, r.Instructions, r.Cycles, r.IssueRate()})
-	}
-	t := Totals(runs)
-	rows = append(rows, Table1Row{t.Kernel, t.Instructions, t.Cycles, t.IssueRate()})
-	return rows, nil
+	return serialRunner.Table1(context.Background())
 }
 
 // SpeedupRow is one row of the size-sweep tables (Tables 2-7): an entry
@@ -161,33 +149,7 @@ func DataflowLimit(mcfg MachineConfig) (int64, error) {
 // relative to the simple baseline, alongside the dataflow-limit
 // ceiling.
 func Sweep(cfg Config, sizes []int) ([]SpeedupRow, error) {
-	base, err := RunKernels(Config{Engine: EngineSimple, Machine: cfg.Machine})
-	if err != nil {
-		return nil, err
-	}
-	baseTotal := Totals(base)
-	bound, err := DataflowLimit(cfg.Machine)
-	if err != nil {
-		return nil, err
-	}
-	limit := float64(baseTotal.Cycles) / float64(bound)
-	rows := make([]SpeedupRow, 0, len(sizes))
-	for _, n := range sizes {
-		c := cfg
-		c.Entries = n
-		runs, err := RunKernels(c)
-		if err != nil {
-			return nil, fmt.Errorf("entries=%d: %w", n, err)
-		}
-		t := Totals(runs)
-		rows = append(rows, SpeedupRow{
-			Entries:   n,
-			Speedup:   float64(baseTotal.Cycles) / float64(t.Cycles),
-			IssueRate: t.IssueRate(),
-			Limit:     limit,
-		})
-	}
-	return rows, nil
+	return serialRunner.Sweep(context.Background(), cfg, sizes)
 }
 
 // The paper's sweep sizes.
@@ -201,39 +163,25 @@ var (
 
 // Table2 reproduces Table 2: RSTU speedup and issue rate, one dispatch
 // path.
-func Table2() ([]SpeedupRow, error) {
-	return Sweep(Config{Engine: EngineRSTU}, RSTUSizes)
-}
+func Table2() ([]SpeedupRow, error) { return serialRunner.Table2(context.Background()) }
 
 // Table3 reproduces Table 3: RSTU with two dispatch paths (one issue
 // unit, one result bus, one path to the register file).
-func Table3() ([]SpeedupRow, error) {
-	return Sweep(Config{Engine: EngineRSTU, Paths: 2}, RSTUSizes)
-}
+func Table3() ([]SpeedupRow, error) { return serialRunner.Table3(context.Background()) }
 
 // Table4 reproduces Table 4: RUU with bypass logic.
-func Table4() ([]SpeedupRow, error) {
-	return Sweep(Config{Engine: EngineRUU, Bypass: BypassFull}, RUUSizes)
-}
+func Table4() ([]SpeedupRow, error) { return serialRunner.Table4(context.Background()) }
 
 // Table5 reproduces Table 5: RUU without bypass logic.
-func Table5() ([]SpeedupRow, error) {
-	return Sweep(Config{Engine: EngineRUU, Bypass: BypassNone}, RUUSizes)
-}
+func Table5() ([]SpeedupRow, error) { return serialRunner.Table5(context.Background()) }
 
 // Table6 reproduces Table 6: RUU with limited bypass logic (the A
 // register file duplicated as a future file).
-func Table6() ([]SpeedupRow, error) {
-	return Sweep(Config{Engine: EngineRUU, Bypass: BypassLimited}, RUUSizes)
-}
+func Table6() ([]SpeedupRow, error) { return serialRunner.Table6(context.Background()) }
 
 // Table7 is this reproduction's extension experiment (the paper's §7
 // future work): the RUU with branch prediction and conditional execution.
-func Table7() ([]SpeedupRow, error) {
-	cfg := Config{Engine: EngineRUU, Bypass: BypassFull}
-	cfg.Machine.Speculate = true
-	return Sweep(cfg, RUUSizes)
-}
+func Table7() ([]SpeedupRow, error) { return serialRunner.Table7(context.Background()) }
 
 // AblationRow is one row of an ablation table.
 type AblationRow struct {
@@ -245,15 +193,11 @@ type AblationRow struct {
 // AblationRSOrganisation compares the reservation-station organisations
 // of §3.1-§3.2.3 at matched total station counts (A1 in DESIGN.md).
 func AblationRSOrganisation() ([]AblationRow, error) {
-	base, err := RunKernels(Config{Engine: EngineSimple})
-	if err != nil {
-		return nil, err
-	}
-	baseCycles := Totals(base).Cycles
-	cfgs := []struct {
-		label string
-		cfg   Config
-	}{
+	return serialRunner.AblationRSOrganisation(context.Background())
+}
+
+func ablationRSOrganisationConfigs() []labeledConfig {
+	return []labeledConfig{
 		{"tomasulo (2/unit, per-register tags)", Config{Engine: EngineTomasulo, Entries: 2}},
 		{"tag unit (2/unit, TU=20)", Config{Engine: EngineTagUnit, Entries: 2, TagUnitSize: 20}},
 		{"RS pool (10, TU=20)", Config{Engine: EngineRSPool, Entries: 10, TagUnitSize: 20}},
@@ -262,16 +206,6 @@ func AblationRSOrganisation() ([]AblationRow, error) {
 		{"RUU (10, bypass)", Config{Engine: EngineRUU, Entries: 10, Bypass: BypassFull}},
 		{"RUU (20, bypass)", Config{Engine: EngineRUU, Entries: 20, Bypass: BypassFull}},
 	}
-	var rows []AblationRow
-	for _, c := range cfgs {
-		runs, err := RunKernels(c.cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.label, err)
-		}
-		t := Totals(runs)
-		rows = append(rows, AblationRow{c.label, float64(baseCycles) / float64(t.Cycles), t.IssueRate()})
-	}
-	return rows, nil
 }
 
 // AblationPreciseSchemes compares the precise-interrupt design space the
@@ -279,15 +213,11 @@ func AblationRSOrganisation() ([]AblationRow, error) {
 // Smith & Pleszkun reorder-buffer schemes against the RUU, which gets
 // out-of-order issue and preciseness from one structure.
 func AblationPreciseSchemes(size int) ([]AblationRow, error) {
-	base, err := RunKernels(Config{Engine: EngineSimple})
-	if err != nil {
-		return nil, err
-	}
-	baseCycles := Totals(base).Cycles
-	cfgs := []struct {
-		label string
-		cfg   Config
-	}{
+	return serialRunner.AblationPreciseSchemes(context.Background(), size)
+}
+
+func ablationPreciseSchemesConfigs(size int) []labeledConfig {
+	return []labeledConfig{
 		{"simple issue (in-order, imprecise)", Config{Engine: EngineSimple}},
 		{"reorder buffer (in-order, precise)", Config{Engine: EngineReorder, Entries: size}},
 		{"reorder buffer + bypass", Config{Engine: EngineReorderBypass, Entries: size}},
@@ -295,16 +225,6 @@ func AblationPreciseSchemes(size int) ([]AblationRow, error) {
 		{"RSTU (out-of-order, imprecise)", Config{Engine: EngineRSTU, Entries: size}},
 		{"RUU with bypass (out-of-order, precise)", Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull}},
 	}
-	var rows []AblationRow
-	for _, c := range cfgs {
-		runs, err := RunKernels(c.cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.label, err)
-		}
-		t := Totals(runs)
-		rows = append(rows, AblationRow{c.label, float64(baseCycles) / float64(t.Cycles), t.IssueRate()})
-	}
-	return rows, nil
 }
 
 // AblationInstructionBuffers checks the paper's assumption (iii) — "the
@@ -313,12 +233,11 @@ func AblationPreciseSchemes(size int) ([]AblationRow, error) {
 // CRAY-sized buffers the kernels incur only cold fills and the speedups
 // are unchanged; with tiny buffers the loops thrash.
 func AblationInstructionBuffers(size int) ([]AblationRow, error) {
-	base, err := RunKernels(Config{Engine: EngineSimple})
-	if err != nil {
-		return nil, err
-	}
-	baseCycles := Totals(base).Cycles
-	cfgs := []struct {
+	return serialRunner.AblationInstructionBuffers(context.Background(), size)
+}
+
+func ablationInstructionBuffersConfigs(size int) []labeledConfig {
+	mcfgs := []struct {
 		label string
 		mcfg  machine.Config
 	}{
@@ -327,64 +246,43 @@ func AblationInstructionBuffers(size int) ([]AblationRow, error) {
 		{"4 x 16-parcel buffers", machine.Config{InstructionBuffers: true, IBufCount: 4, IBufParcels: 16}},
 		{"2 x 8-parcel buffers", machine.Config{InstructionBuffers: true, IBufCount: 2, IBufParcels: 8}},
 	}
-	var rows []AblationRow
-	for _, c := range cfgs {
-		cfg := Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull, Machine: c.mcfg}
-		runs, err := RunKernels(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", c.label, err)
-		}
-		t := Totals(runs)
-		rows = append(rows, AblationRow{c.label, float64(baseCycles) / float64(t.Cycles), t.IssueRate()})
+	cfgs := make([]labeledConfig, 0, len(mcfgs))
+	for _, c := range mcfgs {
+		cfgs = append(cfgs, labeledConfig{c.label,
+			Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull, Machine: c.mcfg}})
 	}
-	return rows, nil
+	return cfgs
 }
 
 // AblationCounterWidth sweeps the NI/LI counter width n (the paper used
 // 3 bits, noting 7 instances always sufficed) at a fixed RUU size (A2).
 func AblationCounterWidth(size int) ([]AblationRow, error) {
-	base, err := RunKernels(Config{Engine: EngineSimple})
-	if err != nil {
-		return nil, err
-	}
-	baseCycles := Totals(base).Cycles
-	var rows []AblationRow
+	return serialRunner.AblationCounterWidth(context.Background(), size)
+}
+
+func ablationCounterWidthConfigs(size int) []labeledConfig {
+	var cfgs []labeledConfig
 	for bits := 1; bits <= 4; bits++ {
-		cfg := Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull, CounterBits: bits}
-		runs, err := RunKernels(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("bits=%d: %w", bits, err)
-		}
-		t := Totals(runs)
-		rows = append(rows, AblationRow{
+		cfgs = append(cfgs, labeledConfig{
 			fmt.Sprintf("n=%d (max %d instances)", bits, (1<<bits)-1),
-			float64(baseCycles) / float64(t.Cycles), t.IssueRate(),
+			Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull, CounterBits: bits},
 		})
 	}
-	return rows, nil
+	return cfgs
 }
 
 // AblationLoadRegs sweeps the number of load registers (the paper used 6,
 // noting 4 sufficed for most cases) at a fixed RUU size (A3).
 func AblationLoadRegs(size int) ([]AblationRow, error) {
-	base, err := RunKernels(Config{Engine: EngineSimple})
-	if err != nil {
-		return nil, err
-	}
-	baseCycles := Totals(base).Cycles
-	var rows []AblationRow
+	return serialRunner.AblationLoadRegs(context.Background(), size)
+}
+
+func ablationLoadRegsConfigs(size int) []labeledConfig {
+	var cfgs []labeledConfig
 	for _, n := range []int{1, 2, 3, 4, 6, 8} {
 		cfg := Config{Engine: EngineRUU, Entries: size, Bypass: BypassFull}
 		cfg.Machine.LoadRegs = n
-		runs, err := RunKernels(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("loadregs=%d: %w", n, err)
-		}
-		t := Totals(runs)
-		rows = append(rows, AblationRow{
-			fmt.Sprintf("%d load registers", n),
-			float64(baseCycles) / float64(t.Cycles), t.IssueRate(),
-		})
+		cfgs = append(cfgs, labeledConfig{fmt.Sprintf("%d load registers", n), cfg})
 	}
-	return rows, nil
+	return cfgs
 }
