@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench lint lint-fix-check dfa serve quickstart-http
+.PHONY: all build test race vet bench bench-json bench-smoke lint lint-fix-check dfa serve quickstart-http
 
 all: build test vet lint dfa
 
@@ -18,6 +18,21 @@ vet:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# bench-json runs the benchmark suite via cmd/ruubench and records a
+# BENCH_<stamp>.json trajectory point at the repo root, comparing
+# against the newest committed point (report-only; see -compare for a
+# gating diff). docs/OBSERVABILITY.md describes the schema.
+bench-json:
+	$(GO) run ./cmd/ruubench -benchtime $(or $(BENCHTIME),1s)
+
+# bench-smoke is the CI variant: one iteration per benchmark, written
+# to out/ (not committed), plus a schema check over the committed
+# trajectory and the fresh point.
+bench-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/ruubench -benchtime 1x -out out/BENCH_smoke.json
+	$(GO) run ./cmd/ruubench -checkschema BENCH_*.json out/BENCH_smoke.json
 
 # lint runs ruulint, the repo's own static-analysis suite
 # (see docs/ANALYSIS.md). A finding is a build failure. Findings are

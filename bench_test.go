@@ -1,314 +1,106 @@
 package ruu_test
 
 import (
-	"context"
-	"sync"
 	"testing"
 
-	"ruu"
-	"ruu/internal/asm"
-	"ruu/internal/exec"
-	"ruu/internal/livermore"
-	"ruu/internal/machine"
+	"ruu/internal/bench"
 )
 
-// The benchmarks mirror the paper's evaluation one-to-one: BenchmarkTableN
-// exercises the machine configuration of Table N over the full kernel
-// suite and reports the table's headline numbers (relative speedup and
-// issue rate) as benchmark metrics, so `go test -bench .` regenerates the
-// measured results alongside simulator throughput. `go run ./cmd/tables`
-// prints the full row-by-row tables.
+// The benchmark bodies live in internal/bench so cmd/ruubench can run
+// the identical workloads and record the tracked BENCH_*.json
+// trajectory; these wrappers keep the familiar `go test -bench .`
+// names. *testing.B satisfies bench.B directly — only the iteration
+// count is passed explicitly (testing.B.N is a field, not a method).
 
-var baselineCyclesOnce sync.Once
-var baselineCycles int64
-
-func baseline(b *testing.B) int64 {
-	baselineCyclesOnce.Do(func() {
-		runs, err := ruu.RunKernels(ruu.Config{Engine: ruu.EngineSimple})
-		if err != nil {
-			panic(err)
-		}
-		baselineCycles = ruu.Totals(runs).Cycles
-	})
-	return baselineCycles
-}
-
-// benchConfig runs the whole kernel suite under cfg once per iteration
-// and reports simulated cycles/second plus the table's speedup and issue
-// rate.
-func benchConfig(b *testing.B, cfg ruu.Config) {
+func runBench(b *testing.B, name string) {
 	b.Helper()
-	base := baseline(b)
-	var total ruu.KernelRun
-	for i := 0; i < b.N; i++ {
-		runs, err := ruu.RunKernels(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		total = ruu.Totals(runs)
+	bm := bench.ByName(name)
+	if bm == nil {
+		b.Fatalf("no benchmark %q in the suite", name)
 	}
-	b.ReportMetric(float64(total.Cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
-	b.ReportMetric(float64(base)/float64(total.Cycles), "speedup")
-	b.ReportMetric(total.IssueRate(), "issue-rate")
+	bm.Run(b, b.N)
 }
 
 // BenchmarkTable1 is the baseline: simple issue over LLL1-LLL14.
-func BenchmarkTable1(b *testing.B) {
-	benchConfig(b, ruu.Config{Engine: ruu.EngineSimple})
-}
+func BenchmarkTable1(b *testing.B) { runBench(b, "Table1") }
 
-// BenchmarkTable2 is the RSTU at the paper's knee size (10 entries); the
-// full size sweep is cmd/tables -table 2.
-func BenchmarkTable2(b *testing.B) {
-	benchConfig(b, ruu.Config{Engine: ruu.EngineRSTU, Entries: 10})
-}
+// BenchmarkTable2 is the RSTU at the paper's knee size (10 entries);
+// the full size sweep is cmd/tables -table 2.
+func BenchmarkTable2(b *testing.B) { runBench(b, "Table2") }
 
 // BenchmarkTable2Sweep regenerates every row of Table 2 per iteration.
-func BenchmarkTable2Sweep(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := ruu.Table2(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkTable2Sweep(b *testing.B) { runBench(b, "Table2Sweep") }
 
 // BenchmarkTable3 is the two-dispatch-path RSTU.
-func BenchmarkTable3(b *testing.B) {
-	benchConfig(b, ruu.Config{Engine: ruu.EngineRSTU, Entries: 10, Paths: 2})
-}
+func BenchmarkTable3(b *testing.B) { runBench(b, "Table3") }
 
 // BenchmarkTable4 is the RUU with bypass logic at the paper's
 // recommended size (10-12 entries).
-func BenchmarkTable4(b *testing.B) {
-	benchConfig(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12, Bypass: ruu.BypassFull})
-}
+func BenchmarkTable4(b *testing.B) { runBench(b, "Table4") }
 
 // BenchmarkTable5 is the RUU without bypass logic.
-func BenchmarkTable5(b *testing.B) {
-	benchConfig(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12, Bypass: ruu.BypassNone})
-}
+func BenchmarkTable5(b *testing.B) { runBench(b, "Table5") }
 
 // BenchmarkTable6 is the RUU with the A-register future file.
-func BenchmarkTable6(b *testing.B) {
-	benchConfig(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12, Bypass: ruu.BypassLimited})
-}
+func BenchmarkTable6(b *testing.B) { runBench(b, "Table6") }
 
 // BenchmarkTable7 is the §7 extension: speculative RUU.
-func BenchmarkTable7(b *testing.B) {
-	cfg := ruu.Config{Engine: ruu.EngineRUU, Entries: 20, Bypass: ruu.BypassFull}
-	cfg.Machine.Speculate = true
-	benchConfig(b, cfg)
-}
+func BenchmarkTable7(b *testing.B) { runBench(b, "Table7") }
 
 // BenchmarkAblationRSOrganisation exercises the §3 organisation ladder
 // (Tomasulo → TU → pool → RSTU → RUU) once per iteration.
-func BenchmarkAblationRSOrganisation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := ruu.AblationRSOrganisation(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkAblationRSOrganisation(b *testing.B) { runBench(b, "AblationRSOrganisation") }
 
 // BenchmarkAblationCounterWidth sweeps the NI/LI counter width.
-func BenchmarkAblationCounterWidth(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := ruu.AblationCounterWidth(15); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkAblationCounterWidth(b *testing.B) { runBench(b, "AblationCounterWidth") }
 
 // BenchmarkAblationLoadRegs sweeps the load-register count.
-func BenchmarkAblationLoadRegs(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := ruu.AblationLoadRegs(15); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// --- simulation service (internal/sched + service.go) ----------------------
-
-// sweepBenchSizes keeps the scheduler benchmarks to a representative
-// slice of the Table 2 sweep so one iteration stays sub-second.
-var sweepBenchSizes = []int{3, 6, 10, 15}
+func BenchmarkAblationLoadRegs(b *testing.B) { runBench(b, "AblationLoadRegs") }
 
 // BenchmarkSweepSerial is the baseline: the Table 2-style sweep on the
 // calling goroutine (nil pool), exactly what the package-level Sweep
 // runs.
-func BenchmarkSweepSerial(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := ruu.Sweep(ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkSweepSerial(b *testing.B) { runBench(b, "SweepSerial") }
 
 // BenchmarkSweepParallel is the same sweep fanned out across
-// GOMAXPROCS workers with the result cache disabled, so every iteration
-// re-simulates (speedup over BenchmarkSweepSerial ≈ core count; ~1.0x
-// on a single-core host). Output equality with the serial path is
-// golden-tested in service_test.go.
-func BenchmarkSweepParallel(b *testing.B) {
-	r := ruu.NewRunner(ruu.RunnerConfig{CacheEntries: -1})
-	defer r.Close()
-	for i := 0; i < b.N; i++ {
-		if _, err := r.Sweep(context.Background(), ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// GOMAXPROCS workers with the result cache disabled, so every
+// iteration re-simulates (speedup over BenchmarkSweepSerial ≈ core
+// count; ~1.0x on a single-core host). Output equality with the serial
+// path is golden-tested in service_test.go.
+func BenchmarkSweepParallel(b *testing.B) { runBench(b, "SweepParallel") }
 
 // BenchmarkCacheHit measures a fully-cached sweep: after one warm run,
 // every (config, kernel) job is answered from the content-addressed
 // cache, so an iteration costs key hashing plus lookups — no
 // simulation.
-func BenchmarkCacheHit(b *testing.B) {
-	r := ruu.NewRunner(ruu.RunnerConfig{})
-	defer r.Close()
-	if _, err := r.Sweep(context.Background(), ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := r.Sweep(context.Background(), ruu.Config{Engine: ruu.EngineRSTU}, sweepBenchSizes); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// --- simulator component throughput ---------------------------------------
+func BenchmarkCacheHit(b *testing.B) { runBench(b, "CacheHit") }
 
 // BenchmarkSimulatorRUU measures raw RUU simulation speed on one kernel.
-func BenchmarkSimulatorRUU(b *testing.B) {
-	benchKernelEngine(b, ruu.Config{Engine: ruu.EngineRUU, Entries: 12})
-}
+func BenchmarkSimulatorRUU(b *testing.B) { runBench(b, "SimulatorRUU") }
 
 // BenchmarkSimulatorRUUSpeculative measures the speculative RUU.
-func BenchmarkSimulatorRUUSpeculative(b *testing.B) {
-	cfg := ruu.Config{Engine: ruu.EngineRUU, Entries: 12}
-	cfg.Machine = machine.Config{Speculate: true}
-	benchKernelEngine(b, cfg)
-}
+func BenchmarkSimulatorRUUSpeculative(b *testing.B) { runBench(b, "SimulatorRUUSpeculative") }
 
 // BenchmarkSimulatorRSTU measures RSTU simulation speed.
-func BenchmarkSimulatorRSTU(b *testing.B) {
-	benchKernelEngine(b, ruu.Config{Engine: ruu.EngineRSTU, Entries: 10})
-}
+func BenchmarkSimulatorRSTU(b *testing.B) { runBench(b, "SimulatorRSTU") }
 
 // BenchmarkSimulatorSimple measures baseline-engine simulation speed.
-func BenchmarkSimulatorSimple(b *testing.B) {
-	benchKernelEngine(b, ruu.Config{Engine: ruu.EngineSimple})
-}
-
-func benchKernelEngine(b *testing.B, cfg ruu.Config) {
-	b.Helper()
-	k := livermore.ByName("LLL1")
-	unit, err := k.Unit()
-	if err != nil {
-		b.Fatal(err)
-	}
-	var cycles int64
-	for i := 0; i < b.N; i++ {
-		m, err := ruu.NewMachine(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		st, err := k.NewState()
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := m.Run(unit.Prog, st)
-		if err != nil {
-			b.Fatal(err)
-		}
-		cycles = res.Stats.Cycles
-	}
-	b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
-}
+func BenchmarkSimulatorSimple(b *testing.B) { runBench(b, "SimulatorSimple") }
 
 // BenchmarkProbeOverhead compares a kernel run with no probe attached
 // (the nil fast path) against the same run feeding the metrics
 // collector, so the cost of observability is a visible benchmark delta
 // rather than a silent regression.
 func BenchmarkProbeOverhead(b *testing.B) {
-	for _, mode := range []string{"off", "metrics"} {
-		b.Run(mode, func(b *testing.B) {
-			cfg := ruu.Config{Engine: ruu.EngineRUU, Entries: 12}
-			if mode == "metrics" {
-				cfg.Machine.Probe = ruu.NewMetricsCollector()
-			}
-			benchKernelEngine(b, cfg)
-		})
-	}
+	b.Run("off", func(b *testing.B) { runBench(b, "ProbeOverheadOff") })
+	b.Run("metrics", func(b *testing.B) { runBench(b, "ProbeOverheadMetrics") })
 }
 
 // BenchmarkFunctionalExecutor measures the golden-reference interpreter.
-func BenchmarkFunctionalExecutor(b *testing.B) {
-	k := livermore.ByName("LLL3")
-	unit, err := k.Unit()
-	if err != nil {
-		b.Fatal(err)
-	}
-	var n int64
-	for i := 0; i < b.N; i++ {
-		st, err := k.NewState()
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := st.Run(unit.Prog, 0, nil)
-		if err != nil {
-			b.Fatal(err)
-		}
-		n = res.Executed
-	}
-	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instr/s")
-}
+func BenchmarkFunctionalExecutor(b *testing.B) { runBench(b, "FunctionalExecutor") }
 
 // BenchmarkAssembler measures assembly throughput on the largest kernel.
-func BenchmarkAssembler(b *testing.B) {
-	src := livermore.ByName("LLL8").Source
-	for i := 0; i < b.N; i++ {
-		if _, err := asm.Assemble(src); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkAssembler(b *testing.B) { runBench(b, "Assembler") }
 
 // BenchmarkPreciseInterruptRoundTrip measures fault-flush-resume cost.
-func BenchmarkPreciseInterruptRoundTrip(b *testing.B) {
-	k := livermore.ByName("LLL12")
-	unit, err := k.Unit()
-	if err != nil {
-		b.Fatal(err)
-	}
-	for i := 0; i < b.N; i++ {
-		m, err := ruu.NewMachine(ruu.Config{Engine: ruu.EngineRUU, Entries: 12})
-		if err != nil {
-			b.Fatal(err)
-		}
-		count := 0
-		m.SetFaultInjector(func(pc int, addr int64) *exec.Trap {
-			count++
-			if count == 500 {
-				return &exec.Trap{Kind: exec.TrapPageFault, PC: pc, Addr: addr}
-			}
-			return nil
-		})
-		m.SetHandler(func(st *exec.State, ev ruu.InterruptEvent) ruu.InterruptAction {
-			return ruu.InterruptAction{Resume: true, ResumePC: ev.Trap.PC}
-		})
-		st, err := k.NewState()
-		if err != nil {
-			b.Fatal(err)
-		}
-		res, err := m.Run(unit.Prog, st)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Trap != nil || res.Stats.Interrupts != 1 {
-			b.Fatalf("unexpected outcome: trap=%v interrupts=%d", res.Trap, res.Stats.Interrupts)
-		}
-	}
-}
+func BenchmarkPreciseInterruptRoundTrip(b *testing.B) { runBench(b, "PreciseInterruptRoundTrip") }

@@ -8,6 +8,7 @@
 //	ruuserve                         # listen on :8093, GOMAXPROCS workers
 //	ruuserve -addr :9000 -workers 8
 //	ruuserve -cachesize 0            # default cache; negative disables
+//	ruuserve -debug-addr :6060      # pprof on a separate admin listener
 //
 // Endpoints (see docs/SERVICE.md for the full reference):
 //
@@ -15,11 +16,16 @@
 //	POST   /v1/sweep      start an async entry-count sweep job
 //	GET    /v1/jobs/{id}  poll a sweep job
 //	DELETE /v1/jobs/{id}  cancel a sweep job
-//	GET    /healthz       liveness (reports draining during shutdown)
-//	GET    /metrics       scheduler depth, cache hit rate, latency histograms
+//	GET    /v1/trace      recent job spans as a Chrome trace document
+//	GET    /healthz       liveness, draining state, and build info
+//	GET    /metrics       JSON by default; Prometheus text with Accept: text/plain
 //
-// On SIGINT/SIGTERM the server drains gracefully: new POSTs get 503,
-// in-flight requests and jobs run to completion, then the process exits.
+// With -debug-addr set, net/http/pprof is served on that address under
+// /debug/pprof/ — an admin-only listener, never the public API mux.
+//
+// On SIGINT/SIGTERM the server drains gracefully: new POSTs get 503
+// with Retry-After, in-flight requests and jobs run to completion,
+// then the process exits.
 package main
 
 import (
@@ -27,7 +33,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,13 +51,22 @@ func main() {
 	log.SetPrefix("ruuserve: ")
 	var (
 		addr      = flag.String("addr", ":8093", "listen address")
+		debugAddr = flag.String("debug-addr", "", "admin listen address for /debug/pprof/ (empty = disabled)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the simulation scheduler")
 		cachesize = flag.Int("cachesize", ruu.DefaultCacheEntries, "result-cache capacity in entries (0 = default, negative = disabled)")
 		maxBody   = flag.Int64("max-body", server.DefaultMaxRequestBytes, "request body size limit in bytes")
 		timeout   = flag.Duration("timeout", server.DefaultRequestTimeout, "per-request simulation deadline")
+		maxJobs   = flag.Int("max-jobs", server.DefaultMaxActiveJobs, "max queued+running sweep jobs before 429 (negative = unlimited)")
 		drainFor  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		logJobs   = flag.Bool("log-jobs", false, "log one line per finished scheduler job (debug level)")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *logJobs {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	runner := ruu.NewRunner(ruu.RunnerConfig{Workers: *workers, CacheEntries: *cachesize})
 	defer runner.Close()
@@ -58,8 +75,27 @@ func main() {
 		Runner:          runner,
 		MaxRequestBytes: *maxBody,
 		RequestTimeout:  *timeout,
+		MaxActiveJobs:   *maxJobs,
+		Log:             logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener so profiling is never
+		// reachable through the public API address.
+		admin := http.NewServeMux()
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on %s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, admin); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

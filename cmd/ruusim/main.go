@@ -17,6 +17,8 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -31,6 +33,7 @@ import (
 	"ruu/internal/issue"
 	"ruu/internal/livermore"
 	"ruu/internal/machine"
+	"ruu/internal/obs"
 	"ruu/internal/progsynth"
 	"ruu/internal/report"
 	"ruu/internal/sched"
@@ -88,7 +91,7 @@ func main() {
 				InstructionBuffers: *ibuf,
 			},
 		}
-		if err := synthSweep(cfg, *seed, *synthRuns, *workers, *verify, *jsonOut); err != nil {
+		if err := synthSweep(cfg, *seed, *synthRuns, *workers, *verify, *jsonOut, *traceOut); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -320,18 +323,50 @@ type synthRow struct {
 // reference, and prints one row per seed. Results come back in seed
 // order regardless of worker count (sched.Map's ordering guarantee), so
 // the output is identical to a serial sweep.
-func synthSweep(cfg ruu.Config, seed int64, n, workers int, verify, jsonOut bool) error {
+//
+// With traceOut set, the sweep writes one merged Chrome trace-event
+// document: the scheduler's job spans (process 0, one track per
+// worker) next to each seed's pipeline trace (process i+1, one track
+// per dynamic instruction) — the whole sweep on one Perfetto timeline.
+func synthSweep(cfg ruu.Config, seed int64, n, workers int, verify, jsonOut bool, traceOut string) error {
 	p := sched.New(sched.Config{Workers: workers})
 	defer p.Close()
+	var (
+		spans *obs.SpanRecorder
+		frags []*bytes.Buffer
+	)
+	if traceOut != "" {
+		spans = obs.NewSpanRecorder()
+		p.SetOnJobSpan(spans.Record)
+		frags = make([]*bytes.Buffer, n)
+		for i := range frags {
+			frags[i] = &bytes.Buffer{}
+		}
+	}
 	opts := progsynth.Options{Nested: true, CondBranches: true}
-	rows, err := sched.Map(context.Background(), p, n, nil,
+	rows, err := sched.MapNamed(context.Background(), p, n,
+		func(i int) string { return fmt.Sprintf("seed %d", seed+int64(i)) },
+		nil,
 		func(_ context.Context, i int) (synthRow, error) {
 			s := seed + int64(i)
 			prog := progsynth.Generate(s, opts)
 			st := progsynth.NewState(s, opts)
-			m, err := ruu.NewMachine(cfg)
+			jobCfg := cfg
+			var tracer *obs.ChromeTracer
+			if frags != nil {
+				// Each seed traces into its own fragment under its own
+				// trace pid; pid 0 is the scheduler's span track.
+				tracer = obs.NewChromeTracerFragment(frags[i], i+1)
+				tracer.SetProcessName(fmt.Sprintf("seed %d", s))
+				tracer.SetDisasm(ruu.Disasm(&ruu.Unit{Prog: prog}))
+				jobCfg.Machine.Probe = tracer
+			}
+			m, err := ruu.NewMachine(jobCfg)
 			if err != nil {
 				return synthRow{}, err
+			}
+			if tracer != nil {
+				defer tracer.Close() //nolint:errcheck // write errors surface at merge
 			}
 			var ref *exec.State
 			var refRes exec.RunResult
@@ -372,6 +407,14 @@ func synthSweep(cfg ruu.Config, seed int64, n, workers int, verify, jsonOut bool
 	if err != nil {
 		return err
 	}
+	if traceOut != "" {
+		if err := writeSweepTrace(traceOut, frags, spans); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if !jsonOut {
+			fmt.Printf("trace         : %s (open in ui.perfetto.dev)\n", traceOut)
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -388,4 +431,54 @@ func synthSweep(cfg ruu.Config, seed int64, n, workers int, verify, jsonOut bool
 	}
 	t.WriteText(os.Stdout)
 	return nil
+}
+
+// writeSweepTrace merges the per-seed pipeline fragments and the
+// scheduler's job spans into one Chrome trace-event document.
+func writeSweepTrace(path string, frags []*bytes.Buffer, spans *obs.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	for _, frag := range frags {
+		if frag.Len() == 0 {
+			continue
+		}
+		if !first {
+			if _, err := w.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(frag.Bytes()); err != nil {
+			return err
+		}
+		first = false
+	}
+	if spans.Len() > 0 {
+		if !first {
+			if _, err := w.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := spans.WriteChromeTraceFragment(w); err != nil {
+			return err
+		}
+		first = false
+	}
+	end := "\n]}\n"
+	if first {
+		end = "]}\n"
+	}
+	if _, err := w.WriteString(end); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
 }

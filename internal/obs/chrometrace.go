@@ -40,19 +40,38 @@ func (tl *timeline) has(k Kind) bool { return tl.set&(1<<k) != 0 }
 // when the run stops (e.g. at a trap) are flushed at Close in
 // dynamic-id order, their tracks marked "[in-flight]".
 type ChromeTracer struct {
-	w       *bufio.Writer
-	disasm  func(pc int) string
-	live    map[int64]*timeline
-	limit   int
-	written int
-	started bool
-	err     error
+	w        *bufio.Writer
+	disasm   func(pc int) string
+	live     map[int64]*timeline
+	limit    int
+	written  int
+	started  bool
+	fragment bool
+	pid      int
+	err      error
 }
 
 // NewChromeTracer returns a tracer writing to w. Call Close after the
 // run to terminate the JSON document.
 func NewChromeTracer(w io.Writer) *ChromeTracer {
 	return &ChromeTracer{w: bufio.NewWriter(w), live: make(map[int64]*timeline)}
+}
+
+// NewChromeTracerFragment returns a tracer that emits only the event
+// records — comma-separated, without the enclosing traceEvents
+// envelope — under the given trace process id. Callers merge several
+// fragments (e.g. one pipeline trace per sweep job, plus the
+// scheduler's job spans) into one document; the caller owns the commas
+// between fragments.
+func NewChromeTracerFragment(w io.Writer, pid int) *ChromeTracer {
+	return &ChromeTracer{w: bufio.NewWriter(w), live: make(map[int64]*timeline), fragment: true, pid: pid}
+}
+
+// SetProcessName labels the tracer's process track in the trace viewer
+// (useful when merging fragments: each sweep job names its own
+// process). Emit order is preserved, so call it before the run.
+func (t *ChromeTracer) SetProcessName(name string) {
+	t.emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, t.pid, strconv.Quote(name))
 }
 
 // SetDisasm installs a disassembler used to label instruction tracks
@@ -106,9 +125,11 @@ func (t *ChromeTracer) emit(format string, args ...any) {
 			return
 		}
 	} else {
-		if _, err := t.w.WriteString("{\"traceEvents\":[\n"); err != nil {
-			t.err = err
-			return
+		if !t.fragment {
+			if _, err := t.w.WriteString("{\"traceEvents\":[\n"); err != nil {
+				t.err = err
+				return
+			}
 		}
 		t.started = true
 	}
@@ -147,7 +168,7 @@ func (t *ChromeTracer) flush(id int64, tl *timeline) {
 			}
 		}
 	}
-	t.emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`, id, strconv.Quote(name))
+	t.emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`, t.pid, id, strconv.Quote(name))
 
 	for i, k := range stageOrder {
 		if !tl.has(k) {
@@ -167,12 +188,12 @@ func (t *ChromeTracer) flush(id int64, tl *timeline) {
 		if dur < 1 {
 			dur = 1
 		}
-		t.emit(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"cycle":%d,"pc":%d}}`,
-			strconv.Quote(k.String()), start, dur, id, start, tl.pc)
+		t.emit(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"cycle":%d,"pc":%d}}`,
+			strconv.Quote(k.String()), start, dur, t.pid, id, start, tl.pc)
 	}
 	if terminal != NumKinds {
-		t.emit(`{"name":%s,"ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"cycle":%d}}`,
-			strconv.Quote(terminal.String()), end, id, end)
+		t.emit(`{"name":%s,"ph":"i","s":"t","ts":%d,"pid":%d,"tid":%d,"args":{"cycle":%d}}`,
+			strconv.Quote(terminal.String()), end, t.pid, id, end)
 	}
 }
 
@@ -196,7 +217,7 @@ func (t *ChromeTracer) Close() error {
 		t.written++
 	}
 	t.live = make(map[int64]*timeline)
-	if t.err == nil {
+	if t.err == nil && !t.fragment {
 		if t.started {
 			_, t.err = t.w.WriteString("\n]}\n")
 		} else {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"ruu/internal/report"
@@ -62,8 +63,72 @@ func (h *Hist) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
+// Sum returns the sum of all observed values.
+func (h *Hist) Sum() int64 { return h.sum }
+
 // Width returns the bucket width.
 func (h *Hist) Width() int64 { return h.width }
+
+// Quantile returns an upper bound on the q-th quantile: the upper edge
+// of the bucket holding the ceil(q*n)-th smallest observation, clamped
+// to the observed maximum. q is clamped to [0, 1]; an empty histogram
+// returns 0. Observations that landed in the overflow bucket are only
+// known to be at least its lower edge, so when the quantile falls
+// there the bound degrades to the observed maximum.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == len(h.counts)-1 {
+				// Overflow bucket: unbounded above, so the max is the
+				// only honest bound.
+				return h.max
+			}
+			hi := int64(i+1)*h.width - 1
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state, the
+// input to the Prometheus exposition writer (registry.go).
+type HistSnapshot struct {
+	// Width is the bucket width; Counts the per-bucket counts with
+	// trailing empties trimmed (bucket i covers [i*Width, (i+1)*Width)).
+	Width  int64
+	Counts []int64
+	// N, Sum and Max summarise the observations.
+	N   int64
+	Sum int64
+	Max int64
+}
+
+// Snapshot returns a copy of the histogram's current state (the counts
+// slice is owned by the caller).
+func (h *Hist) Snapshot() HistSnapshot {
+	trimmed := h.Counts()
+	counts := make([]int64, len(trimmed))
+	copy(counts, trimmed)
+	return HistSnapshot{Width: h.width, Counts: counts, N: h.n, Sum: h.sum, Max: h.max}
+}
 
 // Counts returns the bucket counts with trailing empty buckets trimmed.
 // The returned slice aliases the histogram; treat it as read-only.

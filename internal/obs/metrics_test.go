@@ -112,3 +112,87 @@ func TestMetricsAccounting(t *testing.T) {
 		}
 	}
 }
+
+// TestHistQuantileEdgeCases pins the quantile bound on the shapes the
+// exposition and dashboards rely on: the empty histogram, a histogram
+// whose observations all share one bucket, and quantiles that land in
+// the unbounded overflow bucket.
+func TestHistQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	h := NewHist(10, 4)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty hist Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// Single bucket (width 10, all values in [0,10)): the bound is the
+	// observed max, not the bucket edge.
+	h = NewHist(10, 4)
+	for _, v := range []int64{1, 2, 7} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got != 7 {
+		t.Errorf("single-bucket Quantile(0.5) = %d, want 7 (clamped to max)", got)
+	}
+	if got := h.Quantile(1); got != 7 {
+		t.Errorf("single-bucket Quantile(1) = %d, want 7", got)
+	}
+
+	// A one-bucket histogram is all overflow: still the max.
+	h = NewHist(5, 1)
+	h.Observe(3)
+	h.Observe(400)
+	if got := h.Quantile(0.99); got != 400 {
+		t.Errorf("one-bucket Quantile(0.99) = %d, want 400", got)
+	}
+
+	// Overflow bucket: the 4-bucket width-10 hist covers [0,40); 999
+	// overflows, so high quantiles degrade to the observed max while
+	// low quantiles keep their bucket-edge bound.
+	h = NewHist(10, 4)
+	for _, v := range []int64{1, 12, 25, 999} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.25); got != 9 {
+		t.Errorf("Quantile(0.25) = %d, want 9 (first bucket upper edge)", got)
+	}
+	if got := h.Quantile(0.5); got != 19 {
+		t.Errorf("Quantile(0.5) = %d, want 19", got)
+	}
+	if got := h.Quantile(1); got != 999 {
+		t.Errorf("Quantile(1) = %d, want 999 (overflow -> max)", got)
+	}
+	// Clamping: q outside [0,1] behaves like the endpoints.
+	if got := h.Quantile(-3); got != h.Quantile(0) {
+		t.Errorf("Quantile(-3) = %d, want %d", got, h.Quantile(0))
+	}
+	if got := h.Quantile(9); got != 999 {
+		t.Errorf("Quantile(9) = %d, want 999", got)
+	}
+}
+
+// TestHistSnapshot checks the exposition snapshot: trimmed counts are
+// copied (not aliased) and N/Sum/Max survive.
+func TestHistSnapshot(t *testing.T) {
+	h := NewHist(10, 8)
+	for _, v := range []int64{1, 12, 25} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Width != 10 || s.N != 3 || s.Sum != 38 || s.Max != 25 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if len(s.Counts) != 3 {
+		t.Fatalf("trimmed counts = %v, want 3 buckets", s.Counts)
+	}
+	s.Counts[0] = 99
+	if h.Counts()[0] != 1 {
+		t.Error("snapshot counts alias the histogram")
+	}
+	// Empty histogram snapshots to zero counts.
+	e := NewHist(1, 4).Snapshot()
+	if e.N != 0 || len(e.Counts) != 0 {
+		t.Errorf("empty snapshot = %+v", e)
+	}
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the service-level metric registry: a minimal,
+// dependency-free implementation of the Prometheus text exposition
+// format (version 0.0.4) for the counters, gauges, and histograms the
+// simulation service publishes at GET /metrics. It deliberately stays
+// off the simulator's per-cycle hot path — pipeline-level metrics keep
+// flowing through the Probe interface (metrics.go); the registry only
+// snapshots service state at scrape time.
+
+// Label is one name="value" pair attached to a metric sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Point is one collected sample: a label set and its value.
+type Point struct {
+	Labels []Label
+	Value  float64
+}
+
+// LabeledHist is one collected histogram: a label set and a snapshot of
+// the observed distribution.
+type LabeledHist struct {
+	Labels []Label
+	Snap   HistSnapshot
+}
+
+// Counter is a monotonically increasing metric, safe for concurrent
+// use. The zero Counter is ready.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the exposition to stay
+// monotonic; Add does not enforce it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// family is one registered metric family; exactly one of points or
+// hists is set, matching typ.
+type family struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	points func() []Point
+	hists  func() []LabeledHist
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Families render in registration order, and
+// collectors are expected to return label sets in a stable order, so a
+// scrape is byte-stable for unchanged state.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register adds a family, panicking on an invalid or duplicate name —
+// metric registration is static wiring, so a clash is a programming
+// error, not a runtime condition.
+func (r *Registry) register(f *family) {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[f.name] {
+		panic(fmt.Sprintf("obs: duplicate metric name %q", f.name))
+	}
+	r.names[f.name] = true
+	r.families = append(r.families, f)
+}
+
+// Counter registers a counter family with a fixed label set and
+// returns its value cell.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: "counter",
+		points: func() []Point {
+			return []Point{{Labels: labels, Value: float64(c.Value())}}
+		}})
+	return c
+}
+
+// CounterFunc registers a counter family whose value is read from f at
+// scrape time (for counters maintained elsewhere, e.g. scheduler
+// totals).
+func (r *Registry) CounterFunc(name, help string, f func() float64, labels ...Label) {
+	r.register(&family{name: name, help: help, typ: "counter",
+		points: func() []Point {
+			return []Point{{Labels: labels, Value: f()}}
+		}})
+}
+
+// GaugeFunc registers a gauge family whose value is read from f at
+// scrape time.
+func (r *Registry) GaugeFunc(name, help string, f func() float64, labels ...Label) {
+	r.register(&family{name: name, help: help, typ: "gauge",
+		points: func() []Point {
+			return []Point{{Labels: labels, Value: f()}}
+		}})
+}
+
+// CollectFunc registers a counter or gauge family with a dynamic label
+// set: collect runs at scrape time and returns one point per label set,
+// in a stable order.
+func (r *Registry) CollectFunc(name, help, typ string, collect func() []Point) {
+	if typ != "counter" && typ != "gauge" {
+		panic(fmt.Sprintf("obs: CollectFunc type must be counter or gauge, got %q", typ))
+	}
+	r.register(&family{name: name, help: help, typ: typ, points: collect})
+}
+
+// HistogramFunc registers a histogram family: collect runs at scrape
+// time and returns one snapshot per label set, in a stable order.
+func (r *Registry) HistogramFunc(name, help string, collect func() []LabeledHist) {
+	r.register(&family{name: name, help: help, typ: "histogram", hists: collect})
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (the body of a GET /metrics scrape with
+// Accept: text/plain).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.points != nil {
+			for _, p := range f.points() {
+				writeSample(&b, f.name, p.Labels, "", 0, p.Value)
+			}
+		}
+		if f.hists != nil {
+			for _, lh := range f.hists() {
+				writeHist(&b, f.name, lh)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHist renders one histogram snapshot as cumulative le-labeled
+// buckets plus _sum and _count series.
+func writeHist(b *strings.Builder, name string, lh LabeledHist) {
+	var cum int64
+	for i, c := range lh.Snap.Counts {
+		cum += c
+		le := strconv.FormatInt(int64(i+1)*lh.Snap.Width, 10)
+		writeSample(b, name+"_bucket", lh.Labels, "le", le, float64(cum))
+	}
+	writeSample(b, name+"_bucket", lh.Labels, "le", "+Inf", float64(lh.Snap.N))
+	writeSample(b, name+"_sum", lh.Labels, "", 0, float64(lh.Snap.Sum))
+	writeSample(b, name+"_count", lh.Labels, "", 0, float64(lh.Snap.N))
+}
+
+// writeSample renders one sample line; extraName/extraVal append a
+// final label (the histogram "le" bound). extraVal's type any keeps one
+// writer for both string bounds and absent extras.
+func writeSample(b *strings.Builder, name string, labels []Label, extraName string, extraVal any, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		// Go's %q escaping covers the three escapes the exposition
+		// format defines (backslash, double-quote, newline).
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", l.Name, l.Value)
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extraName, extraVal)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// validMetricName reports whether name matches the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSampleRE matches one exposition sample line: a metric name, an
+// optional label set, and a float value.
+var promSampleRE = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
+// validatePrometheus is a strict-enough parser for the text exposition
+// format: every sample line must parse, every sample must follow its
+// family's HELP/TYPE header, and histogram buckets must be cumulative.
+// It returns the parsed samples keyed by full series (name + labels).
+func validatePrometheus(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	types := map[string]string{}
+	var lastHist string
+	var lastCum float64
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) < 4 {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			if f[1] == "TYPE" {
+				switch f[3] {
+				case "counter", "gauge", "histogram":
+				default:
+					t.Fatalf("line %d: unknown TYPE %q", ln+1, f[3])
+				}
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		}
+		m := promSampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: unparseable sample %q", ln+1, line)
+		}
+		name := m[1]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(name, suffix); b != name && types[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value in %q: %v", ln+1, line, err)
+		}
+		series := name + m[2]
+		if _, dup := samples[series]; dup {
+			t.Fatalf("line %d: duplicate series %q", ln+1, series)
+		}
+		samples[series] = v
+		// Bucket monotonicity within one histogram's run of _bucket
+		// lines.
+		if strings.HasSuffix(name, "_bucket") && types[base] == "histogram" {
+			key := name + labelsWithoutLe(m[2])
+			if key == lastHist && v < lastCum {
+				t.Fatalf("line %d: non-cumulative bucket %q: %v < %v", ln+1, series, v, lastCum)
+			}
+			lastHist, lastCum = key, v
+		} else {
+			lastHist, lastCum = "", 0
+		}
+	}
+	return samples
+}
+
+func labelsWithoutLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, part := range strings.Split(inner, ",") {
+		if !strings.HasPrefix(part, "le=") {
+			kept = append(kept, part)
+		}
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.", Label{"route", "GET /healthz"})
+	c.Add(41)
+	c.Inc()
+	r.GaugeFunc("test_depth", "Queue depth.", func() float64 { return 3 })
+	r.CollectFunc("test_jobs", "Jobs by state.", "gauge", func() []Point {
+		return []Point{
+			{Labels: []Label{{"state", "done"}}, Value: 2},
+			{Labels: []Label{{"state", "running"}}, Value: 1},
+		}
+	})
+	h := NewHist(10, 4)
+	for _, v := range []int64{1, 12, 25, 999} {
+		h.Observe(v)
+	}
+	r.HistogramFunc("test_latency_ms", "Latency.", func() []LabeledHist {
+		return []LabeledHist{{Labels: []Label{{"engine", "ruu"}}, Snap: h.Snapshot()}}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	samples := validatePrometheus(t, body)
+
+	if got := samples[`test_requests_total{route="GET /healthz"}`]; got != 42 {
+		t.Errorf("counter = %v, want 42", got)
+	}
+	if got := samples[`test_depth`]; got != 3 {
+		t.Errorf("gauge = %v, want 3", got)
+	}
+	if got := samples[`test_jobs{state="done"}`]; got != 2 {
+		t.Errorf("jobs{done} = %v, want 2", got)
+	}
+	// Histogram: buckets cumulative, +Inf equals count, sum correct.
+	if got := samples[`test_latency_ms_bucket{engine="ruu",le="10"}`]; got != 1 {
+		t.Errorf("le=10 bucket = %v, want 1", got)
+	}
+	if got := samples[`test_latency_ms_bucket{engine="ruu",le="+Inf"}`]; got != 4 {
+		t.Errorf("le=+Inf bucket = %v, want 4", got)
+	}
+	if got := samples[`test_latency_ms_count{engine="ruu"}`]; got != 4 {
+		t.Errorf("count = %v, want 4", got)
+	}
+	if got := samples[`test_latency_ms_sum{engine="ruu"}`]; got != 1037 {
+		t.Errorf("sum = %v, want 1037", got)
+	}
+	// Stability: two scrapes of unchanged state are byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != body {
+		t.Error("scrape is not byte-stable for unchanged state")
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "0abc", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q: expected panic", bad)
+				}
+			}()
+			r.GaugeFunc(bad, "", func() float64 { return 0 })
+		}()
+	}
+	r.GaugeFunc("ok_name", "", func() float64 { return 0 })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate name: expected panic")
+			}
+		}()
+		r.GaugeFunc("ok_name", "", func() float64 { return 0 })
+	}()
+}
+
+func TestRegistryEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("esc", "multi\nline \\help", func() float64 { return 1 },
+		Label{"path", `C:\tmp "x"` + "\n"})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	if !strings.Contains(body, `# HELP esc multi\nline \\help`) {
+		t.Errorf("help not escaped: %q", body)
+	}
+	validatePrometheus(t, body)
+}

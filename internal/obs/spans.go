@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// This file is the request-tracing half of service observability: a
+// request ID and a job name travel through context from the HTTP layer
+// into scheduler jobs, the scheduler reports one Span per executed job,
+// and a SpanRecorder renders the collected spans as Chrome trace-event
+// JSON — loadable in Perfetto next to the pipeline traces ChromeTracer
+// writes, so a whole sweep is visible as scheduler activity above its
+// per-instruction timelines.
+
+// ctxKey is the private context-key namespace.
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	jobNameKey
+)
+
+// WithRequestID returns ctx carrying the request ID (unchanged when id
+// is empty).
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx ("" when none).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithJobName returns ctx carrying a human-readable job name for spans
+// (unchanged when name is empty).
+func WithJobName(ctx context.Context, name string) context.Context {
+	if name == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, jobNameKey, name)
+}
+
+// JobNameFrom returns the job name carried by ctx ("" when none).
+func JobNameFrom(ctx context.Context) string {
+	name, _ := ctx.Value(jobNameKey).(string)
+	return name
+}
+
+// Span is one scheduler job's service-side lifecycle: enqueue, start
+// on a worker, finish. Timestamps are wall-clock nanoseconds — this is
+// operational telemetry about the host process, never simulated time.
+type Span struct {
+	// Name is the job's display name (WithJobName); empty renders as
+	// "job".
+	Name string
+	// RequestID is the originating request's ID (WithRequestID), if any.
+	RequestID string
+	// Worker is the index of the pool worker that ran the job.
+	Worker int
+	// EnqueueNS, StartNS and EndNS are wall-clock nanosecond stamps for
+	// submission, execution start, and completion.
+	EnqueueNS int64
+	StartNS   int64
+	EndNS     int64
+	// Err reports whether the job finished with an error.
+	Err bool
+}
+
+// QueueWaitNS returns the nanoseconds the job spent queued before a
+// worker picked it up.
+func (s Span) QueueWaitNS() int64 { return s.StartNS - s.EnqueueNS }
+
+// SpanRecorder collects job spans; it is safe for concurrent use (the
+// pool's workers report spans as jobs finish).
+type SpanRecorder struct {
+	mu    sync.Mutex
+	spans []Span
+	limit int
+}
+
+// NewSpanRecorder returns an empty recorder.
+func NewSpanRecorder() *SpanRecorder { return &SpanRecorder{} }
+
+// SetLimit caps the number of recorded spans (0 means unlimited);
+// spans past the cap are dropped, keeping long-lived servers bounded.
+func (r *SpanRecorder) SetLimit(n int) {
+	r.mu.Lock()
+	r.limit = n
+	r.mu.Unlock()
+}
+
+// Record appends one span.
+func (r *SpanRecorder) Record(s Span) {
+	r.mu.Lock()
+	if r.limit <= 0 || len(r.spans) < r.limit {
+		r.spans = append(r.spans, s)
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans.
+func (r *SpanRecorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (r *SpanRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// WriteChromeTrace writes the recorded spans as a complete Chrome
+// trace-event JSON document (open in Perfetto). Scheduler activity
+// renders as process 0 ("scheduler") with one track per worker; each
+// job is a "queued" slice from submission to execution start (when the
+// wait is nonzero) followed by a run slice, both carrying the request
+// ID. Timestamps are microseconds relative to the earliest submission.
+func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	wrote, err := r.writeChromeEvents(bw, true)
+	if err != nil {
+		return err
+	}
+	end := "\n]}\n"
+	if !wrote {
+		end = "]}\n"
+	}
+	if _, err := bw.WriteString(end); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTraceFragment writes the spans' trace events without the
+// enclosing document, for callers merging them with other fragments
+// (e.g. per-job pipeline traces) into one document. It reports whether
+// anything was written; the caller owns the commas between fragments.
+func (r *SpanRecorder) WriteChromeTraceFragment(w io.Writer) (bool, error) {
+	bw := bufio.NewWriter(w)
+	wrote, err := r.writeChromeEvents(bw, true)
+	if err != nil {
+		return wrote, err
+	}
+	return wrote, bw.Flush()
+}
+
+// writeChromeEvents emits the span events comma-separated; first is
+// whether the next record is the document's first (no leading comma).
+func (r *SpanRecorder) writeChromeEvents(w *bufio.Writer, first bool) (bool, error) {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return false, nil
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].EnqueueNS != spans[j].EnqueueNS {
+			return spans[i].EnqueueNS < spans[j].EnqueueNS
+		}
+		return spans[i].StartNS < spans[j].StartNS
+	})
+	epoch := spans[0].EnqueueNS
+	var err error
+	emit := func(format string, args ...any) {
+		if err != nil {
+			return
+		}
+		if !first {
+			if _, err = w.WriteString(",\n"); err != nil {
+				return
+			}
+		}
+		first = false
+		_, err = fmt.Fprintf(w, format, args...)
+	}
+
+	emit(`{"name":"process_name","ph":"M","pid":0,"args":{"name":"scheduler"}}`)
+	workers := map[int]bool{}
+	for _, s := range spans {
+		if !workers[s.Worker] {
+			workers[s.Worker] = true
+		}
+	}
+	ids := make([]int, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
+			id, strconv.Quote(fmt.Sprintf("worker %d", id)))
+	}
+
+	us := func(ns int64) int64 { return (ns - epoch) / 1000 }
+	for _, s := range spans {
+		name := s.Name
+		if name == "" {
+			name = "job"
+		}
+		if wait := us(s.StartNS) - us(s.EnqueueNS); wait > 0 {
+			emit(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"request_id":%s,"state":"queued"}}`,
+				strconv.Quote(name+" (queued)"), us(s.EnqueueNS), wait, s.Worker, strconv.Quote(s.RequestID))
+		}
+		dur := us(s.EndNS) - us(s.StartNS)
+		if dur < 1 {
+			dur = 1
+		}
+		emit(`{"name":%s,"ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"request_id":%s,"queue_wait_us":%d,"error":%v}}`,
+			strconv.Quote(name), us(s.StartNS), dur, s.Worker, strconv.Quote(s.RequestID), s.QueueWaitNS()/1000, s.Err)
+	}
+	return true, err
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDAndJobNameContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestIDFrom(ctx); got != "" {
+		t.Errorf("empty ctx request id = %q", got)
+	}
+	ctx = WithRequestID(ctx, "req-1")
+	ctx = WithJobName(ctx, "sweep LLL3")
+	if got := RequestIDFrom(ctx); got != "req-1" {
+		t.Errorf("request id = %q, want req-1", got)
+	}
+	if got := JobNameFrom(ctx); got != "sweep LLL3" {
+		t.Errorf("job name = %q, want sweep LLL3", got)
+	}
+	// Empty values leave the context untouched.
+	if WithRequestID(ctx, "") != ctx || WithJobName(ctx, "") != ctx {
+		t.Error("empty id/name should return ctx unchanged")
+	}
+}
+
+func TestSpanRecorderChromeTrace(t *testing.T) {
+	r := NewSpanRecorder()
+	r.Record(Span{Name: "seed 2", RequestID: "req-9", Worker: 1,
+		EnqueueNS: 2_000_000, StartNS: 5_000_000, EndNS: 9_000_000})
+	r.Record(Span{Name: "seed 1", Worker: 0,
+		EnqueueNS: 1_000_000, StartNS: 1_000_000, EndNS: 3_000_000, Err: true})
+
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v\n%s", err, b.String())
+	}
+	var names []string
+	for _, ev := range doc.TraceEvents {
+		names = append(names, ev.Name)
+		// Metadata records carry the display name in args.
+		if n, ok := ev.Args["name"].(string); ok {
+			names = append(names, n)
+		}
+	}
+	joined := strings.Join(names, "|")
+	for _, want := range []string{"process_name", "worker 0", "worker 1", "seed 1", "seed 2", "seed 2 (queued)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q in %v", want, names)
+		}
+	}
+	// seed 1 had zero queue wait: no queued slice for it.
+	if strings.Contains(joined, "seed 1 (queued)") {
+		t.Error("zero-wait span should not render a queued slice")
+	}
+	// Spans sort by enqueue time, so epoch is seed 1's enqueue and
+	// seed 2's run slice starts at (5ms-1ms) = 4000us.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "seed 2" {
+			if ev.Ts != 4000 {
+				t.Errorf("seed 2 ts = %v, want 4000", ev.Ts)
+			}
+			if ev.Args["request_id"] != "req-9" {
+				t.Errorf("seed 2 request_id = %v", ev.Args["request_id"])
+			}
+		}
+	}
+}
+
+func TestSpanRecorderEmptyAndLimit(t *testing.T) {
+	r := NewSpanRecorder()
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("empty trace not valid JSON: %s", b.String())
+	}
+	var frag bytes.Buffer
+	wrote, err := r.WriteChromeTraceFragment(&frag)
+	if err != nil || wrote || frag.Len() != 0 {
+		t.Fatalf("empty fragment: wrote=%v err=%v len=%d", wrote, err, frag.Len())
+	}
+
+	r.SetLimit(1)
+	r.Record(Span{Name: "a"})
+	r.Record(Span{Name: "b"})
+	if n := r.Len(); n != 1 {
+		t.Errorf("limited recorder kept %d spans, want 1", n)
+	}
+}
+
+// TestMergedSweepTrace exercises the merge shape ruusim's sweep tracer
+// produces: per-job pipeline fragments plus the scheduler's span
+// fragment in one document.
+func TestMergedSweepTrace(t *testing.T) {
+	// Two per-job pipeline fragments under distinct pids.
+	var f1, f2 bytes.Buffer
+	tr1 := NewChromeTracerFragment(&f1, 1)
+	tr1.SetProcessName("seed 1")
+	tr1.Event(Event{Kind: KindFetch, ID: 1, PC: 0, Cycle: 0})
+	tr1.Event(Event{Kind: KindCommit, ID: 1, PC: 0, Cycle: 3})
+	if err := tr1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := NewChromeTracerFragment(&f2, 2)
+	tr2.SetProcessName("seed 2")
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := NewSpanRecorder()
+	rec.Record(Span{Name: "seed 1", Worker: 0, EnqueueNS: 0, StartNS: 1000, EndNS: 5000})
+
+	var out bytes.Buffer
+	out.WriteString("{\"traceEvents\":[\n")
+	first := true
+	for _, frag := range []*bytes.Buffer{&f1, &f2} {
+		if frag.Len() == 0 {
+			continue
+		}
+		if !first {
+			out.WriteString(",\n")
+		}
+		out.Write(frag.Bytes())
+		first = false
+	}
+	if rec.Len() > 0 {
+		if !first {
+			out.WriteString(",\n")
+		}
+		if _, err := rec.WriteChromeTraceFragment(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out.WriteString("\n]}\n")
+
+	var doc traceDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace invalid: %v\n%s", err, out.String())
+	}
+	var sawScheduler, sawPipeline bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "process_name" && ev.Args["name"] == "scheduler" {
+			sawScheduler = true
+		}
+		if ev.Name == "fetch" {
+			sawPipeline = true
+		}
+	}
+	if !sawScheduler || !sawPipeline {
+		t.Errorf("merged trace missing scheduler (%v) or pipeline (%v) events", sawScheduler, sawPipeline)
+	}
+}

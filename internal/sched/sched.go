@@ -30,6 +30,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"ruu/internal/obs"
 )
 
 // Config parameterises a Pool.
@@ -58,6 +61,7 @@ type Pool struct {
 	closed   bool
 	sending  sync.WaitGroup // Submits between the closed-check and the send
 	closing  sync.Once
+	onSpan   func(obs.Span) // telemetry hook, called once per executed job
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -72,6 +76,9 @@ type job struct {
 	key    Key
 	run    func(ctx context.Context) (any, error)
 	ticket *Ticket
+	// enqueueNS is the wall-clock submission stamp, recorded only when
+	// a span hook is installed (telemetry, never simulation state).
+	enqueueNS int64
 }
 
 // Ticket is the future for one submitted job.
@@ -136,9 +143,29 @@ func New(cfg Config) *Pool {
 		// The worker goroutines are the point of the package: each runs
 		// whole, self-contained simulations whose results are
 		// order-independent (see the package comment). //ruulint:ok
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
+}
+
+// SetOnJobSpan installs a telemetry hook receiving one obs.Span per
+// executed job (enqueue, start, finish, with the request ID and job
+// name carried by the submission context). Cache hits and deduplicated
+// submissions never execute, so they emit no span. The hook runs on
+// worker goroutines and must be safe for concurrent use. A nil hook
+// disables span telemetry (the default); with no hook installed the
+// pool takes no wall-clock readings at all.
+func (p *Pool) SetOnJobSpan(fn func(obs.Span)) {
+	p.mu.Lock()
+	p.onSpan = fn
+	p.mu.Unlock()
+}
+
+// spanHook returns the installed hook (nil when span telemetry is off).
+func (p *Pool) spanHook() func(obs.Span) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.onSpan
 }
 
 // Submit enqueues a job, blocking for queue space (backpressure) until
@@ -179,6 +206,12 @@ func (p *Pool) Submit(ctx context.Context, key Key, run func(ctx context.Context
 	p.mu.Unlock()
 	defer p.sending.Done()
 	j := &job{ctx: ctx, key: key, run: run, ticket: t}
+	if p.spanHook() != nil {
+		// Wall-clock submission stamp for the job's telemetry span:
+		// operational queue-wait measurement only, invisible to the
+		// simulation. //ruulint:ok
+		j.enqueueNS = time.Now().UnixNano()
+	}
 	// Backpressure: block until the bounded queue has room or the
 	// submitter gives up. Which submitter wins a slot first cannot
 	// change any job's result. //ruulint:ok
@@ -224,18 +257,25 @@ func (p *Pool) Close() {
 // the per-job dispatch path is held allocation-free — a job's own
 // setup (machine construction etc.) happens inside run, which the
 // pool cannot and should not see.
-func (p *Pool) worker() {
+func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	for j := range p.jobs {
-		p.runJob(j)
+		p.runJob(id, j)
 	}
 }
 
 // runJob executes one job with panic recovery: a crashed simulation
 // becomes that job's error, not a process abort.
-func (p *Pool) runJob(j *job) {
+func (p *Pool) runJob(worker int, j *job) {
 	p.running.Add(1)
 	defer p.running.Add(-1)
+	hook := p.spanHook()
+	var startNS int64
+	if hook != nil {
+		// Telemetry stamp for the span's queue-wait edge; the job's
+		// result is fixed by its inputs alone. //ruulint:ok
+		startNS = time.Now().UnixNano()
+	}
 	var v any
 	var err error
 	// One closure per job, not per cycle: a job is a whole simulation
@@ -267,6 +307,21 @@ func (p *Pool) runJob(j *job) {
 		}
 	}
 	p.forget(j.key, j.ticket)
+	if hook != nil {
+		// One span per executed job (cold: a job is a whole
+		// simulation); the completion stamp is telemetry like the two
+		// above. The hook runs before the ticket resolves so a caller
+		// that waited on every ticket observes every span.
+		hook(obs.Span{
+			Name:      obs.JobNameFrom(j.ctx),
+			RequestID: obs.RequestIDFrom(j.ctx),
+			Worker:    worker,
+			EnqueueNS: j.enqueueNS,
+			StartNS:   startNS,
+			EndNS:     time.Now().UnixNano(), //ruulint:ok span telemetry, no simulation sees it
+			Err:       err != nil,
+		})
+	}
 	j.ticket.finish(v, err)
 }
 
@@ -323,6 +378,14 @@ func (p *Pool) Cache() *Cache { return p.cache }
 // With a nil pool, Map degrades to the plain serial loop (no
 // goroutines at all), stopping at the first error.
 func Map[T any](ctx context.Context, p *Pool, n int, key func(i int) Key, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapNamed(ctx, p, n, nil, key, f)
+}
+
+// MapNamed is Map with per-item display names: name(i), when non-nil,
+// labels item i's job span (obs.WithJobName) so a traced sweep shows
+// one recognisable slice per configuration instead of n anonymous
+// jobs. Naming is telemetry only — results are identical to Map's.
+func MapNamed[T any](ctx context.Context, p *Pool, n int, name func(i int) string, key func(i int) Key, f func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if p == nil {
 		for i := 0; i < n; i++ {
@@ -345,7 +408,11 @@ func Map[T any](ctx context.Context, p *Pool, n int, key func(i int) Key, f func
 		if key != nil {
 			k = key(i)
 		}
-		t, err := p.Submit(ctx, k, func(ctx context.Context) (any, error) {
+		ictx := ctx
+		if name != nil {
+			ictx = obs.WithJobName(ictx, name(i))
+		}
+		t, err := p.Submit(ictx, k, func(ctx context.Context) (any, error) {
 			return f(ctx, i)
 		})
 		if err != nil {

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ruu/internal/obs"
 )
 
 func keyOf(parts ...string) Key {
@@ -362,5 +364,82 @@ func TestPoolMetricsSnapshot(t *testing.T) {
 	m := p.Metrics()
 	if m.Workers != 3 || m.QueueDepth != 7 || m.Cache.Capacity != 4 {
 		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestJobSpans(t *testing.T) {
+	p := New(Config{Workers: 1, QueueDepth: 4, Cache: NewCache(4)})
+	defer p.Close()
+
+	var mu sync.Mutex
+	var spans []obs.Span
+	p.SetOnJobSpan(func(s obs.Span) {
+		mu.Lock()
+		spans = append(spans, s)
+		mu.Unlock()
+	})
+
+	ctx := obs.WithRequestID(context.Background(), "req-42")
+	k := keyOf("span-job")
+	run := func(context.Context) (any, error) { return 7, nil }
+
+	tk, err := p.Submit(obs.WithJobName(ctx, "seed 0"), k, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A cache hit never executes, so it must not emit a span.
+	tk2, err := p.Submit(ctx, k, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tk2.Cached() {
+		t.Fatal("second submit should hit the cache")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (cache hits must not emit)", len(spans))
+	}
+	s := spans[0]
+	if s.Name != "seed 0" || s.RequestID != "req-42" || s.Err {
+		t.Errorf("span = %+v", s)
+	}
+	if s.EnqueueNS == 0 || s.EnqueueNS > s.StartNS || s.StartNS > s.EndNS {
+		t.Errorf("span timestamps out of order: %+v", s)
+	}
+}
+
+func TestMapNamedLabelsSpans(t *testing.T) {
+	p := New(Config{Workers: 2, QueueDepth: 4})
+	defer p.Close()
+
+	var mu sync.Mutex
+	names := map[string]bool{}
+	p.SetOnJobSpan(func(s obs.Span) {
+		mu.Lock()
+		names[s.Name] = true
+		mu.Unlock()
+	})
+
+	out, err := MapNamed(context.Background(), p, 3,
+		func(i int) string { return fmt.Sprintf("cfg %d", i) },
+		nil,
+		func(_ context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 || out[2] != 4 {
+		t.Fatalf("out = %v", out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 3; i++ {
+		if !names[fmt.Sprintf("cfg %d", i)] {
+			t.Errorf("missing span name %q in %v", fmt.Sprintf("cfg %d", i), names)
+		}
 	}
 }

@@ -17,9 +17,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ruu"
@@ -37,9 +40,17 @@ const (
 	DefaultRequestTimeout = 60 * time.Second
 	// DefaultMaxSweepSizes bounds the entry-count list of one sweep job.
 	DefaultMaxSweepSizes = 64
+	// DefaultMaxActiveJobs bounds concurrently live (queued + running)
+	// sweep jobs; beyond it POST /v1/sweep answers 429.
+	DefaultMaxActiveJobs = 32
+	// RetryAfterSeconds is the Retry-After hint on 429 (queue full) and
+	// 503 (draining) responses.
+	RetryAfterSeconds = 5
 	// StatusClientClosedRequest is the (nginx-convention) status
 	// reported when the client disconnected mid-simulation.
 	StatusClientClosedRequest = 499
+	// DefaultSpanLimit bounds the retained job spans (GET /v1/trace).
+	DefaultSpanLimit = 4096
 )
 
 // Config parameterises New.
@@ -53,6 +64,12 @@ type Config struct {
 	// POST /v1/simulate (default DefaultRequestTimeout). A request's
 	// timeout_ms field may shorten it, never extend it.
 	RequestTimeout time.Duration
+	// MaxActiveJobs bounds concurrently live (queued + running) sweep
+	// jobs (default DefaultMaxActiveJobs; negative disables the cap).
+	// A full server answers POST /v1/sweep with 429 + Retry-After.
+	MaxActiveJobs int
+	// Log, when non-nil, receives structured request and job logs.
+	Log *slog.Logger
 }
 
 // Server is the ruuserve HTTP API. Create with New, serve via Handler,
@@ -63,12 +80,26 @@ type Server struct {
 	mux             *http.ServeMux
 	maxRequestBytes int64
 	requestTimeout  time.Duration
+	maxActiveJobs   int
+	log             *slog.Logger
+	reg             *obs.Registry
+	spans           *obs.SpanRecorder
+	build           BuildInfo
 
 	mu       sync.Mutex
 	jobs     map[string]*jobEntry
 	nextJob  int
 	draining bool
 	latency  map[string]*obs.Hist // per-engine wall-clock ms histograms
+	httpReqs map[string]int64     // "route\x00code" -> request count
+
+	qwMu      sync.Mutex
+	queueWait *obs.Hist // job queue-wait ms, fed by the pool span hook
+
+	reqSeq          atomic.Int64 // generated request-ID sequence
+	simCycles       atomic.Int64
+	simInstructions atomic.Int64
+	simWallMS       atomic.Int64
 
 	jobsWG sync.WaitGroup
 }
@@ -92,25 +123,46 @@ func New(cfg Config) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
+	if cfg.MaxActiveJobs == 0 {
+		cfg.MaxActiveJobs = DefaultMaxActiveJobs
+	}
 	s := &Server{
 		runner:          cfg.Runner,
 		mux:             http.NewServeMux(),
 		maxRequestBytes: cfg.MaxRequestBytes,
 		requestTimeout:  cfg.RequestTimeout,
+		maxActiveJobs:   cfg.MaxActiveJobs,
+		log:             cfg.Log,
+		reg:             obs.NewRegistry(),
+		spans:           obs.NewSpanRecorder(),
+		build:           ReadBuildInfo(),
 		jobs:            make(map[string]*jobEntry),
 		latency:         make(map[string]*obs.Hist),
+		httpReqs:        make(map[string]int64),
+		queueWait:       obs.NewHist(10, 100), // 10 ms buckets, 1 s overflow
+	}
+	s.spans.SetLimit(DefaultSpanLimit)
+	s.wireMetrics(s.build)
+	if p := s.runner.Pool(); p != nil {
+		p.SetOnJobSpan(s.onJobSpan)
 	}
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the API's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the API's HTTP handler: the mux wrapped in the
+// request-ID/access-log middleware.
+func (s *Server) Handler() http.Handler { return s.withObservability(s.mux) }
+
+// Registry returns the server's metric registry (for callers adding
+// process-level families before serving).
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // StartDrain puts the server in draining mode: new POSTs are refused
 // with 503 while GETs (health, metrics, job polls) keep working, so
@@ -183,15 +235,31 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// refuseIfDraining answers POSTs with 503 during shutdown.
+// refuseIfDraining answers POSTs with 503 + Retry-After during
+// shutdown (the hint tells well-behaved clients when to try a
+// replacement instance).
 func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 	}
 	return draining
+}
+
+// activeJobs counts sweep jobs currently queued or running.
+func (s *Server) activeJobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		if j.state == "queued" || j.state == "running" {
+			n++
+		}
+	}
+	return n
 }
 
 // machineRequest is the configuration block shared by simulate and
@@ -309,7 +377,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 && time.Duration(req.TimeoutMS)*time.Millisecond < timeout {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(
+		obs.WithJobName(r.Context(), "simulate "+req.engineName()), timeout)
 	defer cancel()
 
 	verify := req.Verify == nil || *req.Verify
@@ -333,6 +402,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeLatency(req.engineName(), elapsed)
+	s.simCycles.Add(out.Cycles)
+	s.simInstructions.Add(out.Instructions)
+	s.simWallMS.Add(elapsed.Milliseconds())
 	writeJSON(w, http.StatusOK, simulateResponse{
 		Outcome:   out,
 		ElapsedMS: elapsed.Milliseconds(),
@@ -357,6 +429,12 @@ type jobResponse struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.refuseIfDraining(w) {
+		return
+	}
+	if s.maxActiveJobs > 0 && s.activeJobs() >= s.maxActiveJobs {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests,
+			"too many active jobs (%d); retry later", s.maxActiveJobs)
 		return
 	}
 	var req sweepRequest
@@ -385,8 +463,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	// The job outlives the creating request by design: its lifetime is
 	// controlled by DELETE /v1/jobs/{id} and server drain, not by the
-	// submitting connection.
-	ctx, cancel := context.WithCancel(context.Background())
+	// submitting connection. The request ID still rides along so the
+	// job's pool spans are attributable to the POST that created them.
+	ctx, cancel := context.WithCancel(
+		obs.WithRequestID(context.Background(), obs.RequestIDFrom(r.Context())))
 	s.mu.Lock()
 	s.nextJob++
 	j := &jobEntry{
@@ -491,7 +571,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": draining})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": draining,
+		"build":    s.build,
+	})
+}
+
+// handleTrace serves the retained scheduler job spans as a Chrome
+// trace-event document — open it in Perfetto to see queue wait and
+// execution per worker, with request IDs in the slice args.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.spans.WriteChromeTrace(w) //nolint:errcheck // response already committed
 }
 
 // observeLatency records one request's wall-clock service time in the
@@ -517,6 +609,11 @@ type metricsResponse struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w) //nolint:errcheck // response already committed
+		return
+	}
 	resp := metricsResponse{
 		Jobs:      map[string]int{},
 		LatencyMS: map[string]any{},

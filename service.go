@@ -158,8 +158,16 @@ type kernelSpec struct {
 
 // runSpecs fans the flattened job list out on the pool (or runs it
 // serially for a nil pool), returning per-spec results in spec order.
+// Each job carries a display name ("LLL3 entries=16") so a traced
+// sweep shows recognisable slices in the scheduler track.
 func runSpecs(ctx context.Context, p *sched.Pool, specs []kernelSpec) ([]KernelRun, error) {
-	return sched.Map(ctx, p, len(specs),
+	return sched.MapNamed(ctx, p, len(specs),
+		func(i int) string {
+			if specs[i].wrap != "" {
+				return specs[i].k.Name + " " + specs[i].wrap
+			}
+			return specs[i].k.Name + " baseline"
+		},
 		func(i int) sched.Key { return kernelKey(specs[i].cfg, specs[i].k) },
 		func(_ context.Context, i int) (KernelRun, error) {
 			kr, err := runKernel(specs[i].cfg, specs[i].k)
