@@ -35,15 +35,16 @@ bench-smoke:
 	$(GO) run ./cmd/ruubench -checkschema BENCH_*.json out/BENCH_smoke.json
 
 # lint runs ruulint, the repo's own static-analysis suite
-# (see docs/ANALYSIS.md). A finding is a build failure. Findings are
-# also written as JSON lines to out/ruulint.json for tooling (the CI
-# problem matcher consumes the plain-text output).
+# (see docs/ANALYSIS.md). A finding is a build failure. One invocation
+# produces every format off a single load and shared callgraph: the
+# plain-text findings (the CI problem matcher consumes these), JSON
+# lines in out/ruulint.json for tooling, a SARIF 2.1.0 log in
+# out/ruulint.sarif for GitHub code scanning, and a per-pass timing
+# summary on stderr.
 lint:
 	$(GO) build ./...
 	@mkdir -p out
-	@$(GO) run ./cmd/ruulint -json ./... > out/ruulint.json; st=$$?; \
-	if [ $$st -ne 0 ] && [ $$st -ne 1 ] ; then exit $$st; fi; \
-	$(GO) run ./cmd/ruulint ./...
+	$(GO) run ./cmd/ruulint -out out/ruulint.json -sarif out/ruulint.sarif -timings ./...
 
 # dfa runs ruudfa, the ISA-level dataflow analysis (see docs/DFA.md),
 # over the built-in Livermore kernels and the standalone example
@@ -70,10 +71,11 @@ quickstart-http:
 	$(GO) run ./examples/quickstart/client
 
 # lint-fix-check is the CI fail-fast gate: formatting and lint findings
-# fail before the slower race/bench stages run.
+# fail before the slower race/bench stages run. The timing summary
+# shows where the lint wall-clock goes.
 lint-fix-check:
 	@unformatted=$$(gofmt -l . | grep -v '^out/' || true); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
-	$(GO) run ./cmd/ruulint ./...
+	$(GO) run ./cmd/ruulint -timings ./...

@@ -104,3 +104,13 @@ func BenchmarkAssembler(b *testing.B) { runBench(b, "Assembler") }
 
 // BenchmarkPreciseInterruptRoundTrip measures fault-flush-resume cost.
 func BenchmarkPreciseInterruptRoundTrip(b *testing.B) { runBench(b, "PreciseInterruptRoundTrip") }
+
+// BenchmarkRuulint measures one full ruulint invocation (module load,
+// shared snapshot, every pass) — the ruulint_ns trajectory point. The
+// single-invocation `make lint` pays this once where the previous
+// two-run Makefile paid it twice.
+func BenchmarkRuulint(b *testing.B) { runBench(b, "Ruulint") }
+
+// BenchmarkRuulintCheckOnly isolates the pass run over a cached load:
+// the phase the shared snapshot/callgraph cache optimises.
+func BenchmarkRuulintCheckOnly(b *testing.B) { runBench(b, "RuulintCheckOnly") }

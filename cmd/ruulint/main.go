@@ -2,7 +2,10 @@
 // (internal/analysis) over the module: determinism hygiene in
 // simulation packages, obs probe coverage in the issue engines, the
 // precise-state mutation discipline, hot-path allocation freedom, enum
-// switch exhaustiveness, and paper-constant conformance.
+// switch exhaustiveness, paper-constant conformance, and the
+// service-layer concurrency and HTTP-contract passes (mutexguard,
+// ctxflow, goroutineleak, httpcontract), plus the suppression
+// meta-pass.
 //
 // Usage:
 //
@@ -10,31 +13,41 @@
 //	ruulint -list              # describe the passes
 //	ruulint -passes precisestate,probeemit ./...
 //	ruulint -json ./...        # one JSON object per finding per line
+//	ruulint -out f.json -sarif f.sarif ./...   # machine formats, one load
+//	ruulint -timings ./...     # per-pass wall-clock summary on stderr
 //
 // Findings print as file:line:col: [pass] message, relative to the
 // working directory; with -json, as one {"pos","pass","msg"} object per
-// line. Exit status: 0 clean, 1 findings, 2 usage or load error.
+// line. -out writes the JSON lines to a file and -sarif writes a SARIF
+// 2.1.0 log (for GitHub code scanning), both from the same single load
+// and pass run as the terminal output. Exit status: 0 clean, 1
+// findings, 2 usage or load error.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"ruu/internal/analysis"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list the passes and exit")
-		passes = flag.String("passes", "", "comma-separated pass names to run (default: all)")
-		asJSON = flag.Bool("json", false, "emit one JSON object per finding per line")
+		list    = flag.Bool("list", false, "list the passes and exit")
+		passes  = flag.String("passes", "", "comma-separated pass names to run (default: all)")
+		asJSON  = flag.Bool("json", false, "emit one JSON object per finding per line")
+		outPath = flag.String("out", "", "also write JSON-lines findings to this file")
+		sarif   = flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file")
+		timings = flag.Bool("timings", false, "print a per-pass timing summary to stderr")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruulint [-list] [-json] [-passes p1,p2] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ruulint [-list] [-json] [-out file] [-sarif file] [-timings] [-passes p1,p2] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,27 +77,50 @@ func main() {
 		fatal(err)
 	}
 
-	findings := analysis.Check(mod.Packages, selected)
+	// One load, one snapshot: every output format below reads the same
+	// pass run (the callgraph is built once and shared through the
+	// snapshot).
+	snap := analysis.NewSnapshot(mod.Packages)
+	findings, passTimings := analysis.CheckSnapshot(snap, selected)
+
 	cwd, _ := os.Getwd()
-	enc := json.NewEncoder(os.Stdout)
-	for _, f := range findings {
-		name := f.Pos.Filename
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
-			}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
 		}
-		if *asJSON {
-			if err := enc.Encode(jsonFinding{
-				Pos:  fmt.Sprintf("%s:%d:%d", name, f.Pos.Line, f.Pos.Column),
-				Pass: f.Pass,
-				Msg:  f.Message,
-			}); err != nil {
-				fatal(err)
-			}
-			continue
+		if err := writeJSONLines(f, findings, cwd); err != nil {
+			fatal(err)
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", name, f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *sarif != "" {
+		b, err := analysis.MarshalSARIF(findings, selected, root)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*sarif, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *asJSON {
+		if err := writeJSONLines(os.Stdout, findings, cwd); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", relTo(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
+		}
+	}
+	if *timings {
+		var total time.Duration
+		for _, pt := range passTimings {
+			fmt.Fprintf(os.Stderr, "ruulint: %-16s %4d finding(s) %12s\n", pt.Name, pt.Findings, pt.Elapsed.Round(time.Microsecond))
+			total += pt.Elapsed
+		}
+		fmt.Fprintf(os.Stderr, "ruulint: %-16s %4d finding(s) %12s\n", "total", len(findings), total.Round(time.Microsecond))
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "ruulint: %d finding(s)\n", len(findings))
@@ -97,6 +133,33 @@ type jsonFinding struct {
 	Pos  string `json:"pos"` // file:line:col, relative to the working directory
 	Pass string `json:"pass"`
 	Msg  string `json:"msg"`
+}
+
+// writeJSONLines encodes findings one JSON object per line.
+func writeJSONLines(w io.Writer, findings []analysis.Finding, cwd string) error {
+	enc := json.NewEncoder(w)
+	for _, f := range findings {
+		err := enc.Encode(jsonFinding{
+			Pos:  fmt.Sprintf("%s:%d:%d", relTo(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column),
+			Pass: f.Pass,
+			Msg:  f.Message,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relTo shortens name relative to dir when it lies inside it.
+func relTo(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
 }
 
 // moduleRoot ascends from the working directory to the nearest go.mod.

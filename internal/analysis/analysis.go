@@ -13,8 +13,9 @@
 // every configuration, so the disciplines scale with the codebase
 // instead of with reviewer attention. See docs/ANALYSIS.md.
 //
-// Six passes ship (see their files for details). Three are syntactic
-// invariant checks:
+// Eleven passes ship (see their files for details, and docs/ANALYSIS.md
+// for the catalog). Three are syntactic invariant checks over the
+// simulation core:
 //
 //   - simdeterminism: no wall-clock time, global math/rand, goroutines,
 //     channel selects, or order-sensitive map iteration in simulation
@@ -34,9 +35,30 @@
 //   - paperconst: model constants match internal/isa/paperconst.go; no
 //     drifted or restated magic numbers.
 //
+// Four cover the concurrent service layer (internal/sched,
+// internal/server, internal/obs, cmd/ruuserve), where the distributed
+// sweep fabric will grow:
+//
+//   - mutexguard: inferred and annotated guarded-by relations for
+//     mutex-bearing structs; no unguarded access, lock copying, or
+//     unlock-without-lock.
+//   - ctxflow: context.Context threads request paths (first parameter,
+//     never a struct field, no context.Background below the handler
+//     boundary, no ctx-less blocking selects).
+//   - goroutineleak: every go statement has a visible termination path
+//     and no send without a guaranteed receiver.
+//   - httpcontract: handlers write exactly one status per path, set
+//     Content-Type before the body, map client cancellation to 499,
+//     and route errors through the shared JSON error writer.
+//
+// The eleventh, "suppression", lints the linter's own suppression
+// markers (see suppress.go).
+//
 // A finding on a line carrying (or immediately preceded by) a comment
-// containing "ruulint:ok" is suppressed; use sparingly and justify the
-// suppression in the comment.
+// of the form "//ruulint:ok <pass> <justification>" is suppressed for
+// the named pass only; use sparingly and justify the suppression in
+// the comment. Bare or misspelled markers suppress nothing and are
+// findings of the "suppression" meta-pass (see suppress.go).
 package analysis
 
 import (
@@ -46,6 +68,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one rule violation at a source position.
@@ -65,12 +88,13 @@ func (f Finding) String() string {
 // Pass is one analysis: a name, a one-line description, and a Run
 // function producing findings for a single type-checked package.
 // A pass that needs whole-module context (e.g. a cross-package call
-// graph) may set Init, which Check calls once with every loaded
-// package before any Run.
+// graph) may set Init, which Check calls once with the shared snapshot
+// before any Run; passes that need the call graph take it from
+// Snapshot.Graph so it is built once per load, not once per pass.
 type Pass struct {
 	Name string
 	Doc  string
-	Init func([]*Package)
+	Init func(*Snapshot)
 	Run  func(*Package) []Finding
 }
 
@@ -102,27 +126,55 @@ type Module struct {
 }
 
 // Check runs the passes over the packages, drops suppressed findings,
-// and returns the rest sorted by position.
+// and returns the rest sorted by position. It wraps the packages in a
+// fresh Snapshot; callers that run several pass sets (or render several
+// output formats) over one load should build the Snapshot themselves
+// and use CheckSnapshot so the call graph is shared too.
 func Check(pkgs []*Package, passes []*Pass) []Finding {
-	for _, pass := range passes {
+	findings, _ := CheckSnapshot(NewSnapshot(pkgs), passes)
+	return findings
+}
+
+// PassTiming is one pass's wall-clock cost over a CheckSnapshot run
+// (Init plus every Run), for the -timings lint summary.
+type PassTiming struct {
+	Name     string
+	Findings int
+	Elapsed  time.Duration
+}
+
+// CheckSnapshot runs the passes over a shared snapshot, dropping
+// findings suppressed for their pass, and returns the survivors sorted
+// by (file, line, column, pass, message) — a total order, so the JSON
+// and SARIF artifacts are byte-stable run-to-run — plus per-pass
+// timings in pass order.
+func CheckSnapshot(snap *Snapshot, passes []*Pass) ([]Finding, []PassTiming) {
+	timings := make([]PassTiming, len(passes))
+	for i, pass := range passes {
+		timings[i].Name = pass.Name
 		if pass.Init != nil {
-			pass.Init(pkgs)
+			start := time.Now()
+			pass.Init(snap)
+			timings[i].Elapsed += time.Since(start)
 		}
 	}
 	var out []Finding
-	for _, pkg := range pkgs {
-		suppressed := suppressedLines(pkg)
-		for _, pass := range passes {
+	for _, pkg := range snap.Packages {
+		suppressed := suppressedPasses(pkg)
+		for i, pass := range passes {
+			start := time.Now()
 			for _, f := range pass.Run(pkg) {
-				if suppressed[f.Pos.Filename][f.Pos.Line] {
+				if suppressed[f.Pos.Filename][f.Pos.Line][f.Pass] {
 					continue
 				}
 				out = append(out, f)
+				timings[i].Findings++
 			}
+			timings[i].Elapsed += time.Since(start)
 		}
 	}
 	SortFindings(out)
-	return out
+	return out, timings
 }
 
 // SortFindings orders findings by file, line, column, pass, message.
@@ -143,32 +195,6 @@ func SortFindings(fs []Finding) {
 		}
 		return a.Message < b.Message
 	})
-}
-
-// suppressedLines collects, per file, the lines on which findings are
-// suppressed: the line of every "ruulint:ok" comment and the line after
-// it (so the marker works both trailing the offending line and on its
-// own line above it).
-func suppressedLines(pkg *Package) map[string]map[int]bool {
-	out := map[string]map[int]bool{}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.Contains(c.Text, "ruulint:ok") {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				m := out[pos.Filename]
-				if m == nil {
-					m = map[int]bool{}
-					out[pos.Filename] = m
-				}
-				m[pos.Line] = true
-				m[pos.Line+1] = true
-			}
-		}
-	}
-	return out
 }
 
 // inScope reports whether an import path falls under one of the scope

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// NewCtxFlow returns the ctxflow pass, restricted to the given
+// import-path prefixes (the service packages).
+//
+// The 499/504 semantics the HTTP API promises (PR 5) only hold if
+// cancellation provably propagates from the handler into every
+// scheduler job: a dropped or detached context turns "client gave up"
+// into a worker silently simulating for nobody. The pass enforces the
+// conventions that keep the chain intact:
+//
+//   - context.Context is the first parameter (after the receiver), per
+//     the stdlib convention — a buried ctx parameter is how call sites
+//     end up threading the wrong one.
+//   - context.Context never lives in a struct field: a stored context
+//     outlives the request that created it. (The scheduler's queue
+//     handoff is the one audited exception, suppressed in place.)
+//   - context.Background()/context.TODO() below the handler boundary
+//     severs the caller's cancellation; only func main may mint a root
+//     context. Detaching on purpose (async jobs) takes a per-site
+//     suppression with a justification.
+//   - a blocking select inside a ctx-carrying function must have a
+//     ctx.Done()/quit-channel arm or a default: otherwise cancellation
+//     cannot interrupt it and the 499 path never fires.
+func NewCtxFlow(scope ...string) *Pass {
+	p := &Pass{
+		Name: "ctxflow",
+		Doc:  "context threads request paths: first param, never a struct field, no Background below main, no Done-less selects",
+	}
+	p.Run = func(pkg *Package) []Finding {
+		if !inScope(pkg.Path, scope) {
+			return nil
+		}
+		var out []Finding
+		add := func(n ast.Node, format string, args ...any) {
+			out = append(out, Finding{Pass: p.Name, Pos: pkg.Pos(n), Message: fmt.Sprintf(format, args...)})
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.GenDecl:
+					checkCtxFields(pkg, d, add)
+				case *ast.FuncDecl:
+					checkCtxParamFirst(pkg, d.Name.Name, d.Type, add)
+					if d.Body != nil {
+						checkCtxBody(pkg, d, add)
+					}
+				}
+			}
+		}
+		return out
+	}
+	return p
+}
+
+// checkCtxFields flags context.Context struct fields.
+func checkCtxFields(pkg *Package, gd *ast.GenDecl, add func(ast.Node, string, ...any)) {
+	if gd.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if !isContextType(pkg.Info.TypeOf(field.Type)) {
+				continue
+			}
+			name := "embedded"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			add(field, "context.Context stored in struct field %s of %s outlives its request; pass ctx as a parameter instead",
+				name, ts.Name.Name)
+		}
+	}
+}
+
+// checkCtxParamFirst flags a ctx parameter that is not first.
+func checkCtxParamFirst(pkg *Package, fname string, ft *ast.FuncType, add func(ast.Node, string, ...any)) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pkg.Info.TypeOf(field.Type)) && idx != 0 {
+			add(field, "context.Context must be the first parameter of %s (after the receiver), per the stdlib convention", fname)
+		}
+		idx += n
+	}
+}
+
+// checkCtxBody flags Background/TODO below main and Done-less selects
+// inside ctx-carrying functions, tracking the innermost function's
+// signature across literals.
+func checkCtxBody(pkg *Package, fd *ast.FuncDecl, add func(ast.Node, string, ...any)) {
+	isMain := pkg.Types.Name() == "main" && fd.Recv == nil && fd.Name.Name == "main"
+	var walk func(n ast.Node, hasCtx bool)
+	walk = func(n ast.Node, hasCtx bool) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				checkCtxParamFirst(pkg, "the function literal", c.Type, add)
+				walk(c.Body, funcTypeHasCtx(pkg, c.Type))
+				return false
+			case *ast.CallExpr:
+				if pkgPath, name, ok := pkgLevelCallee(pkg.Info, c); ok && pkgPath == "context" {
+					if (name == "Background" || name == "TODO") && !isMain {
+						add(c, "context.%s below the handler boundary severs the caller's cancellation; thread the request ctx (only func main mints a root context)", name)
+					}
+				}
+			case *ast.SelectStmt:
+				if hasCtx && !selectHasEscape(pkg, c) {
+					add(c, "select in a ctx-carrying function has no ctx.Done()/quit arm or default; cancellation cannot interrupt it")
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, funcTypeHasCtx(pkg, fd.Type))
+}
+
+// funcTypeHasCtx reports whether the signature takes a context.
+func funcTypeHasCtx(pkg *Package, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pkg.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// quitChanRE matches channel names that conventionally signal
+// termination.
+var quitChanRE = regexp.MustCompile(`(?i)done|quit|stop|close|cancel`)
+
+// selectHasEscape reports whether a select can be interrupted: a
+// default clause, an arm receiving from a Done() channel, or an arm
+// receiving from a quit-conventional channel name.
+func selectHasEscape(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		comm, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return true // default
+		}
+		var recv ast.Expr
+		switch s := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv == nil {
+			continue
+		}
+		if call, ok := recv.(*ast.CallExpr); ok {
+			if s, ok := call.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Done" {
+				return true
+			}
+		}
+		if quitChanRE.MatchString(exprString(recv)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports the context.Context interface type.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

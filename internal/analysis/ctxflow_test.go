@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestCtxFlowFixtures(t *testing.T) {
+	pkg := loadFixture(t, "ctxflow")
+	checkWants(t, pkg, NewCtxFlow())
+}

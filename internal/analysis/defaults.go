@@ -8,8 +8,9 @@ import "ruu/internal/isa"
 // internal/server are deliberately in scope even though they are the
 // module's two goroutine-bearing packages: every goroutine, select, and
 // time.Now they contain must carry an individually justified
-// //ruulint:ok (no blanket suppression), so any new concurrency added
-// there without a written justification is a lint failure.
+// //ruulint:ok <pass> marker (no blanket suppression), so any new
+// concurrency added there without a written justification is a lint
+// failure.
 var SimPackages = []string{
 	"internal/core",
 	"internal/issue",
@@ -19,6 +20,19 @@ var SimPackages = []string{
 	"internal/obs",
 	"internal/sched",
 	"internal/server",
+}
+
+// ServicePackages lists the concurrent service-layer packages
+// (relative to the module path): the worker pool, the HTTP API, the
+// metrics registry, and the serving binary. The mutexguard, ctxflow,
+// and goroutineleak passes run over these — the layer the distributed
+// sweep fabric will grow from, where a concurrency bug multiplies
+// across shards instead of staying a local curiosity.
+var ServicePackages = []string{
+	"internal/sched",
+	"internal/server",
+	"internal/obs",
+	"cmd/ruuserve",
 }
 
 // EnginePackages lists the packages holding issue engines (relative to
@@ -152,7 +166,7 @@ func DefaultPasses(modulePath string) []*Pass {
 	for rel, fns := range DefaultPreciseStateAllow {
 		allow[modulePath+"/"+rel] = fns
 	}
-	return []*Pass{
+	passes := []*Pass{
 		NewSimDeterminism(prefix(SimPackages)...),
 		NewProbeEmit(prefix(EnginePackages)...),
 		NewPreciseState(allow, prefix(EnginePackages)...),
@@ -164,7 +178,17 @@ func DefaultPasses(modulePath string) []*Pass {
 		}),
 		NewExhaustive([]string{modulePath}),
 		NewPaperConst(DefaultPaperSpec(modulePath)),
+		NewMutexGuard(prefix(ServicePackages)...),
+		NewCtxFlow(prefix(ServicePackages)...),
+		NewGoroutineLeak(prefix(ServicePackages)...),
+		NewHTTPContract(modulePath + "/internal/server"),
 	}
+	names := make([]string, 0, len(passes)+1)
+	for _, p := range passes {
+		names = append(names, p.Name)
+	}
+	names = append(names, "suppression")
+	return append(passes, NewSuppressionCheck(names))
 }
 
 // toInt64 widens a sweep list for the spec.

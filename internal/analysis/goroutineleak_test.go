@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestGoroutineLeakFixtures(t *testing.T) {
+	pkg := loadFixture(t, "goroutineleak")
+	checkWants(t, pkg, NewGoroutineLeak())
+}

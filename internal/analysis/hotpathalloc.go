@@ -68,8 +68,8 @@ func NewHotPathAlloc(cfg HotPathConfig) *Pass {
 	return &Pass{
 		Name: "hotpathalloc",
 		Doc:  "no heap allocation, boxing, or fmt on the per-cycle hot path",
-		Init: func(pkgs []*Package) {
-			graph = BuildCallGraph(pkgs)
+		Init: func(snap *Snapshot) {
+			graph = snap.Graph()
 			hot = graph.Hot(cfg.Roots, cfg.ColdFuncs)
 			for _, r := range cfg.Roots {
 				if r.LoopOnly {

@@ -1,0 +1,590 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewHTTPContract returns the httpcontract pass, restricted to the
+// given import-path prefixes (the HTTP API package).
+//
+// The API's response contract — one status code per request, JSON
+// error envelopes, Content-Type before the body, 499 for a client that
+// went away — is what lets clients, the access log, and the per-route
+// metrics agree on what happened. Each rule catches a way handlers
+// drift from it:
+//
+//   - exactly one response per path: a second WriteHeader is a logged
+//     "superfluous response.WriteHeader" at best; the classic cause is
+//     a branch that writes an error and forgets to return. The pass
+//     classifies every package function that can commit a response
+//     (directly or through a helper like writeError) and walks each
+//     handler's statement paths for write-after-write.
+//   - raw http.Error bypasses the JSON error envelope; errors go
+//     through the shared writer.
+//   - Content-Type must be set before the status/body is committed —
+//     headers set after WriteHeader are silently dropped.
+//   - a branch that handles errors.Is(err, context.Canceled) by
+//     writing a response must map it to 499
+//     (StatusClientClosedRequest), not recycle another status.
+//
+// The commit classifier is a package-local fixpoint: a function
+// commits if it calls WriteHeader/Write on a ResponseWriter or any
+// package function already known to commit, and always-commits if a
+// commit is unconditional. The path walk understands the repo's guard
+// idiom — `if !s.decode(w, r, &v) { return }` and
+// `j := s.lookupJob(w, r); if j == nil { return }` count as handled,
+// because the committing callee's result gates an immediate return.
+func NewHTTPContract(scope ...string) *Pass {
+	p := &Pass{
+		Name: "httpcontract",
+		Doc:  "one status per path, envelope error writer, Content-Type before commit, 499 on client cancel",
+	}
+	p.Run = func(pkg *Package) []Finding {
+		if !inScope(pkg.Path, scope) {
+			return nil
+		}
+		hc := &httpContract{pkg: pkg, pass: p.Name}
+		hc.classify()
+		return hc.check()
+	}
+	return p
+}
+
+type httpContract struct {
+	pkg  *Package
+	pass string
+	out  []Finding
+
+	commits map[types.Object]bool // function can write a response
+	always  map[types.Object]bool // function writes one unconditionally
+}
+
+func (hc *httpContract) add(n ast.Node, format string, args ...any) {
+	hc.out = append(hc.out, Finding{Pass: hc.pass, Pos: hc.pkg.Pos(n), Message: fmt.Sprintf(format, args...)})
+}
+
+// hcKind is the commit classification of one call or statement.
+type hcKind int
+
+const (
+	hcNone hcKind = iota
+	hcMaybe
+	hcAlways
+)
+
+// classify runs the package-local commit fixpoint.
+func (hc *httpContract) classify() {
+	hc.commits = map[types.Object]bool{}
+	hc.always = map[types.Object]bool{}
+	decls := funcDecls(hc.pkg)
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			obj := hc.pkg.Info.Defs[fd.Name]
+			if obj == nil || fd.Body == nil {
+				continue
+			}
+			commits := hc.blockKind(fd.Body) != hcNone
+			always := hc.blockAlways(fd.Body.List)
+			if commits && !hc.commits[obj] {
+				hc.commits[obj] = true
+				changed = true
+			}
+			if always && !hc.always[obj] {
+				hc.always[obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// callKind classifies one call expression. Only status commits count:
+// a raw w.Write after WriteHeader is the body going out, not a second
+// response (the header-order check owns raw writes).
+func (hc *httpContract) callKind(call *ast.CallExpr) hcKind {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sel.Sel.Name == "WriteHeader" && isResponseWriter(hc.pkg.Info.TypeOf(sel.X)) {
+			return hcAlways
+		}
+	}
+	if pkgPath, name, ok := pkgLevelCallee(hc.pkg.Info, call); ok &&
+		pkgPath == "net/http" && name == "Error" {
+		return hcAlways
+	}
+	if obj := calleeObject(hc.pkg, call); obj != nil && hc.commits[obj] {
+		if hc.always[obj] {
+			return hcAlways
+		}
+		return hcMaybe
+	}
+	return hcNone
+}
+
+// nodeKind scans a node (skipping nested literals) for the strongest
+// commit it contains.
+func (hc *httpContract) nodeKind(n ast.Node) hcKind {
+	if n == nil {
+		return hcNone
+	}
+	kind := hcNone
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := c.(*ast.CallExpr); ok {
+			if k := hc.callKind(call); k > kind {
+				kind = k
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+// blockKind is nodeKind over a whole block.
+func (hc *httpContract) blockKind(b *ast.BlockStmt) hcKind { return hc.nodeKind(b) }
+
+// blockAlways reports whether the statement sequence commits a
+// response on every path that reaches its end.
+func (hc *httpContract) blockAlways(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok && hc.callKind(call) == hcAlways {
+				return true
+			}
+		case *ast.IfStmt:
+			if s.Else != nil && hc.blockAlways(s.Body.List) {
+				if eb, ok := s.Else.(*ast.BlockStmt); ok && hc.blockAlways(eb.List) {
+					return true
+				}
+			}
+		case *ast.BlockStmt:
+			if hc.blockAlways(s.List) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// check walks every function for contract violations.
+func (hc *httpContract) check() []Finding {
+	for _, fd := range funcDecls(hc.pkg) {
+		if fd.Body == nil {
+			continue
+		}
+		hc.checkErrorBypass(fd.Body)
+		hc.checkHeaderOrder(fd.Body)
+		hc.checkCancelStatus(fd.Body)
+		hc.walkPaths(fd.Body)
+	}
+	return hc.out
+}
+
+// checkErrorBypass flags raw http.Error calls.
+func (hc *httpContract) checkErrorBypass(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name, ok := pkgLevelCallee(hc.pkg.Info, call); ok &&
+			pkgPath == "net/http" && name == "Error" {
+			hc.add(call, "http.Error writes text/plain, bypassing the shared JSON error envelope; use the package error writer")
+		}
+		return true
+	})
+}
+
+// checkHeaderOrder flags Content-Type set after the status was
+// committed, and body writes with no preceding Content-Type. Both are
+// position checks within one function body: response writes in this
+// package happen in straight-line writer helpers.
+func (hc *httpContract) checkHeaderOrder(body *ast.BlockStmt) {
+	firstCommit := token.Pos(0)
+	var ctSets []*ast.CallExpr
+	var writes []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != ast.Node(body) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isResponseWriter(hc.pkg.Info.TypeOf(sel.X)) {
+			switch sel.Sel.Name {
+			case "WriteHeader":
+				if firstCommit == 0 || call.Pos() < firstCommit {
+					firstCommit = call.Pos()
+				}
+			case "Write":
+				writes = append(writes, call)
+				if firstCommit == 0 || call.Pos() < firstCommit {
+					firstCommit = call.Pos()
+				}
+			}
+		}
+		if isContentTypeSet(hc.pkg, call) {
+			ctSets = append(ctSets, call)
+		}
+		return true
+	})
+	for _, ct := range ctSets {
+		if firstCommit != 0 && ct.Pos() > firstCommit {
+			hc.add(ct, "Content-Type set after the response was committed is silently dropped; set it before WriteHeader/Write")
+		}
+	}
+	for _, wr := range writes {
+		covered := false
+		for _, ct := range ctSets {
+			if ct.Pos() < wr.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			hc.add(wr, "body written with no preceding Content-Type header; the sniffer, not the API, will pick the type")
+		}
+	}
+}
+
+// checkCancelStatus flags cancellation branches that write a response
+// with a status other than 499.
+func (hc *httpContract) checkCancelStatus(body *ast.BlockStmt) {
+	check := func(cond ast.Expr, governed []ast.Stmt, at ast.Node) {
+		if cond == nil || !mentionsCanceledCheck(hc.pkg, cond) {
+			return
+		}
+		block := &ast.BlockStmt{List: governed}
+		if hc.blockKind(block) == hcNone {
+			return // branch does not answer the request (async paths)
+		}
+		if !mentions499(block) {
+			hc.add(at, "client cancellation answered with a status other than 499; use StatusClientClosedRequest so the access log can tell \"client gave up\" from a server error")
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			check(n.Cond, n.Body.List, n)
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				check(e, n.Body, n)
+			}
+		}
+		return true
+	})
+}
+
+// hcState is the path-walk response state for one block.
+type hcState struct {
+	kind hcKind    // strongest commit on a path reaching this point
+	pos  token.Pos // where it committed
+}
+
+// walkPaths runs the write-after-write analysis over a function body.
+func (hc *httpContract) walkPaths(body *ast.BlockStmt) {
+	hc.walkBlock(body.List, hcState{})
+	// Nested literals get their own walk (their bodies run later, as
+	// separate request-path segments).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			hc.walkBlock(lit.Body.List, hcState{})
+		}
+		return true
+	})
+}
+
+// walkBlock advances the state through one statement sequence,
+// flagging writes that can follow an earlier write.
+func (hc *httpContract) walkBlock(stmts []ast.Stmt, st hcState) hcState {
+	for i, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return hcState{}
+		case *ast.BranchStmt:
+			return hcState{}
+		case *ast.IfStmt:
+			condKind := hcKind(max(int(hc.nodeKind(s.Cond)), int(hc.nodeKind(s.Init))))
+			bodyTerm := terminatesBlock(s.Body.List)
+			if st.kind == hcMaybe && bodyTerm && hc.blockKind(s.Body) == hcNone && condKind == hcNone {
+				// Guard idiom: `x := f(w, ...); if bad { return }` —
+				// the committing callee's result gates the return.
+				st = hcState{}
+			}
+			if st.kind == hcAlways && (condKind != hcNone || hc.blockKind(s.Body) != hcNone) {
+				hc.add(s, "a response was already committed on this path (line %d); this branch can write a second one",
+					hc.pkg.Fset.Position(st.pos).Line)
+			}
+			hc.walkBlock(s.Body.List, st)
+			var elseCont hcKind
+			if s.Else != nil {
+				if eb, ok := s.Else.(*ast.BlockStmt); ok {
+					hc.walkBlock(eb.List, st)
+					if !terminatesBlock(eb.List) {
+						elseCont = hc.blockContinueKind(eb.List)
+					}
+				} else {
+					hc.walkBlock([]ast.Stmt{s.Else}, st)
+				}
+			}
+			switch {
+			case condKind != hcNone && bodyTerm:
+				// Guard idiom at the source: the commit happened iff the
+				// branch returned, so the fallthrough path is clean.
+			default:
+				cont := condKind
+				if !bodyTerm {
+					if k := hc.blockContinueKind(s.Body.List); k > cont {
+						cont = k
+					}
+				}
+				if elseCont > cont {
+					cont = elseCont
+				}
+				if cont != hcNone && cont > st.kind {
+					st = hcState{kind: hcMaybe, pos: s.Pos()}
+				}
+			}
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if st.kind == hcAlways && hc.nodeKind(s) != hcNone {
+				hc.add(s, "a response was already committed on this path (line %d); this statement can write a second one",
+					hc.pkg.Fset.Position(st.pos).Line)
+			}
+			// Clauses are mutually exclusive: each is walked from the
+			// entry state, and their exits merge afterwards.
+			entry, exit := st, st
+			for _, cl := range clauseBodies(s) {
+				hc.walkBlock(cl, entry)
+				if !terminatesBlock(cl) {
+					if k := hc.blockContinueKind(cl); k != hcNone && k > exit.kind {
+						exit = hcState{kind: hcMaybe, pos: s.Pos()}
+					}
+				}
+			}
+			st = exit
+		case *ast.ForStmt, *ast.RangeStmt:
+			var list []ast.Stmt
+			if f, ok := s.(*ast.ForStmt); ok {
+				list = f.Body.List
+			} else {
+				list = s.(*ast.RangeStmt).Body.List
+			}
+			hc.walkBlock(list, st)
+			if k := hc.blockContinueKind(list); k != hcNone {
+				hc.add(s, "a response write inside this loop can run more than once per request; write after the loop or return from it")
+			}
+		case *ast.BlockStmt:
+			st = hc.walkBlock(s.List, st)
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Literal bodies are walked separately by walkPaths.
+		default:
+			kind := hc.nodeKind(s)
+			if kind == hcNone {
+				continue
+			}
+			if st.kind == hcAlways {
+				hc.add(s, "a response was already committed on this path (line %d); this is a second write", hc.pkg.Fset.Position(st.pos).Line)
+			} else if st.kind == hcMaybe && kind == hcAlways && !nextStmtGuards(stmts, i) {
+				hc.add(s, "an earlier call on this path (line %d) may already have written the response; return after it (or restructure so only one path writes)",
+					hc.pkg.Fset.Position(st.pos).Line)
+			}
+			if kind > st.kind {
+				st = hcState{kind: kind, pos: s.Pos()}
+			}
+		}
+	}
+	return st
+}
+
+// blockContinueKind is the strongest commit on a fallthrough path of
+// the sequence: commits that are immediately followed by a return (the
+// dominant idiom) do not escape the block.
+func (hc *httpContract) blockContinueKind(stmts []ast.Stmt) hcKind {
+	st := hc.silentWalk(stmts, hcState{})
+	return st.kind
+}
+
+// silentWalk is walkBlock's state transfer without findings (used to
+// summarize nested blocks; findings inside them come from their own
+// walk).
+func (hc *httpContract) silentWalk(stmts []ast.Stmt, st hcState) hcState {
+	saved := hc.out
+	st = hc.walkBlock(stmts, st)
+	hc.out = saved
+	return st
+}
+
+// nextStmtGuards reports whether the statement after index i is an if
+// that terminates — the two-statement guard idiom.
+func nextStmtGuards(stmts []ast.Stmt, i int) bool {
+	if i+1 >= len(stmts) {
+		return false
+	}
+	ifs, ok := stmts[i+1].(*ast.IfStmt)
+	return ok && terminatesBlock(ifs.Body.List)
+}
+
+// clauseBodies extracts the case/comm bodies of a switch or select.
+func clauseBodies(s ast.Stmt) [][]ast.Stmt {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// terminatesBlock reports whether the sequence always leaves the
+// enclosing function/loop (return, branch, panic, fatal).
+func terminatesBlock(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return terminates(stmts[len(stmts)-1])
+}
+
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "Fatal", "Fatalf", "Exit", "Goexit":
+					return true
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		if eb, ok := s.Else.(*ast.BlockStmt); ok {
+			return terminatesBlock(s.Body.List) && terminatesBlock(eb.List)
+		}
+		return terminatesBlock(s.Body.List) && terminates(s.Else)
+	case *ast.BlockStmt:
+		return terminatesBlock(s.List)
+	}
+	return false
+}
+
+// calleeObject resolves a call to a package-local function or method
+// object.
+func calleeObject(pkg *Package, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isResponseWriter reports the net/http.ResponseWriter interface.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}
+
+// isContentTypeSet matches w.Header().Set("Content-Type", ...).
+func isContentTypeSet(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Set" || len(call.Args) < 1 {
+		return false
+	}
+	inner, ok := sel.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	innerSel, ok := inner.Fun.(*ast.SelectorExpr)
+	if !ok || innerSel.Sel.Name != "Header" || !isResponseWriter(pkg.Info.TypeOf(innerSel.X)) {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	return ok && lit.Value == `"Content-Type"`
+}
+
+// mentionsCanceledCheck reports an errors.Is(_, context.Canceled) call
+// in the expression.
+func mentionsCanceledCheck(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if pkgPath, name, ok := pkgLevelCallee(pkg.Info, call); ok &&
+			pkgPath == "errors" && name == "Is" && len(call.Args) == 2 {
+			if p2, n2, ok := selPkgName(pkg, call.Args[1]); ok && p2 == "context" && n2 == "Canceled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentions499 reports a reference to StatusClientClosedRequest or the
+// literal 499 in the block.
+func mentions499(b *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if n.Name == "StatusClientClosedRequest" {
+				found = true
+			}
+		case *ast.BasicLit:
+			if n.Value == "499" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// selPkgName resolves expr of the form pkg.Name.
+func selPkgName(pkg *Package, e ast.Expr) (string, string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

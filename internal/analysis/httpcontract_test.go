@@ -1,0 +1,8 @@
+package analysis
+
+import "testing"
+
+func TestHTTPContractFixtures(t *testing.T) {
+	pkg := loadFixture(t, "httpcontract")
+	checkWants(t, pkg, NewHTTPContract())
+}

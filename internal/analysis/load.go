@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -21,7 +23,8 @@ import (
 // if absent from GOROOT.
 //
 // Directories named "testdata", hidden directories, and directories
-// without non-test Go files are skipped.
+// without non-test Go files are skipped, as are files whose //go:build
+// constraint is not satisfied for this host (see fileExcluded).
 func Load(dir string) (*Module, error) {
 	root, err := filepath.Abs(dir)
 	if err != nil {
@@ -148,12 +151,18 @@ func (l *loader) load(path string) (*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if fileExcluded(f) {
+			continue
+		}
 		if pkgName == "" {
 			pkgName = f.Name.Name
 		} else if f.Name.Name != pkgName {
 			return nil, fmt.Errorf("%s: multiple packages in one directory (%s and %s)", dir, pkgName, f.Name.Name)
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("%s: every Go file is excluded by its build constraint", dir)
 	}
 
 	info := &types.Info{
@@ -170,6 +179,44 @@ func (l *loader) load(path string) (*Package, error) {
 	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// fileExcluded reports whether a //go:build constraint above the
+// package clause excludes the file for this host. The loader evaluates
+// constraints the way `go build` would with no extra tags: the host's
+// GOOS and GOARCH, the gc compiler, and every go1.N release tag are
+// satisfied; any other tag (ignore, integration, a foreign GOOS) is
+// not. Legacy // +build lines without a //go:build line are not
+// interpreted — the repo predates none of its files, so every
+// constrained file carries the modern form.
+func fileExcluded(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return false // malformed constraint: let the type checker complain
+			}
+			return !expr.Eval(buildTagSatisfied)
+		}
+	}
+	return false
+}
+
+// buildTagSatisfied is the loader's default tag set.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+		return true
+	}
+	// Release tags: the source importer resolves against the running
+	// toolchain's GOROOT, so every go1.N it defines is satisfied.
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // goFileNames lists a directory's non-test Go files, sorted.

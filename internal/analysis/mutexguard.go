@@ -1,0 +1,570 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The mutexguard pass, restricted to the given import-path prefixes
+// (the service packages).
+//
+// The service layer guards shared state with sync.Mutex by convention,
+// but the convention is only as strong as its weakest access site: one
+// forgotten Lock is a data race the -race job may never schedule. The
+// pass recovers the guarded-by relation from the code itself and holds
+// every access to it:
+//
+//   - a struct field locked under the same mutex at a strict majority
+//     of its access sites is inferred to be guarded by it, and every
+//     remaining unguarded site is a finding. An explicit
+//     "guardedby: mu" field comment pins the relation regardless of
+//     majority (and documents it for readers).
+//   - Unlock (or RUnlock) on a path where the walker cannot see the
+//     matching Lock is a finding, as is Lock while already held (a
+//     sync.Mutex self-deadlock).
+//   - copying a lock-bearing struct by value — value receiver,
+//     dereferencing assignment, or range over a slice of values —
+//     duplicates the mutex and silently splits the critical section.
+//
+// The lock-state walker is flow-aware but intraprocedural and
+// method-scoped: it tracks the receiver's own mutex fields through
+// branches (merging by intersection, with terminating branches dropped
+// from the merge), treats deferred Unlock as held-to-return, and gives
+// function literals spawned via go/defer a fresh (empty) lock state
+// while literals called inline inherit the current one. Constructors
+// and other plain functions are out of scope — a value still local to
+// its creating function needs no lock. RLock counts as holding the
+// guard (the pass does not separate read from write sites).
+type mutexGuardPass struct {
+	name  string
+	scope []string
+}
+
+// NewMutexGuard returns the mutexguard pass over the scope prefixes.
+func NewMutexGuard(scope ...string) *Pass {
+	mg := &mutexGuardPass{name: "mutexguard", scope: scope}
+	return &Pass{
+		Name: mg.name,
+		Doc:  "every access to a mutex-guarded field holds the lock; no lock copies or unlock-without-lock",
+		Run:  mg.run,
+	}
+}
+
+// mgStruct is one lock-bearing struct under analysis.
+type mgStruct struct {
+	name    string
+	mutexes map[string]bool   // mutex-typed field names
+	data    map[string]bool   // guardable field names
+	guarded map[string]string // explicit guardedby: annotations
+}
+
+// mgSite is one access to a guardable field.
+type mgSite struct {
+	field string
+	pos   token.Position
+	held  map[string]bool // mutex fields held at the access
+}
+
+func (mg *mutexGuardPass) run(pkg *Package) []Finding {
+	if !inScope(pkg.Path, mg.scope) {
+		return nil
+	}
+	structs := mg.collectStructs(pkg)
+	var out []Finding
+	add := func(pos token.Position, format string, args ...any) {
+		out = append(out, Finding{Pass: mg.name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+	}
+
+	sites := map[string][]mgSite{} // "Struct.field" -> accesses
+	for _, fd := range funcDecls(pkg) {
+		mg.checkCopies(pkg, fd, structs, add)
+		if fd.Body == nil {
+			continue
+		}
+		si := structs[recvTypeName(fd)]
+		if si == nil {
+			continue
+		}
+		recv := recvObject(pkg, fd)
+		if recv == nil {
+			continue
+		}
+		w := &mgWalker{pkg: pkg, si: si, recv: recv, add: add}
+		w.stmt(fd.Body, map[string]bool{})
+		for _, s := range w.sites {
+			k := si.name + "." + s.field
+			sites[k] = append(sites[k], s)
+		}
+	}
+
+	// Decide the guard per field and flag the sites that miss it.
+	for _, si := range structs {
+		for field := range si.data {
+			key := si.name + "." + field
+			ss := sites[key]
+			if len(ss) == 0 {
+				continue
+			}
+			guard, lockedN := si.guarded[field], 0
+			if guard == "" {
+				guard, lockedN = majorityGuard(ss)
+				if guard == "" {
+					continue // no inferred relation
+				}
+			} else {
+				for _, s := range ss {
+					if s.held[guard] {
+						lockedN++
+					}
+				}
+			}
+			for _, s := range ss {
+				if s.held[guard] {
+					continue
+				}
+				how := "inferred from the other sites"
+				if si.guarded[field] != "" {
+					how = "declared by its guardedby: comment"
+				}
+				add(s.pos, "%s is guarded by %s (%s; held at %d of %d access sites) but not here; hold %s.%s across this access",
+					key, guard, how, lockedN, len(ss), si.name, guard)
+			}
+		}
+	}
+	return out
+}
+
+// collectStructs finds the package's lock-bearing struct types and
+// their guardedby: annotations.
+func (mg *mutexGuardPass) collectStructs(pkg *Package) map[string]*mgStruct {
+	out := map[string]*mgStruct{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				si := &mgStruct{
+					name:    ts.Name.Name,
+					mutexes: map[string]bool{},
+					data:    map[string]bool{},
+					guarded: map[string]string{},
+				}
+				for _, field := range st.Fields.List {
+					t := pkg.Info.TypeOf(field.Type)
+					guard := guardAnnotation(field)
+					for _, id := range field.Names {
+						switch {
+						case isMutexType(t):
+							si.mutexes[id.Name] = true
+						case isSelfSyncType(t):
+							// WaitGroup, Once, atomics: self-synchronized.
+						default:
+							si.data[id.Name] = true
+							if guard != "" {
+								si.guarded[id.Name] = guard
+							}
+						}
+					}
+				}
+				if len(si.mutexes) > 0 {
+					out[si.name] = si
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkCopies flags by-value copies of lock-bearing structs.
+func (mg *mutexGuardPass) checkCopies(pkg *Package, fd *ast.FuncDecl, structs map[string]*mgStruct, add func(token.Position, string, ...any)) {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		if t := pkg.Info.TypeOf(fd.Recv.List[0].Type); t != nil {
+			if _, isPtr := t.(*types.Pointer); !isPtr && lockBearing(t, structs) {
+				add(pkg.Pos(fd.Recv.List[0].Type),
+					"method %s has a value receiver, copying %s's mutex on every call; use a pointer receiver",
+					fd.Name.Name, t)
+			}
+		}
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if star, ok := rhs.(*ast.StarExpr); ok {
+					if t := pkg.Info.TypeOf(star); t != nil && lockBearing(t, structs) {
+						add(pkg.Pos(rhs), "dereferencing copy of lock-bearing struct %s duplicates its mutex; keep the pointer", t)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pkg.Info.TypeOf(n.Value); t != nil && lockBearing(t, structs) {
+					add(pkg.Pos(n.Value), "range copies lock-bearing struct %s by value; range over pointers (or index)", t)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockBearing reports whether t is (or points at nothing but) a struct
+// type with a direct mutex field — either one declared in this package
+// or any struct type carrying a sync.Mutex/sync.RWMutex field.
+func lockBearing(t types.Type, structs map[string]*mgStruct) bool {
+	if named, ok := t.(*types.Named); ok {
+		if structs[named.Obj().Name()] != nil {
+			return true
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isMutexType(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// guardAnnotation extracts the guard name from a field's
+// "guardedby: mu" doc or trailing comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if _, rest, ok := strings.Cut(c.Text, "guardedby:"); ok {
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// majorityGuard returns the mutex held at a strict majority of the
+// sites (and how many hold it), or "" when no mutex reaches one.
+func majorityGuard(ss []mgSite) (string, int) {
+	counts := map[string]int{}
+	for _, s := range ss {
+		for g := range s.held {
+			counts[g]++
+		}
+	}
+	best, bestN := "", 0
+	for g, n := range counts {
+		if n > bestN || (n == bestN && g < best) {
+			best, bestN = g, n
+		}
+	}
+	if bestN*2 > len(ss) {
+		return best, bestN
+	}
+	return "", 0
+}
+
+// isMutexType reports sync.Mutex / sync.RWMutex (by value).
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isSelfSyncType reports types that synchronize themselves (sync.* and
+// sync/atomic.*), which mutexguard never treats as guardable data.
+func isSelfSyncType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "sync" || pkg.Path() == "sync/atomic")
+}
+
+// recvObject resolves the receiver variable's object.
+func recvObject(pkg *Package, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// mgWalker tracks the receiver's lock state through one method body.
+type mgWalker struct {
+	pkg   *Package
+	si    *mgStruct
+	recv  types.Object
+	add   func(token.Position, string, ...any)
+	sites []mgSite
+}
+
+const (
+	mgNoOp = iota
+	mgLock
+	mgUnlock
+)
+
+// stmt walks one statement under the held set, returning the state
+// after it and whether the path terminates (return/branch/panic-free
+// fallthrough analysis: branches that end a path drop out of merges).
+func (w *mgWalker) stmt(n ast.Stmt, held map[string]bool) (map[string]bool, bool) {
+	switch n := n.(type) {
+	case nil:
+		return held, false
+	case *ast.BlockStmt:
+		term := false
+		for _, c := range n.List {
+			held, term = w.stmt(c, held)
+			if term {
+				break
+			}
+		}
+		return held, term
+	case *ast.ExprStmt:
+		if mu, op := w.lockOp(n.X); op != mgNoOp {
+			return w.applyLockOp(n.X, mu, op, held), false
+		}
+		w.scan(n.X, held, false)
+		return held, false
+	case *ast.DeferStmt:
+		if mu, op := w.lockOp(n.Call); op == mgUnlock {
+			if !held[mu] {
+				w.add(w.pkg.Pos(n), "deferred %s.Unlock on a path where the lock is not held", mu)
+			}
+			// The deferred unlock runs at return: the lock stays held
+			// for the rest of the body, which is the point of the idiom.
+			return held, false
+		}
+		w.scan(n.Call, held, true)
+		return held, false
+	case *ast.GoStmt:
+		w.scan(n.Call, held, true)
+		return held, false
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.scan(r, held, false)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.IfStmt:
+		held, _ = w.stmt(n.Init, held)
+		w.scan(n.Cond, held, false)
+		bodyH, bodyT := w.stmt(n.Body, cloneHeld(held))
+		elseH, elseT := cloneHeld(held), false
+		if n.Else != nil {
+			elseH, elseT = w.stmt(n.Else, cloneHeld(held))
+		}
+		switch {
+		case bodyT && elseT:
+			return held, true
+		case bodyT:
+			return elseH, false
+		case elseT:
+			return bodyH, false
+		default:
+			return intersectHeld(bodyH, elseH), false
+		}
+	case *ast.ForStmt:
+		held, _ = w.stmt(n.Init, held)
+		if n.Cond != nil {
+			w.scan(n.Cond, held, false)
+		}
+		body := cloneHeld(held)
+		body, _ = w.stmt(n.Body, body)
+		w.stmt(n.Post, body)
+		return held, false
+	case *ast.RangeStmt:
+		w.scan(n.X, held, false)
+		w.stmt(n.Body, cloneHeld(held))
+		return held, false
+	case *ast.SwitchStmt:
+		held, _ = w.stmt(n.Init, held)
+		if n.Tag != nil {
+			w.scan(n.Tag, held, false)
+		}
+		return w.clauses(n.Body, held, true)
+	case *ast.TypeSwitchStmt:
+		held, _ = w.stmt(n.Init, held)
+		w.stmt(n.Assign, held)
+		return w.clauses(n.Body, held, true)
+	case *ast.SelectStmt:
+		return w.clauses(n.Body, held, false)
+	case *ast.LabeledStmt:
+		return w.stmt(n.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			w.scan(e, held, false)
+		}
+		for _, e := range n.Lhs {
+			w.scan(e, held, false)
+		}
+		return held, false
+	default:
+		w.scan(n, held, false)
+		return held, false
+	}
+}
+
+// clauses merges a switch/select body: the state after is the
+// intersection of every non-terminating clause (plus the entry state
+// for a switch that may match nothing — hasZeroPath).
+func (w *mgWalker) clauses(body *ast.BlockStmt, held map[string]bool, hasZeroPath bool) (map[string]bool, bool) {
+	var exits []map[string]bool
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.scan(e, held, false)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.stmt(c.Comm, cloneHeld(held))
+			}
+			stmts = c.Body
+		}
+		h, t := w.stmt(&ast.BlockStmt{List: stmts}, cloneHeld(held))
+		if !t {
+			exits = append(exits, h)
+		}
+	}
+	if hasZeroPath && !hasDefault {
+		exits = append(exits, cloneHeld(held))
+	}
+	if len(exits) == 0 {
+		return held, true
+	}
+	merged := exits[0]
+	for _, e := range exits[1:] {
+		merged = intersectHeld(merged, e)
+	}
+	return merged, false
+}
+
+// applyLockOp updates the held set for recv.mu.Lock()/Unlock().
+func (w *mgWalker) applyLockOp(at ast.Expr, mu string, op int, held map[string]bool) map[string]bool {
+	held = cloneHeld(held)
+	if op == mgLock {
+		if held[mu] {
+			w.add(w.pkg.Pos(at), "%s.Lock while already holding it deadlocks (sync mutexes are not reentrant)", mu)
+		}
+		held[mu] = true
+		return held
+	}
+	if !held[mu] {
+		w.add(w.pkg.Pos(at), "%s.Unlock on a path where the walker sees no matching Lock", mu)
+	}
+	delete(held, mu)
+	return held
+}
+
+// lockOp matches recv.<mutexField>.{Lock,RLock,Unlock,RUnlock}().
+func (w *mgWalker) lockOp(e ast.Expr) (string, int) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", mgNoOp
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", mgNoOp
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", mgNoOp
+	}
+	id, ok := inner.X.(*ast.Ident)
+	if !ok || w.pkg.Info.Uses[id] != w.recv || !w.si.mutexes[inner.Sel.Name] {
+		return "", mgNoOp
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return inner.Sel.Name, mgLock
+	case "Unlock", "RUnlock":
+		return inner.Sel.Name, mgUnlock
+	}
+	return "", mgNoOp
+}
+
+// scan records receiver-field accesses in an expression (or any
+// non-control statement), recursing into inline function literals with
+// the current lock state; freshLits gives literals an empty state (go
+// and defer run after the spawning statement released or kept locks —
+// either way, not necessarily under them).
+func (w *mgWalker) scan(n ast.Node, held map[string]bool, freshLits bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			state := cloneHeld(held)
+			if freshLits {
+				state = map[string]bool{}
+			}
+			w.stmt(c.Body, state)
+			return false
+		case *ast.SelectorExpr:
+			id, ok := c.X.(*ast.Ident)
+			if ok && w.pkg.Info.Uses[id] == w.recv && w.si.data[c.Sel.Name] {
+				w.sites = append(w.sites, mgSite{
+					field: c.Sel.Name,
+					pos:   w.pkg.Pos(c),
+					held:  cloneHeld(held),
+				})
+			}
+		}
+		return true
+	})
+}
+
+func cloneHeld(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intersectHeld(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestMutexGuardFixtures(t *testing.T) {
+	pkg := loadFixture(t, "mutexguard")
+	checkWants(t, pkg, NewMutexGuard())
+}
+
+func TestMutexGuardScope(t *testing.T) {
+	pkg := loadFixture(t, "mutexguard")
+	if got := Check([]*Package{pkg}, []*Pass{NewMutexGuard("ruu/internal/server")}); len(got) != 0 {
+		t.Errorf("out-of-scope package produced %d findings, want 0", len(got))
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MarshalSARIF renders findings as a SARIF 2.1.0 log, the interchange
+// format GitHub code scanning ingests. The output is byte-stable: the
+// same findings and pass set always serialize to the same bytes
+// (findings arrive in SortFindings order, rules are sorted by id, and
+// struct-driven encoding fixes the key order), so the artifact can be
+// diffed and cached.
+//
+// File URIs are written relative to root (forward slashes, uriBaseId
+// %SRCROOT%), matching the checkout-relative paths code scanning
+// expects; findings outside root keep their absolute path.
+func MarshalSARIF(findings []Finding, passes []*Pass, root string) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(passes))
+	sorted := append([]*Pass(nil), passes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, p := range sorted {
+		rules = append(rules, sarifRule{
+			ID:               p.Name,
+			ShortDescription: sarifMessage{Text: p.Doc},
+		})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = rel
+			}
+		}
+		region := sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column}
+		if region.StartLine < 1 {
+			region.StartLine = 1 // SARIF regions are 1-based; defend against zero positions
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Pass,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(uri),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: region,
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:  "ruulint",
+				Rules: rules,
+			}},
+			ColumnKind: "utf16CodeUnits",
+			Results:    results,
+		}},
+	}
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// The SARIF 2.1.0 subset ruulint emits. Field order here is the key
+// order in the output.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool       sarifTool     `json:"tool"`
+	ColumnKind string        `json:"columnKind"`
+	Results    []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}

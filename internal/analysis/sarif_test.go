@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sarifTestFindings() []Finding {
+	fs := []Finding{
+		{Pass: "ctxflow", Pos: token.Position{Filename: "/repo/internal/sched/sched.go", Line: 75, Column: 2}, Message: "ctx in struct"},
+		{Pass: "mutexguard", Pos: token.Position{Filename: "/repo/internal/server/server.go", Line: 10, Column: 4}, Message: "unguarded access"},
+		{Pass: "httpcontract", Pos: token.Position{Filename: "/elsewhere/x.go", Line: 3, Column: 1}, Message: "outside root"},
+	}
+	SortFindings(fs)
+	return fs
+}
+
+func sarifTestPasses() []*Pass {
+	return []*Pass{
+		{Name: "mutexguard", Doc: "guarded fields hold their lock"},
+		{Name: "ctxflow", Doc: "context threads request paths"},
+		{Name: "httpcontract", Doc: "one status per path"},
+	}
+}
+
+// TestSARIFByteStable pins the byte-for-byte determinism the artifact
+// cache and CI upload rely on.
+func TestSARIFByteStable(t *testing.T) {
+	a, err := MarshalSARIF(sarifTestFindings(), sarifTestPasses(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalSARIF(sarifTestFindings(), sarifTestPasses(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two MarshalSARIF calls over the same findings differ")
+	}
+}
+
+// TestSARIFShape validates the structural contract: version, driver,
+// sorted rules, one result per finding with repo-relative URIs.
+func TestSARIFShape(t *testing.T) {
+	raw, err := MarshalSARIF(sarifTestFindings(), sarifTestPasses(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version/schema = %q / %q, want 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "ruulint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	for i := 1; i < len(run.Tool.Driver.Rules); i++ {
+		if run.Tool.Driver.Rules[i-1].ID >= run.Tool.Driver.Rules[i].ID {
+			t.Errorf("rules not sorted: %q >= %q", run.Tool.Driver.Rules[i-1].ID, run.Tool.Driver.Rules[i].ID)
+		}
+	}
+	if len(run.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.Level != "error" || r.Message.Text == "" || len(r.Locations) != 1 {
+			t.Errorf("malformed result %+v", r)
+		}
+		if strings.Contains(r.Locations[0].PhysicalLocation.ArtifactLocation.URI, "\\") {
+			t.Errorf("URI %q not slash-separated", r.Locations[0].PhysicalLocation.ArtifactLocation.URI)
+		}
+		if r.Locations[0].PhysicalLocation.Region.StartLine < 1 {
+			t.Errorf("region startLine %d < 1", r.Locations[0].PhysicalLocation.Region.StartLine)
+		}
+	}
+	// Findings inside root are repo-relative; the outside one keeps its
+	// absolute path.
+	var uris []string
+	for _, r := range run.Results {
+		uris = append(uris, r.Locations[0].PhysicalLocation.ArtifactLocation.URI)
+	}
+	joined := strings.Join(uris, " ")
+	if !strings.Contains(joined, "internal/sched/sched.go") || strings.Contains(joined, "/repo/internal") {
+		t.Errorf("in-root URIs not relativized: %v", uris)
+	}
+	if !strings.Contains(joined, "/elsewhere/x.go") {
+		t.Errorf("out-of-root URI lost: %v", uris)
+	}
+}
+
+// TestSARIFEmpty keeps the empty log valid: results must be [], not
+// null, for code scanning to accept a clean run.
+func TestSARIFEmpty(t *testing.T) {
+	raw, err := MarshalSARIF(nil, sarifTestPasses(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"results": []`)) {
+		t.Errorf("empty findings must serialize as \"results\": [], got:\n%s", raw)
+	}
+}

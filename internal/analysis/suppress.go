@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file owns the suppression syntax. A finding is silenced in
+// place with
+//
+//	//ruulint:ok <pass>[,<pass>...] <justification>
+//
+// on the offending line or the line above it. The pass name is
+// mandatory: a marker suppresses only the passes it names, so a
+// justification written for one rule can never silently swallow a
+// finding from another. Bare markers (no pass name) suppress nothing
+// and are themselves findings of the "suppression" meta-pass below, as
+// are unknown pass names and markers without a justification.
+//
+// Documentation may mention the syntax without creating a live marker
+// by using a placeholder pass name in angle brackets, as in
+// "//ruulint:ok <pass>", which the parser ignores.
+
+// okMarker is the literal suppression marker.
+const okMarker = "ruulint:ok"
+
+// suppressMarker is one parsed suppression-marker occurrence.
+type suppressMarker struct {
+	// pos is the marker's own position (not the comment group's).
+	pos token.Position
+	// passes are the comma-separated pass names following the marker;
+	// empty for a bare marker.
+	passes []string
+	// justified reports whether the comment group carries prose beyond
+	// the marker and its pass list.
+	justified bool
+}
+
+// markersIn parses every suppression marker in the package.
+// Placeholder markers ("<pass>") are skipped entirely.
+func markersIn(pkg *Package) []suppressMarker {
+	var out []suppressMarker
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			prose := groupProse(cg)
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, okMarker)
+				if idx < 0 {
+					continue
+				}
+				names, placeholder := parsePassList(c.Text[idx+len(okMarker):])
+				if placeholder {
+					continue
+				}
+				out = append(out, suppressMarker{
+					pos:       pkg.Fset.Position(c.Pos() + token.Pos(idx)),
+					passes:    names,
+					justified: prose,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// parsePassList extracts the comma-separated pass names immediately
+// following a marker. placeholder reports a documentation mention
+// ("<pass>") that is not a live marker.
+func parsePassList(rest string) (names []string, placeholder bool) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false // bare marker
+	}
+	first := fields[0]
+	if strings.HasPrefix(first, "<") {
+		return nil, true
+	}
+	for _, n := range strings.Split(first, ",") {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, false
+}
+
+// groupProse reports whether the comment group carries justification
+// prose: at least two words beyond every marker line's core (the
+// marker token and its pass list). The justification may precede the
+// marker in the same group (the prevailing style) or trail it on the
+// marker line.
+func groupProse(cg *ast.CommentGroup) bool {
+	words := 0
+	for _, c := range cg.List {
+		text := strings.TrimLeft(c.Text, "/* ")
+		text = strings.TrimRight(text, "*/ ")
+		if idx := strings.Index(text, okMarker); idx >= 0 {
+			before := text[:idx]
+			before = strings.TrimRight(before, "/ ")
+			after := text[idx+len(okMarker):]
+			// Drop the pass list; the rest of the line is prose.
+			if fields := strings.Fields(after); len(fields) > 0 && !strings.HasPrefix(fields[0], "<") {
+				after = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(after), fields[0]))
+			}
+			words += len(strings.Fields(before)) + len(strings.Fields(after))
+			continue
+		}
+		words += len(strings.Fields(text))
+	}
+	return words >= 2
+}
+
+// suppressedPasses collects, per file and line, the set of pass names
+// suppressed there: each named marker covers its own line and the line
+// after it (trailing or preceding-line placement). Bare markers cover
+// nothing.
+func suppressedPasses(pkg *Package) map[string]map[int]map[string]bool {
+	out := map[string]map[int]map[string]bool{}
+	add := func(file string, line int, pass string) {
+		byLine := out[file]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			out[file] = byLine
+		}
+		set := byLine[line]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[line] = set
+		}
+		set[pass] = true
+	}
+	for _, m := range markersIn(pkg) {
+		for _, pass := range m.passes {
+			add(m.pos.Filename, m.pos.Line, pass)
+			add(m.pos.Filename, m.pos.Line+1, pass)
+		}
+	}
+	return out
+}
+
+// NewSuppressionCheck returns the lint-the-linter "suppression" pass:
+// every suppression marker must name at least one pass, every named
+// pass must exist (the known list is the wired pass set), and the
+// marker's comment group must justify the suppression in prose. A bare
+// or misspelled marker silences nothing, so without this pass it would
+// fail silently; with it, it fails loudly.
+func NewSuppressionCheck(known []string) *Pass {
+	knownSet := map[string]bool{}
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	p := &Pass{
+		Name: "suppression",
+		Doc:  "every //ruulint:ok names a known pass and carries a justification",
+	}
+	p.Run = func(pkg *Package) []Finding {
+		var out []Finding
+		add := func(pos token.Position, msg string) {
+			out = append(out, Finding{Pass: p.Name, Pos: pos, Message: msg})
+		}
+		for _, m := range markersIn(pkg) {
+			if len(m.passes) == 0 {
+				add(m.pos, "bare //ruulint:ok suppresses nothing: name the pass, //ruulint:ok <pass> <justification>")
+				continue
+			}
+			for _, name := range m.passes {
+				if !knownSet[name] {
+					add(m.pos, fmt.Sprintf("suppression names unknown pass %q (try ruulint -list)", name))
+				}
+			}
+			if !m.justified {
+				add(m.pos, "suppression carries no justification: say why the finding is acceptable here")
+			}
+		}
+		return out
+	}
+	return p
+}

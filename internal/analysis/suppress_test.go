@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixturePkg materialises an on-disk package for loader-level
+// tests (suppression markers only exist in comments, so they cannot be
+// built in-memory).
+func writeFixturePkg(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// loadTemp loads a temp-dir package under the given import path.
+func loadTemp(t *testing.T, dir, path string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+// TestSuppressionCheck exercises the lint-the-linter pass: bare
+// markers, unknown pass names, and missing justifications are findings;
+// a named, justified marker and a documentation placeholder are not.
+func TestSuppressionCheck(t *testing.T) {
+	src := `package fix
+
+// The fixture needs this exact shape, and the pass cannot see why:
+// the harness replays it. //ruulint:ok fakepass
+func a() {}
+
+func b() {} //ruulint:ok
+
+func c() {} //ruulint:ok nosuchpass misspelled on purpose
+
+func d() {} //ruulint:ok fakepass
+
+// Documentation may show the //ruulint:ok <pass> form without creating
+// a live marker.
+func e() {}
+`
+	dir := writeFixturePkg(t, map[string]string{"fix.go": src})
+	pkg := loadTemp(t, dir, "fix")
+	findings := Check([]*Package{pkg}, []*Pass{NewSuppressionCheck([]string{"fakepass"})})
+
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Message)
+	}
+	wants := []string{
+		"bare //ruulint:ok suppresses nothing",
+		`unknown pass "nosuchpass"`,
+		"carries no justification",
+	}
+	if len(findings) != len(wants) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(wants), strings.Join(got, "\n"))
+	}
+	for i, w := range wants {
+		if !strings.Contains(got[i], w) {
+			t.Errorf("finding %d = %q, want substring %q", i, got[i], w)
+		}
+	}
+}
+
+// TestNamedSuppressionCoverage verifies a named marker silences the
+// named pass on its own line and the next — and nothing else.
+func TestNamedSuppressionCoverage(t *testing.T) {
+	src := `package fix
+
+// The preceding-line placement: covers func a. //ruulint:ok fakepass
+func a() {}
+
+func b() {} //ruulint:ok fakepass trailing placement covers this line
+
+func c() {}
+`
+	dir := writeFixturePkg(t, map[string]string{"fix.go": src})
+	pkg := loadTemp(t, dir, "fix")
+	flagEveryFunc := func(name string) *Pass {
+		return &Pass{
+			Name: name,
+			Run: func(pkg *Package) []Finding {
+				var out []Finding
+				for _, fd := range funcDecls(pkg) {
+					out = append(out, Finding{Pass: name, Pos: pkg.Pos(fd), Message: "flagged " + fd.Name.Name})
+				}
+				return out
+			},
+		}
+	}
+
+	findings := Check([]*Package{pkg}, []*Pass{flagEveryFunc("fakepass")})
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "flagged c") {
+		t.Errorf("fakepass findings = %v, want only func c flagged", findings)
+	}
+
+	// The marker names fakepass, so another pass's findings on the same
+	// lines survive.
+	findings = Check([]*Package{pkg}, []*Pass{flagEveryFunc("otherpass")})
+	if len(findings) != 3 {
+		t.Errorf("otherpass findings = %d, want 3 (markers name a different pass)", len(findings))
+	}
+}
+
+// TestParsePassList pins the marker grammar: comma lists, placeholders,
+// and bare markers.
+func TestParsePassList(t *testing.T) {
+	cases := []struct {
+		rest        string
+		names       []string
+		placeholder bool
+	}{
+		{" simdeterminism telemetry clock", []string{"simdeterminism"}, false},
+		{" ctxflow,goroutineleak queue handoff", []string{"ctxflow", "goroutineleak"}, false},
+		{" <pass> marker", nil, true},
+		{"", nil, false},
+		{"   ", nil, false},
+	}
+	for _, c := range cases {
+		names, placeholder := parsePassList(c.rest)
+		if placeholder != c.placeholder {
+			t.Errorf("parsePassList(%q) placeholder = %v, want %v", c.rest, placeholder, c.placeholder)
+		}
+		if len(names) != len(c.names) {
+			t.Errorf("parsePassList(%q) = %v, want %v", c.rest, names, c.names)
+			continue
+		}
+		for i := range names {
+			if names[i] != c.names[i] {
+				t.Errorf("parsePassList(%q) = %v, want %v", c.rest, names, c.names)
+			}
+		}
+	}
+}

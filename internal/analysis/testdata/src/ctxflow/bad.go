@@ -1,0 +1,29 @@
+// Package ctxflow fixtures: each function drops, buries, or detaches a
+// context in one of the ways the ctxflow pass flags.
+package ctxflow
+
+import "context"
+
+type holder struct {
+	ctx context.Context // want `context\.Context stored in struct field ctx of holder outlives its request`
+}
+
+func buried(name string, ctx context.Context) string { // want `context\.Context must be the first parameter of buried`
+	_ = ctx
+	return name
+}
+
+func detached(ctx context.Context) context.Context {
+	return context.Background() // want `context\.Background below the handler boundary severs the caller's cancellation`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO below the handler boundary severs the caller's cancellation`
+}
+
+func stuck(ctx context.Context, c chan int) int {
+	select { // want `select in a ctx-carrying function has no ctx\.Done\(\)/quit arm or default`
+	case v := <-c:
+		return v
+	}
+}

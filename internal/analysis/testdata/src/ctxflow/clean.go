@@ -1,0 +1,34 @@
+package ctxflow
+
+import "context"
+
+// relay threads the request ctx and every blocking select carries an
+// escape arm, so cancellation can always interrupt it.
+func relay(ctx context.Context, in, out chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			select {
+			case out <- v:
+			default:
+			}
+		}
+	}
+}
+
+// quitStyle uses the quit-channel convention instead of a context.
+func quitStyle(ctx context.Context, quit chan struct{}, work chan int) {
+	select {
+	case <-quit:
+	case w := <-work:
+		_ = w
+	}
+}
+
+// derive builds child contexts from the caller's, never from a fresh
+// root.
+func derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}

@@ -1,0 +1,40 @@
+// Package goroutineleak fixtures: a leaky HTTP-style handler and the
+// spawn shapes the goroutineleak pass flags.
+package goroutineleak
+
+// leakyHandler is the classic leak: a per-request goroutine that loops
+// forever with no WaitGroup registration and no quit-driven return. The
+// handler returns; the goroutine stays.
+func leakyHandler(events chan int) {
+	go func() { // want `goroutine loops forever \(for at line \d+\) with no WaitGroup registration`
+		for {
+			select {
+			case v := <-events:
+				_ = v
+			}
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+// spawnSpin leaks through a named callee: the pass resolves the body of
+// package-local functions spawned with go.
+func spawnSpin() {
+	go spin() // want `goroutine loops forever \(for at line \d+\) with no WaitGroup registration`
+}
+
+func compute() int { return 42 }
+
+// abandonedResult races the receiver: if the caller gives up before
+// reading, the send blocks forever and pins the goroutine.
+func abandonedResult() chan int {
+	out := make(chan int)
+	go func() {
+		out <- compute() // want `send on unbuffered channel out from a goroutine blocks forever`
+	}()
+	return out
+}

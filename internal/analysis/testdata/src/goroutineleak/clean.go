@@ -1,0 +1,58 @@
+package goroutineleak
+
+import "sync"
+
+// workers is the tracked shape: every goroutine registers with the
+// WaitGroup, so the spawner's Wait is the shutdown path, and the range
+// over jobs ends when the sender closes the channel.
+func workers(jobs chan int, n int) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				_ = j
+			}
+		}()
+	}
+	return &wg
+}
+
+// oneShot runs to completion on its own, and the result channel is
+// buffered so the send cannot pin the goroutine.
+func oneShot() chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- compute()
+	}()
+	return out
+}
+
+// quitting loops forever but every iteration can reach a return
+// through the quit arm.
+func quitting(quit chan struct{}, ticks chan int) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case t := <-ticks:
+				_ = t
+			}
+		}
+	}()
+}
+
+// guardedSend sends from a goroutine on an unbuffered channel, but
+// inside a select whose other arm lets the goroutine escape.
+func guardedSend(quit chan struct{}) chan int {
+	out := make(chan int)
+	go func() {
+		select {
+		case out <- compute():
+		case <-quit:
+		}
+	}()
+	return out
+}

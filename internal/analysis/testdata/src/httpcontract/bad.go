@@ -1,0 +1,62 @@
+// Package httpcontract fixtures: handlers that break the response
+// contract in each way the httpcontract pass flags.
+package httpcontract
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// writeErr is the package's shared error writer: Content-Type first,
+// one WriteHeader, one body write. The pass classifies it as an
+// always-committing function.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write([]byte(msg))
+}
+
+// doubleWrite forgets the return after the error branch, so the success
+// path can stack a second status on a committed response.
+func doubleWrite(w http.ResponseWriter, r *http.Request, bad bool) {
+	if bad {
+		writeErr(w, http.StatusBadRequest, `{"error":"bad"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK) // want `earlier call on this path \(line \d+\) may already have written the response`
+}
+
+// rawError bypasses the JSON error envelope.
+func rawError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusTeapot) // want `http\.Error writes text/plain, bypassing the shared JSON error envelope`
+}
+
+// lateType sets the header after the status line went out.
+func lateType(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Header().Set("Content-Type", "text/plain") // want `Content-Type set after the response was committed`
+}
+
+// sniffed leaves the type to net/http's content sniffer.
+func sniffed(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("hi")) // want `body written with no preceding Content-Type`
+}
+
+// wrongCancelStatus answers a client cancellation with a 500.
+func wrongCancelStatus(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) { // want `client cancellation answered with a status other than 499`
+		writeErr(w, http.StatusInternalServerError, `{"error":"canceled"}`)
+		return
+	}
+}
+
+// loopWrite can emit one full response per item: the error write is
+// not followed by a return, so a second bad size writes again.
+func loopWrite(w http.ResponseWriter, items []string) {
+	for _, it := range items { // want `response write inside this loop can run more than once per request`
+		if it == "" {
+			writeErr(w, http.StatusBadRequest, `{"error":"empty item"}`)
+		}
+	}
+}

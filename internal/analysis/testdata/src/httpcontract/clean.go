@@ -1,0 +1,90 @@
+package httpcontract
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// writeOK mirrors the service's JSON writer.
+func writeOK(w http.ResponseWriter, code int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write([]byte(body))
+}
+
+// decode mirrors the service's request decoder: it writes the error
+// response itself and reports success, so callers can use the guard
+// idiom.
+func decode(w http.ResponseWriter, r *http.Request) bool {
+	if r.ContentLength == 0 {
+		writeOK(w, http.StatusBadRequest, `{"error":"empty body"}`)
+		return false
+	}
+	return true
+}
+
+// guarded is the single-statement guard idiom: the committing callee's
+// result gates an immediate return.
+func guarded(w http.ResponseWriter, r *http.Request) {
+	if !decode(w, r) {
+		return
+	}
+	writeOK(w, http.StatusOK, `{}`)
+}
+
+// lookup mirrors the service's job fetch: nil means the response was
+// already written.
+func lookup(w http.ResponseWriter, r *http.Request) *http.Request {
+	if r.URL.Path == "" {
+		writeOK(w, http.StatusNotFound, `{"error":"no such job"}`)
+		return nil
+	}
+	return r
+}
+
+// twoStep is the two-statement guard idiom.
+func twoStep(w http.ResponseWriter, r *http.Request) {
+	j := lookup(w, r)
+	if j == nil {
+		return
+	}
+	writeOK(w, http.StatusOK, `{}`)
+}
+
+// cancelAware maps client cancellation to 499.
+func cancelAware(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) {
+		writeOK(w, 499, `{"error":"client closed request"}`)
+		return
+	}
+	writeOK(w, http.StatusOK, `{}`)
+}
+
+// perSize validates in a loop but returns after the in-loop write, so
+// at most one response leaves the handler.
+func perSize(w http.ResponseWriter, sizes []int) {
+	for _, n := range sizes {
+		if n < 1 {
+			writeOK(w, http.StatusUnprocessableEntity, `{"error":"bad size"}`)
+			return
+		}
+	}
+	writeOK(w, http.StatusOK, `{}`)
+}
+
+// branches writes exactly once on every path.
+func branches(w http.ResponseWriter, r *http.Request, err error) {
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeOK(w, http.StatusGatewayTimeout, `{"error":"timeout"}`)
+		case errors.Is(err, context.Canceled):
+			writeOK(w, 499, `{"error":"client closed request"}`)
+		default:
+			writeOK(w, http.StatusUnprocessableEntity, `{"error":"run"}`)
+		}
+		return
+	}
+	writeOK(w, http.StatusOK, `{}`)
+}

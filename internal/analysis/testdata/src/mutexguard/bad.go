@@ -1,0 +1,77 @@
+// Package mutexguard fixtures: a deliberately racy miniature worker
+// pool. Every want comment pins one finding of the mutexguard pass.
+package mutexguard
+
+import "sync"
+
+// pool is the racy worker pool: queue is locked at a majority of its
+// access sites (so the guard is inferred), closed is pinned by an
+// explicit annotation, and plain is never locked anywhere (so no
+// relation exists to enforce).
+type pool struct {
+	mu sync.Mutex
+
+	queue []int
+
+	// guardedby: mu
+	closed bool
+
+	plain int
+}
+
+func (p *pool) Submit(v int) {
+	p.mu.Lock()
+	p.queue = append(p.queue, v)
+	p.mu.Unlock()
+}
+
+func (p *pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+func (p *pool) SubmitFast(v int) {
+	p.queue = append(p.queue, v) // want `pool\.queue is guarded by mu \(inferred from the other sites`
+}
+
+func (p *pool) IsClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+func (p *pool) Close() {
+	p.closed = true // want `pool\.closed is guarded by mu \(declared by its guardedby: comment`
+}
+
+func (p *pool) Bump() {
+	p.plain++ // no relation: never locked anywhere, so no finding
+}
+
+func (p *pool) DoubleLock() {
+	p.mu.Lock()
+	p.mu.Lock() // want `mu\.Lock while already holding it deadlocks`
+	p.mu.Unlock()
+}
+
+func (p *pool) StrayUnlock() {
+	p.mu.Unlock() // want `mu\.Unlock on a path where the walker sees no matching Lock`
+}
+
+func (p pool) Snapshot() int { // want `method Snapshot has a value receiver, copying .*pool's mutex`
+	return p.plain
+}
+
+func clonePool(p *pool) pool {
+	q := *p // want `dereferencing copy of lock-bearing struct`
+	return q
+}
+
+func drainAll(ps []pool) int {
+	n := 0
+	for _, p := range ps { // want `range copies lock-bearing struct`
+		n += p.plain
+	}
+	return n
+}

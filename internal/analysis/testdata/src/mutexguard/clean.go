@@ -1,0 +1,51 @@
+package mutexguard
+
+import "sync"
+
+// counter is the pool done right: every access to n holds the lock,
+// through both the defer idiom and explicit unlocks across branches.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Add(delta int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += delta
+}
+
+func (c *counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) AddIf(ok bool) {
+	c.mu.Lock()
+	if ok {
+		c.n++
+	}
+	c.mu.Unlock()
+}
+
+// table exercises the read side: RLock counts as holding the guard.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) Put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]int{}
+	}
+	t.m[k] = v
+}

@@ -42,7 +42,7 @@ func (s *sim) aggregate(src map[string]int) (int, map[string]int) {
 
 // suppressed: the escape hatch for an audited order-dependent loop.
 func (s *sim) suppressed(m map[int]int) {
-	for _, v := range m { //ruulint:ok summing into a fresh slice, order checked by the caller
+	for _, v := range m { //ruulint:ok simdeterminism summing into a fresh slice, order checked by the caller
 		emit(string(rune(v)))
 	}
 }

@@ -91,6 +91,8 @@ func Suite() []Benchmark {
 		{"FunctionalExecutor", benchFunctionalExecutor},
 		{"Assembler", benchAssembler},
 		{"PreciseInterruptRoundTrip", benchPreciseInterruptRoundTrip},
+		{"Ruulint", benchRuulint},
+		{"RuulintCheckOnly", benchRuulintCheckOnly},
 	}
 }
 

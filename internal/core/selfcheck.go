@@ -77,7 +77,7 @@ func (u *RUU) SelfCheck() error {
 			// Invariant-violation path: runs at most once per simulation,
 			// immediately before the run aborts, so the allocation cost is
 			// irrelevant (SelfCheck is opt-in diagnostics, not cycle work).
-			orderErr = fmt.Errorf("core: slot %d seq %d not after %d", pos, s.seq, prev) //ruulint:ok diagnostic abort path
+			orderErr = fmt.Errorf("core: slot %d seq %d not after %d", pos, s.seq, prev) //ruulint:ok hotpathalloc diagnostic abort path
 		}
 		prev = s.seq
 	})

@@ -190,7 +190,7 @@ func (c *Cache) Put(k Key, v any) {
 		c.evictions++
 	}
 	// Per-job bookkeeping, not per-cycle: one entry per completed
-	// simulation, each of which ran millions of cycles. //ruulint:ok
+	// simulation, each of which ran millions of cycles. //ruulint:ok hotpathalloc
 	c.entries[k] = c.lru.PushFront(&cacheEntry{key: k, value: v})
 }
 

@@ -20,8 +20,8 @@
 // The pool is one of the two places in the module where goroutines are
 // allowed (the other is internal/server); the ruulint simdeterminism
 // pass covers this package, and every goroutine/select below carries
-// an individually justified //ruulint:ok — see docs/ANALYSIS.md for
-// the policy.
+// an individually justified //ruulint:ok <pass> marker — see
+// docs/ANALYSIS.md for the policy.
 package sched
 
 import (
@@ -72,6 +72,9 @@ type Pool struct {
 }
 
 type job struct {
+	// The queue handoff carries the submitter's ctx to the worker that
+	// eventually runs the job — the one audited place a context rides a
+	// struct, and only for the queue dwell time. //ruulint:ok ctxflow
 	ctx    context.Context
 	key    Key
 	run    func(ctx context.Context) (any, error)
@@ -110,7 +113,7 @@ func (t *Ticket) Cached() bool { return t.cached }
 func (t *Ticket) Wait(ctx context.Context) (any, error) {
 	// Waiting on "result ready or caller gave up" is inherently a
 	// two-channel race; the job outcome itself is already decided and
-	// does not depend on which arm wins. //ruulint:ok
+	// does not depend on which arm wins. //ruulint:ok simdeterminism
 	select {
 	case <-t.done:
 		return t.value, t.err
@@ -142,7 +145,7 @@ func New(cfg Config) *Pool {
 	for i := 0; i < cfg.Workers; i++ {
 		// The worker goroutines are the point of the package: each runs
 		// whole, self-contained simulations whose results are
-		// order-independent (see the package comment). //ruulint:ok
+		// order-independent (see the package comment). //ruulint:ok simdeterminism
 		go p.worker(i)
 	}
 	return p
@@ -209,12 +212,12 @@ func (p *Pool) Submit(ctx context.Context, key Key, run func(ctx context.Context
 	if p.spanHook() != nil {
 		// Wall-clock submission stamp for the job's telemetry span:
 		// operational queue-wait measurement only, invisible to the
-		// simulation. //ruulint:ok
+		// simulation. //ruulint:ok simdeterminism
 		j.enqueueNS = time.Now().UnixNano()
 	}
 	// Backpressure: block until the bounded queue has room or the
 	// submitter gives up. Which submitter wins a slot first cannot
-	// change any job's result. //ruulint:ok
+	// change any job's result. //ruulint:ok simdeterminism
 	select {
 	case p.jobs <- j:
 		p.submitted.Add(1)
@@ -273,22 +276,22 @@ func (p *Pool) runJob(worker int, j *job) {
 	var startNS int64
 	if hook != nil {
 		// Telemetry stamp for the span's queue-wait edge; the job's
-		// result is fixed by its inputs alone. //ruulint:ok
+		// result is fixed by its inputs alone. //ruulint:ok simdeterminism
 		startNS = time.Now().UnixNano()
 	}
 	var v any
 	var err error
 	// One closure per job, not per cycle: a job is a whole simulation
 	// (millions of cycles), so this allocation is off the per-cycle
-	// path the hot-root bar protects. //ruulint:ok
+	// path the hot-root bar protects.
 	func() {
 		// Likewise once per job: the recover closure that turns a
-		// crashed simulation into a job error. //ruulint:ok
+		// crashed simulation into a job error. //ruulint:ok hotpathalloc
 		defer func() {
 			if r := recover(); r != nil {
 				p.panics.Add(1)
 				// The panic path runs at most once per crashed job —
-				// formatting here is cold. //ruulint:ok
+				// formatting here is cold.
 				err = fmt.Errorf("sched: job panicked: %v", r)
 			}
 		}()
@@ -318,7 +321,7 @@ func (p *Pool) runJob(worker int, j *job) {
 			Worker:    worker,
 			EnqueueNS: j.enqueueNS,
 			StartNS:   startNS,
-			EndNS:     time.Now().UnixNano(), //ruulint:ok span telemetry, no simulation sees it
+			EndNS:     time.Now().UnixNano(), //ruulint:ok simdeterminism span telemetry, no simulation sees it
 			Err:       err != nil,
 		})
 	}

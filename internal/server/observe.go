@@ -93,19 +93,19 @@ func (s *Server) withObservability(next http.Handler) http.Handler {
 		r = r.WithContext(obs.WithRequestID(r.Context(), id))
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		// Access-log latency is operational telemetry about this
-		// process; no simulation ever sees it. //ruulint:ok
+		// process; no simulation ever sees it. //ruulint:ok simdeterminism
 		start := time.Now()
 		next.ServeHTTP(sr, r)
 		route := routeLabel(r)
 		s.countRequest(route, sr.status)
 		if s.log != nil {
-			// Same telemetry clock as above. //ruulint:ok
+			// Same telemetry clock as above.
 			s.log.Info("request",
 				slog.String("request_id", id),
 				slog.String("route", route),
 				slog.String("path", r.URL.Path),
 				slog.Int("status", sr.status),
-				slog.Int64("duration_ms", time.Since(start).Milliseconds())) //ruulint:ok access-log telemetry clock
+				slog.Int64("duration_ms", time.Since(start).Milliseconds())) //ruulint:ok simdeterminism access-log telemetry clock
 		}
 	})
 }

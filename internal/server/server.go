@@ -8,8 +8,8 @@
 // The package is one of the two places in the module where goroutines
 // are allowed (the other is internal/sched); the ruulint simdeterminism
 // pass covers it, and every goroutine/time.Now below carries an
-// individually justified //ruulint:ok — see docs/ANALYSIS.md for the
-// policy.
+// individually justified //ruulint:ok <pass> marker — see
+// docs/ANALYSIS.md for the policy.
 package server
 
 import (
@@ -180,13 +180,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	// Waiting on a WaitGroup with a deadline requires a helper
 	// goroutine; it only signals completion and touches no simulation
-	// state. //ruulint:ok
+	// state. //ruulint:ok simdeterminism
 	go func() {
 		s.jobsWG.Wait()
 		close(done)
 	}()
 	// Two-channel wait: "all jobs finished" vs "caller gave up"; job
-	// results are unaffected by which arm wins. //ruulint:ok
+	// results are unaffected by which arm wins. //ruulint:ok simdeterminism
 	select {
 	case <-done:
 		return nil
@@ -383,10 +383,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	verify := req.Verify == nil || *req.Verify
 	// Service latency is operational telemetry about this process, not
-	// simulation state; the simulated machine never sees it. //ruulint:ok
+	// simulation state; the simulated machine never sees it. //ruulint:ok simdeterminism
 	start := time.Now()
 	out, err := s.runner.RunProgram(ctx, cfg, unit, verify)
-	// Same telemetry clock as above; never enters a simulation. //ruulint:ok
+	// Same telemetry clock as above; never enters a simulation. //ruulint:ok simdeterminism
 	elapsed := time.Since(start)
 	if err != nil {
 		switch {
@@ -465,7 +465,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// controlled by DELETE /v1/jobs/{id} and server drain, not by the
 	// submitting connection. The request ID still rides along so the
 	// job's pool spans are attributable to the POST that created them.
-	ctx, cancel := context.WithCancel(
+	ctx, cancel := context.WithCancel( // detaching is the point here //ruulint:ok ctxflow
 		obs.WithRequestID(context.Background(), obs.RequestIDFrom(r.Context())))
 	s.mu.Lock()
 	s.nextJob++
@@ -482,13 +482,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.jobsWG.Add(1)
 	// One goroutine per sweep job: the fan-out across kernels happens
 	// inside Runner.Sweep on the shared worker pool; this goroutine
-	// only waits for it and records the outcome. //ruulint:ok
+	// only waits for it and records the outcome. //ruulint:ok simdeterminism
 	go func() {
 		defer s.jobsWG.Done()
 		defer close(j.done)
 		s.setJobState(j, "running", nil, nil)
 		// Job wall-clock telemetry, invisible to the simulation.
-		// //ruulint:ok
+		//ruulint:ok simdeterminism
 		start := time.Now()
 		rows, err := s.runner.Sweep(ctx, cfg, req.Sizes)
 		if err != nil {
@@ -500,7 +500,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Telemetry clock again; the sweep's results are already fixed
-		// by its inputs. //ruulint:ok
+		// by its inputs. //ruulint:ok simdeterminism
 		s.observeLatency(engine, time.Since(start))
 		s.setJobState(j, "done", rows, nil)
 	}()
