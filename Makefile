@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-smoke lint lint-fix-check dfa serve quickstart-http
+.PHONY: all build test race vet bench bench-json bench-smoke lint lint-fix-check dfa analyze serve quickstart-http
 
-all: build test vet lint dfa
+all: build test vet lint analyze
 
 build:
 	$(GO) build ./...
@@ -46,18 +46,24 @@ lint:
 	@mkdir -p out
 	$(GO) run ./cmd/ruulint -out out/ruulint.json -sarif out/ruulint.sarif -timings ./...
 
-# dfa runs ruudfa, the ISA-level dataflow analysis (see docs/DFA.md),
-# over the built-in Livermore kernels and the standalone example
-# programs. A program-lint finding is a build failure. The hazard
-# census and dataflow-limit table is also written as JSON lines to
-# out/dfa.json for tooling (the CI artifact).
-dfa:
+# analyze runs ruudfa, the ISA-level static analysis (see docs/DFA.md):
+# value-aware program lint (abstract interpretation), the static
+# memory-dependence summary, the hazard census, and the dataflow-limit
+# oracle, over the built-in Livermore kernels and the standalone
+# example programs. An error-severity finding is a build failure;
+# advisory notes are not. The per-program results are also written as
+# JSON lines to out/dfa.json and as a SARIF 2.1.0 log to out/dfa.sarif
+# (the CI artifacts; the SARIF log feeds GitHub code scanning).
+analyze:
 	$(GO) build ./...
 	@mkdir -p out
-	@$(GO) run ./cmd/ruudfa -json > out/dfa.json; st=$$?; \
+	@$(GO) run ./cmd/ruudfa -json -sarif out/dfa.sarif > out/dfa.json; st=$$?; \
 	if [ $$st -ne 0 ] && [ $$st -ne 1 ] ; then exit $$st; fi; \
 	$(GO) run ./cmd/ruudfa
 	$(GO) run ./cmd/ruudfa examples/asm/*.s
+
+# dfa is the historical name for the analyze gate.
+dfa: analyze
 
 # serve runs the ruuserve HTTP API on :8093 (see docs/SERVICE.md).
 serve:

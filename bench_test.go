@@ -114,3 +114,12 @@ func BenchmarkRuulint(b *testing.B) { runBench(b, "Ruulint") }
 // BenchmarkRuulintCheckOnly isolates the pass run over a cached load:
 // the phase the shared snapshot/callgraph cache optimises.
 func BenchmarkRuulintCheckOnly(b *testing.B) { runBench(b, "RuulintCheckOnly") }
+
+// BenchmarkDFAAnalyze measures the full static analysis (abstract
+// interpretation, value-aware lint, memory-dependence summary) over
+// the kernel suite — the pre-replay work of ruudfa and /v1/analyze.
+func BenchmarkDFAAnalyze(b *testing.B) { runBench(b, "DFAAnalyze") }
+
+// BenchmarkBoundTightened measures the dataflow-limit replay with the
+// memory-dependence tightening on (the default oracle).
+func BenchmarkBoundTightened(b *testing.B) { runBench(b, "BoundTightened") }

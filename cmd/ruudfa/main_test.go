@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ruu/internal/dfa"
+	"ruu/internal/livermore"
+	"ruu/internal/machine"
+)
+
+func allKernelPrograms() []program {
+	var ps []program
+	for _, k := range livermore.Kernels() {
+		ps = append(ps, kernelProgram(k))
+	}
+	return ps
+}
+
+// fixture trips three rules at three distinct lines: an uninitialized
+// read (error), a loop-invariant load (advisory note), and a dead
+// store (error).
+const fixture = `
+    addai A6, A5, 1
+    lai   A0, 3
+    lai   A1, 50
+loop:
+    lda   A2, 0(A1)
+    adda  A6, A6, A2
+    addai A0, A0, -1
+    janz  loop
+    lai   A4, 7
+    lai   A4, 8
+    halt
+`
+
+func writeFixture(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func analyzeFixture(t *testing.T, name string) result {
+	t.Helper()
+	mc := machine.DefaultConfig()
+	r, err := analyze(fileProgram(writeFixture(t, name)), dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFindingOrder pins the deterministic (file, line, rule) ordering
+// of ruudfa findings: the JSON line format always lists them sorted by
+// source line, ties broken by rule.
+func TestFindingOrder(t *testing.T) {
+	r := analyzeFixture(t, "fixture.s")
+	var rules, sevs []string
+	lastLine := 0
+	for _, f := range r.Findings {
+		rules = append(rules, f.Rule)
+		sevs = append(sevs, f.Severity)
+		if f.Line < lastLine {
+			t.Errorf("findings out of line order: line %d after %d", f.Line, lastLine)
+		}
+		lastLine = f.Line
+	}
+	wantRules := []string{"uninit-read", "loop-invariant-load", "dead-store"}
+	if strings.Join(rules, ",") != strings.Join(wantRules, ",") {
+		t.Fatalf("finding rules = %v, want %v", rules, wantRules)
+	}
+	wantSevs := []string{"error", "note", "error"}
+	if strings.Join(sevs, ",") != strings.Join(wantSevs, ",") {
+		t.Errorf("finding severities = %v, want %v", sevs, wantSevs)
+	}
+	if ne, nn := r.count(); ne != 2 || nn != 1 {
+		t.Errorf("count = %d errors, %d notes, want 2, 1", ne, nn)
+	}
+
+	// Byte-stable: a second analysis of the same program serializes to
+	// the same JSON.
+	r2 := analyzeFixture(t, "fixture.s")
+	r2.File = r.File // distinct temp dirs; everything else must match
+	b1, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("JSON not byte-stable:\n%s\n%s", b1, b2)
+	}
+}
+
+// TestSARIFOutput pins the shared-writer SARIF log: the ruudfa driver
+// name, per-severity levels, and byte stability with results ordered
+// by (file, line, rule) across programs.
+func TestSARIFOutput(t *testing.T) {
+	r := analyzeFixture(t, "fixture.s")
+	ra, rb := r, r
+	ra.File, rb.File = "b.s", "a.s"
+	b1, err := marshalSARIF([]result{ra, rb}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := marshalSARIF([]result{ra, rb}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("SARIF output not byte-stable")
+	}
+	s := string(b1)
+	if !strings.Contains(s, `"name": "ruudfa"`) {
+		t.Error("missing ruudfa driver name")
+	}
+	if !strings.Contains(s, `"level": "note"`) || !strings.Contains(s, `"level": "error"`) {
+		t.Error("missing severity levels in SARIF results")
+	}
+	// Results are sorted by file first: every a.s location precedes
+	// every b.s location.
+	if first, second := strings.Index(s, `"uri": "a.s"`), strings.Index(s, `"uri": "b.s"`); first < 0 || second < 0 || first > second {
+		t.Errorf("SARIF results not sorted by file: a.s at %d, b.s at %d", first, second)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(b1, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+}
+
+// TestKernelAnalysisClean pins the built-in kernels free of
+// error-severity findings through the full CLI analysis path.
+func TestKernelAnalysisClean(t *testing.T) {
+	mc := machine.DefaultConfig()
+	bcfg := dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency}
+	for _, p := range allKernelPrograms() {
+		r, err := analyze(p, bcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ne, _ := r.count(); ne != 0 {
+			t.Errorf("%s: %d error finding(s): %v", r.Program, ne, r.Findings)
+		}
+		if r.MemDeps.Edges != r.MemDeps.Must+r.MemDeps.May {
+			t.Errorf("%s: memdep summary inconsistent: %+v", r.Program, r.MemDeps)
+		}
+	}
+}

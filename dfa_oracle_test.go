@@ -1,6 +1,7 @@
 package ruu
 
 import (
+	"fmt"
 	"testing"
 
 	"ruu/internal/dfa"
@@ -224,5 +225,56 @@ func TestDataflowCensusMatchesMachineBranchCounts(t *testing.T) {
 			t.Errorf("%s: census branches %d/%d taken, machine %d/%d",
 				k.Name, c.Branches, c.Taken, res.Stats.Branches, res.Stats.Taken)
 		}
+	}
+}
+
+// TestBoundTightened pins the effect of the memory-dependence edges:
+// the tightened bound (the default) is never below the register-only
+// bound, and is strictly greater on at least 3 kernels — the
+// recurrence-carrying ones, where a loop-carried store→load chain is
+// the real dataflow limit.
+func TestBoundTightened(t *testing.T) {
+	mc := machine.DefaultConfig()
+	tight := dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency}
+	loose := tight
+	loose.NoMemDep = true
+
+	strictly := 0
+	var tightened []string
+	for _, k := range livermore.Kernels() {
+		u, err := k.Unit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := k.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bt, err := dfa.ComputeBound(u.Prog, st, tight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err = k.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := dfa.ComputeBound(u.Prog, st, loose)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bl.MemDepEdges != 0 {
+			t.Errorf("%s: NoMemDep bound still counted %d memdep edges", k.Name, bl.MemDepEdges)
+		}
+		if bt.Cycles < bl.Cycles {
+			t.Errorf("%s: tightened bound %d below register-only bound %d", k.Name, bt.Cycles, bl.Cycles)
+		}
+		if bt.Cycles > bl.Cycles {
+			strictly++
+			tightened = append(tightened, fmt.Sprintf("%s %d->%d (%d edges)", k.Name, bl.Cycles, bt.Cycles, bt.MemDepEdges))
+		}
+	}
+	t.Logf("strictly tightened on %d kernels: %v", strictly, tightened)
+	if strictly < 3 {
+		t.Errorf("memory-dependence edges tightened only %d kernels, want >= 3", strictly)
 	}
 }

@@ -7,42 +7,95 @@ import (
 	"strings"
 )
 
-// MarshalSARIF renders findings as a SARIF 2.1.0 log, the interchange
-// format GitHub code scanning ingests. The output is byte-stable: the
-// same findings and pass set always serialize to the same bytes
-// (findings arrive in SortFindings order, rules are sorted by id, and
-// struct-driven encoding fixes the key order), so the artifact can be
-// diffed and cached.
+// SARIFRule describes one rule of a SARIF-emitting tool for the shared
+// writer below (ruulint passes, ruudfa program-lint rules).
+type SARIFRule struct {
+	// ID is the stable rule identifier (pass or rule name).
+	ID string
+	// Doc is the one-line rule description.
+	Doc string
+}
+
+// SARIFResult is one finding for the shared writer.
+type SARIFResult struct {
+	// RuleID names the rule that produced the finding.
+	RuleID string
+	// Level is the SARIF severity ("error", "warning", "note"); empty
+	// defaults to "error".
+	Level string
+	// Message is the human-readable diagnostic.
+	Message string
+	// URI locates the finding's file (absolute paths are relativized
+	// against the writer's root).
+	URI string
+	// Line and Column are 1-based; non-positive values are clamped.
+	Line, Column int
+}
+
+// MarshalSARIF renders ruulint findings as a SARIF 2.1.0 log via the
+// shared writer (see MarshalSARIFLog for the format contract).
+func MarshalSARIF(findings []Finding, passes []*Pass, root string) ([]byte, error) {
+	rules := make([]SARIFRule, 0, len(passes))
+	for _, p := range passes {
+		rules = append(rules, SARIFRule{ID: p.Name, Doc: p.Doc})
+	}
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, SARIFResult{
+			RuleID:  f.Pass,
+			Level:   "error",
+			Message: f.Message,
+			URI:     f.Pos.Filename,
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+		})
+	}
+	return MarshalSARIFLog("ruulint", rules, results, root)
+}
+
+// MarshalSARIFLog renders findings as a SARIF 2.1.0 log, the
+// interchange format GitHub code scanning ingests. The output is
+// byte-stable: the same rules and results always serialize to the same
+// bytes (results keep their given order — callers sort them — rules are
+// sorted by ID here, and struct-driven encoding fixes the key order),
+// so the artifact can be diffed and cached.
 //
 // File URIs are written relative to root (forward slashes, uriBaseId
 // %SRCROOT%), matching the checkout-relative paths code scanning
 // expects; findings outside root keep their absolute path.
-func MarshalSARIF(findings []Finding, passes []*Pass, root string) ([]byte, error) {
-	rules := make([]sarifRule, 0, len(passes))
-	sorted := append([]*Pass(nil), passes...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
-	for _, p := range sorted {
-		rules = append(rules, sarifRule{
-			ID:               p.Name,
-			ShortDescription: sarifMessage{Text: p.Doc},
+func MarshalSARIFLog(tool string, rules []SARIFRule, results []SARIFResult, root string) ([]byte, error) {
+	srules := make([]sarifRule, 0, len(rules))
+	sorted := append([]SARIFRule(nil), rules...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, r := range sorted {
+		srules = append(srules, sarifRule{
+			ID:               r.ID,
+			ShortDescription: sarifMessage{Text: r.Doc},
 		})
 	}
 
-	results := make([]sarifResult, 0, len(findings))
-	for _, f := range findings {
-		uri := f.Pos.Filename
+	sresults := make([]sarifResult, 0, len(results))
+	for _, f := range results {
+		uri := f.URI
 		if root != "" {
 			if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
 				uri = rel
 			}
 		}
-		region := sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column}
+		region := sarifRegion{StartLine: f.Line, StartColumn: f.Column}
 		if region.StartLine < 1 {
 			region.StartLine = 1 // SARIF regions are 1-based; defend against zero positions
 		}
-		results = append(results, sarifResult{
-			RuleID:  f.Pass,
-			Level:   "error",
+		if region.StartColumn < 0 {
+			region.StartColumn = 0
+		}
+		level := f.Level
+		if level == "" {
+			level = "error"
+		}
+		sresults = append(sresults, sarifResult{
+			RuleID:  f.RuleID,
+			Level:   level,
 			Message: sarifMessage{Text: f.Message},
 			Locations: []sarifLocation{{
 				PhysicalLocation: sarifPhysical{
@@ -61,11 +114,11 @@ func MarshalSARIF(findings []Finding, passes []*Pass, root string) ([]byte, erro
 		Version: "2.1.0",
 		Runs: []sarifRun{{
 			Tool: sarifTool{Driver: sarifDriver{
-				Name:  "ruulint",
-				Rules: rules,
+				Name:  tool,
+				Rules: srules,
 			}},
 			ColumnKind: "utf16CodeUnits",
-			Results:    results,
+			Results:    sresults,
 		}},
 	}
 	b, err := json.MarshalIndent(log, "", "  ")

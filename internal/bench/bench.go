@@ -93,6 +93,8 @@ func Suite() []Benchmark {
 		{"PreciseInterruptRoundTrip", benchPreciseInterruptRoundTrip},
 		{"Ruulint", benchRuulint},
 		{"RuulintCheckOnly", benchRuulintCheckOnly},
+		{"DFAAnalyze", benchDFAAnalyze},
+		{"BoundTightened", benchBoundTightened},
 	}
 }
 

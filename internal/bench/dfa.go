@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"ruu/internal/dfa"
+	"ruu/internal/livermore"
+	"ruu/internal/machine"
+)
+
+// benchDFAAnalyze is one full static analysis per iteration over every
+// Livermore kernel: CFG + reaching definitions, the abstract
+// interpretation fixpoint, the value-aware lint, and the
+// memory-dependence summary — the work POST /v1/analyze and ruudfa do
+// before any replay.
+func benchDFAAnalyze(b B, n int) {
+	b.Helper()
+	kernels := livermore.Kernels()
+	var edges int
+	for i := 0; i < n; i++ {
+		edges = 0
+		for _, k := range kernels {
+			u, err := k.Unit()
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := k.NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ai := dfa.Analyze(u.Prog).InterpretState(st)
+			ai.Lint()
+			edges += len(ai.MemDeps().Edges)
+		}
+	}
+	b.ReportMetric(float64(len(kernels))*float64(n)/b.Elapsed().Seconds(), "programs/s")
+	b.ReportMetric(float64(edges), "memdep-edges")
+}
+
+// benchBoundTightened is one dataflow-limit replay per iteration over
+// every kernel with the memory-dependence tightening on (the default):
+// the cost of the tighter oracle, comparable to a register-only replay
+// via the bound's critical-path metrics.
+func benchBoundTightened(b B, n int) {
+	b.Helper()
+	mc := machine.DefaultConfig()
+	bcfg := dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency}
+	kernels := livermore.Kernels()
+	var instrs int64
+	for i := 0; i < n; i++ {
+		instrs = 0
+		for _, k := range kernels {
+			u, err := k.Unit()
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := k.NewState()
+			if err != nil {
+				b.Fatal(err)
+			}
+			bd, err := dfa.ComputeBound(u.Prog, st, bcfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += bd.DynInstrs
+		}
+	}
+	b.ReportMetric(float64(instrs)*float64(n)/b.Elapsed().Seconds(), "instr/s")
+}

@@ -21,6 +21,13 @@ type BoundConfig struct {
 	FwdLatency int
 	// MaxInstr bounds the replay (exec.DefaultMaxInstructions if <= 0).
 	MaxInstr int64
+	// NoMemDep disables the memory-dependence tightening (store→load
+	// edges through the same address, and the full memory latency on
+	// first-touch loads), reproducing the looser register-only bound.
+	// The zero value keeps the tightening on: the bound is still a true
+	// lower bound (see below) and strictly tighter wherever loads
+	// stream fresh addresses or read stored recurrences.
+	NoMemDep bool
 }
 
 // Bound is the dataflow limit of one dynamic execution: the longest
@@ -39,10 +46,28 @@ type BoundConfig struct {
 //     TakenPenalty and PredictedTakenBubble to >= 1), pushing every
 //     later instruction's earliest start one cycle further out.
 //
-// The bound deliberately ignores the single result bus, branch
-// penalties, structural stalls, and memory dependencies — all of these
-// only slow a real engine down, so omitting them keeps the bound sound
-// (a true lower bound) at the price of looseness. See docs/DFA.md.
+// Memory dependencies are included two ways, both through the
+// dynamically exact addresses of the replay:
+//
+//   - store→load edges: a load returning a value some store wrote
+//     cannot start before the store knew both its data and its address,
+//     so the load's start is constrained to that ready time (its
+//     latency stays capped at min(Lat[UnitMem], FwdLatency), the
+//     cheaper of the memory and forwarding paths).
+//   - first-touch loads pay the full memory latency: load-register
+//     forwarding (memsys.LoadRegs) can only chain onto an earlier
+//     operation on the same address, so the first access to an address
+//     necessarily returns the value from memory in Lat[UnitMem] cycles
+//     — the FwdLatency cap cannot apply to it on any engine. (Squashed
+//     wrong-path operations never forward, so speculation cannot beat
+//     this either.)
+//
+// BoundConfig.NoMemDep recovers the old register-only bound.
+//
+// The bound still deliberately ignores the single result bus, branch
+// penalties, and structural stalls — these only slow a real engine
+// down, so omitting them keeps the bound sound (a true lower bound) at
+// the price of looseness. See docs/DFA.md.
 type Bound struct {
 	// CritPath is the latency-weighted longest path (cycles).
 	CritPath int64
@@ -50,6 +75,10 @@ type Bound struct {
 	DynInstrs int64
 	// Cycles is the dataflow limit: max(CritPath, DynInstrs).
 	Cycles int64
+	// MemDepEdges counts the store→load dependence edges the replay
+	// found (loads whose address a prior store wrote). Zero when
+	// BoundConfig.NoMemDep is set.
+	MemDepEdges int64
 	// Trap is non-nil if execution stopped at a trap; the bound then
 	// covers the executed prefix.
 	Trap *exec.Trap
@@ -88,11 +117,36 @@ func ComputeBound(p *isa.Program, st *exec.State, cfg BoundConfig) (Bound, error
 		srcs  [2]isa.Reg
 		pos   int64 // earliest decode slot of the next instruction
 	)
+	// storeReady[a] tracks address a's memory-dependence state:
+	// untouched (no access yet), touchedByLoad (loads only — later
+	// loads may forward, no start constraint), or >= 0, the time the
+	// latest store to a had both its data and its address. One setup
+	// allocation sized to the memory image; the replay loop itself
+	// stays allocation-free.
+	const (
+		untouched     = int64(-1)
+		touchedByLoad = int64(-2)
+	)
+	var storeReady []int64
+	if !cfg.NoMemDep {
+		storeReady = make([]int64, st.Mem.Size()) //ruulint:ok hotpathalloc one-time setup before the replay loop, sized by the memory image
+		for i := range storeReady {
+			storeReady[i] = untouched
+		}
+	}
 	for !st.Halted {
 		if b.DynInstrs >= cfg.MaxInstr {
 			return b, fmt.Errorf("dfa: bound instruction budget %d exhausted at pc=%d", cfg.MaxInstr, st.PC)
 		}
 		pc := st.PC
+		// The effective address must be sampled before the step: a load
+		// may overwrite its own base register.
+		addr := int64(-1)
+		if storeReady != nil && pc >= 0 && pc < len(p.Instructions) {
+			if pre := p.Instructions[pc]; pre.Op.IsMem() {
+				addr = exec.EffAddr(pre, st.Reg(isa.A(int(pre.J))))
+			}
+		}
 		ins, trap := st.Step(p)
 		if trap != nil {
 			b.Trap = trap
@@ -116,12 +170,45 @@ func ComputeBound(p *isa.Program, st *exec.State, cfg BoundConfig) (Bound, error
 				start = t
 			}
 		}
+		firstTouch := false
+		if addr >= 0 && addr < int64(len(storeReady)) {
+			info := ins.Op.Info()
+			if info.Load {
+				switch t := storeReady[addr]; {
+				case t >= 0:
+					// The load returns the latest store's data: it
+					// cannot start before that value existed.
+					b.MemDepEdges++
+					if t > start {
+						start = t
+					}
+				case t == untouched:
+					// Nothing to forward from: the value comes from
+					// memory at the full latency.
+					firstTouch = true
+					storeReady[addr] = touchedByLoad
+				}
+			} else if info.Store {
+				// The stored value cannot be delivered to any load
+				// before the store knows both its data and its address.
+				t := ready[isa.Reg{File: info.File, Idx: ins.I}.Flat()]
+				if tb := ready[isa.A(int(ins.J)).Flat()]; tb > t {
+					t = tb
+				}
+				storeReady[addr] = t
+			}
+		}
 		unit := ins.Op.Info().Unit
 		var lat int64
 		if unit == isa.UnitMem {
 			// Loads may be satisfied by load-register forwarding, so the
-			// dependence edge is only as heavy as the cheaper path.
+			// dependence edge is only as heavy as the cheaper path —
+			// except on the address's first touch, where no forwarding
+			// source can exist.
 			lat = int64(memLat)
+			if firstTouch {
+				lat = int64(cfg.Lat[isa.UnitMem])
+			}
 		} else if unit != isa.UnitNone {
 			lat = int64(cfg.Lat[unit])
 		}

@@ -181,7 +181,7 @@ func TestComputeBoundForwardingCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fwd, err := dfa.ComputeBound(prog(t, src), exec.NewState(nil), dfa.BoundConfig{FwdLatency: 2})
+	fwd, err := dfa.ComputeBound(prog(t, src), exec.NewState(nil), dfa.BoundConfig{FwdLatency: 2, NoMemDep: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,6 +190,74 @@ func TestComputeBoundForwardingCap(t *testing.T) {
 	}
 	if fwd.CritPath != 5 {
 		t.Errorf("forward-capped CritPath = %d, want 5 (1 + 2 + 2)", fwd.CritPath)
+	}
+	// With the memory-dependence tightening on (the default), the first
+	// touch of an address cannot forward — there is nothing to forward
+	// from — so the load pays the full memory latency despite the cap.
+	tight, err := dfa.ComputeBound(prog(t, src), exec.NewState(nil), dfa.BoundConfig{FwdLatency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.CritPath != 8 {
+		t.Errorf("tightened first-touch CritPath = %d, want 8 (1 + 5 + 2)", tight.CritPath)
+	}
+	// A repeat access to the same address can forward and keeps the cap:
+	// the second load completes at 2 + 2 = 4 while the first-touch load
+	// still dominates the path at 1 + 5 = 6.
+	src2 := `
+    lai   A1, 0
+    lda   A2, 100(A1)
+    lda   A4, 100(A1)
+    addai A3, A4, 1
+    halt
+`
+	repeat, err := dfa.ComputeBound(prog(t, src2), exec.NewState(nil), dfa.BoundConfig{FwdLatency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.CritPath != 6 {
+		t.Errorf("repeat-touch CritPath = %d, want 6 (first-touch load 1 + 5)", repeat.CritPath)
+	}
+}
+
+// TestComputeBoundStoreLoadEdge pins the store→load dependence: a load
+// of an address a store wrote cannot start before the store's data and
+// address existed, even though no register connects them.
+func TestComputeBoundStoreLoadEdge(t *testing.T) {
+	// A long A-chain makes the stored data late; the load of the stored
+	// address then inherits that time through memory alone.
+	src := `
+    lai   A1, 0
+    mula  A2, A1, A1
+    mula  A2, A2, A2
+    mula  A2, A2, A2
+    sta   A2, 50(A1)
+    lda   A3, 50(A1)
+    addai A4, A3, 1
+    halt
+`
+	tight, err := dfa.ComputeBound(prog(t, src), exec.NewState(nil), dfa.BoundConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := dfa.ComputeBound(prog(t, src), exec.NewState(nil), dfa.BoundConfig{NoMemDep: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.MemDepEdges != 1 {
+		t.Errorf("MemDepEdges = %d, want 1", tight.MemDepEdges)
+	}
+	if loose.MemDepEdges != 0 {
+		t.Errorf("NoMemDep MemDepEdges = %d, want 0", loose.MemDepEdges)
+	}
+	if tight.CritPath <= loose.CritPath {
+		t.Errorf("store→load edge did not tighten: tight %d, loose %d", tight.CritPath, loose.CritPath)
+	}
+	// The load starts no earlier than the mul chain's completion (1 for
+	// the lai plus three 6-cycle multiplies = 19) and takes the full
+	// memory latency; its consumer adds 2.
+	if want := int64(1 + 3*6 + 5 + 2); tight.CritPath != want {
+		t.Errorf("tight CritPath = %d, want %d", tight.CritPath, want)
 	}
 }
 

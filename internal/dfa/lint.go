@@ -29,10 +29,53 @@ const (
 	// read by any instruction: the value is not live out of the loop (it
 	// only reaches the final state), so the per-iteration work is wasted.
 	RuleLoopDeadWrite
+	// RuleOOBAccess flags a memory access whose abstract effective
+	// address is entirely outside the memory image: every execution of
+	// the instruction faults. Needs the abstract interpretation (value
+	// ranges), so only AbsInt.Lint reports it.
+	RuleOOBAccess
+	// RuleLoopInvariantLoad flags a load inside a loop whose address is
+	// loop-invariant and that no store in the loop may alias: every
+	// iteration reloads the same unchanged word, so the load is
+	// hoistable. Advisory (SevNote): correct programs legitimately
+	// contain such loads.
+	RuleLoopInvariantLoad
+	// RuleMustAliasViolation is the executor cross-check: a concrete
+	// replay observed a memory dependence (or an address) the static
+	// analysis proved impossible. Only CrossCheckMemDeps reports it; any
+	// occurrence is an internal soundness defect of the analysis.
+	RuleMustAliasViolation
 
 	// NumRules is the number of lint rules.
 	NumRules
 )
+
+// Severity grades a finding's consequence.
+type Severity uint8
+
+const (
+	// SevError marks findings that gate: ruudfa exits non-zero and
+	// /v1/analyze rejects the program with 422.
+	SevError Severity = iota
+	// SevNote marks advisory findings (reported, never gating).
+	SevNote
+)
+
+func (s Severity) String() string {
+	if s == SevNote {
+		return "note"
+	}
+	return "error"
+}
+
+// Severity returns the rule's grade: everything is SevError except the
+// advisory loop-invariant-load.
+func (r Rule) Severity() Severity {
+	if r == RuleLoopInvariantLoad {
+		return SevNote
+	}
+	return SevError
+}
 
 // String returns the rule's stable kebab-case name (used in ruudfa
 // output and want-annotated fixtures).
@@ -46,8 +89,37 @@ func (r Rule) String() string {
 		return "unreachable"
 	case RuleLoopDeadWrite:
 		return "loop-dead-write"
+	case RuleOOBAccess:
+		return "oob-access"
+	case RuleLoopInvariantLoad:
+		return "loop-invariant-load"
+	case RuleMustAliasViolation:
+		return "must-alias-violation"
 	default:
 		return "rule?"
+	}
+}
+
+// Doc returns the rule's one-line description (the SARIF rule
+// shortDescription).
+func (r Rule) Doc() string {
+	switch r {
+	case RuleUninitRead:
+		return "register read before any write on some path (depends on architectural zero-fill)"
+	case RuleDeadStore:
+		return "register write overwritten on every path before any read"
+	case RuleUnreachable:
+		return "instruction no CFG path from the entry reaches"
+	case RuleLoopDeadWrite:
+		return "register written inside a loop but never read (not live out of the loop)"
+	case RuleOOBAccess:
+		return "memory access whose abstract address is entirely outside the memory image"
+	case RuleLoopInvariantLoad:
+		return "load of a loop-invariant address no store in the loop may alias (hoistable)"
+	case RuleMustAliasViolation:
+		return "concrete execution contradicted the static alias classification (analysis defect)"
+	default:
+		return "unknown rule"
 	}
 }
 
@@ -134,4 +206,81 @@ func (a *Analysis) Lint() []Finding {
 // Analyze(p).Lint()).
 func Lint(p *isa.Program) []Finding {
 	return Analyze(p).Lint()
+}
+
+// Lint runs the full rule set: the value-free rules of Analysis.Lint
+// plus the value-aware rules the abstract interpretation enables
+// (oob-access, loop-invariant-load). Findings are ordered by
+// instruction index, then rule.
+func (ai *AbsInt) Lint() []Finding {
+	out := ai.An.Lint()
+	out = append(out, ai.lintAbs()...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Idx != out[j].Idx {
+			return out[i].Idx < out[j].Idx
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// lintAbs runs only the value-aware rules.
+func (ai *AbsInt) lintAbs() []Finding {
+	a := ai.An
+	var out []Finding
+	for i, ins := range a.Prog.Instructions {
+		if !ai.Reached[i] || !ins.Op.IsMem() {
+			continue
+		}
+		if ai.DefinitelyOOB(i) {
+			limit := "memory"
+			if ai.MemWords > 0 {
+				limit = fmt.Sprintf("memory [0,%d)", ai.MemWords)
+			}
+			out = append(out, Finding{
+				Rule: RuleOOBAccess, Idx: i, Line: ins.Line,
+				Msg: fmt.Sprintf("address %v is entirely outside %s: every execution faults", ai.Addr[i], limit),
+			})
+			continue
+		}
+		if !ins.Op.Info().Load {
+			continue
+		}
+		if l, ok := ai.hoistableFrom(i); ok {
+			out = append(out, Finding{
+				Rule: RuleLoopInvariantLoad, Idx: i, Line: ins.Line,
+				Msg: fmt.Sprintf("load address %v is invariant in the loop at %d..%d and no store in it may alias: hoistable", ai.Addr[i], l.Head, l.Back),
+			})
+		}
+	}
+	return out
+}
+
+// hoistableFrom reports whether load i sits in a loop whose every
+// iteration provably reloads the same unchanged word: the address is
+// loop-invariant and no store inside the loop may alias it. Returns the
+// outermost such loop.
+func (ai *AbsInt) hoistableFrom(i int) (Loop, bool) {
+	a := ai.An
+	var best Loop
+	found := false
+	for _, l := range a.Loops {
+		if !l.Contains(i) || !ai.loopInvariantAddr(l, i) {
+			continue
+		}
+		clean := true
+		for k := l.Head; k <= l.Back; k++ {
+			if !ai.Reached[k] || !a.Prog.Instructions[k].Op.Info().Store {
+				continue
+			}
+			if ai.aliasRanges(i, k) != NoAlias {
+				clean = false
+				break
+			}
+		}
+		if clean && (!found || l.Back-l.Head > best.Back-best.Head) {
+			best, found = l, true
+		}
+	}
+	return best, found
 }

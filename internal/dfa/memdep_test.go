@@ -1,0 +1,277 @@
+package dfa
+
+import (
+	"testing"
+
+	"ruu/internal/isa"
+	"ruu/internal/livermore"
+	"ruu/internal/progsynth"
+)
+
+// memProg wires a program and returns its abstract interpretation from
+// the zero entry state (all registers {0}).
+func memProg(t *testing.T, ins []isa.Instruction) *AbsInt {
+	t.Helper()
+	p := &isa.Program{Instructions: ins}
+	return Analyze(p).Interpret(AbsRegs{}, 0)
+}
+
+func TestAliasConstants(t *testing.T) {
+	// A1 = 100: the store hits 104, the loads hit 104 and 105.
+	ai := memProg(t, []isa.Instruction{
+		{Op: isa.LoadAImm, I: 1, Imm: 100},   // 0
+		{Op: isa.StoreA, I: 2, J: 1, Imm: 4}, // 1: [104]
+		{Op: isa.LoadA, I: 3, J: 1, Imm: 4},  // 2: [104]
+		{Op: isa.LoadA, I: 4, J: 1, Imm: 5},  // 3: [105]
+		{Op: isa.Halt},                       // 4
+	})
+	if k := ai.Alias(1, 2); k != MustAlias {
+		t.Errorf("equal constant addresses: %v, want must-alias", k)
+	}
+	if k := ai.Alias(1, 3); k != NoAlias {
+		t.Errorf("distinct constant addresses: %v, want no-alias", k)
+	}
+}
+
+func TestAliasSymbolicBase(t *testing.T) {
+	// The base register's value is unknown (entry state Top), but both
+	// accesses share its unique reaching definition and displacement.
+	p := &isa.Program{Instructions: []isa.Instruction{
+		{Op: isa.MovAS, I: 1, J: 1},          // 0: A1 = S1 (unknown value)
+		{Op: isa.StoreA, I: 2, J: 1, Imm: 8}, // 1
+		{Op: isa.LoadA, I: 3, J: 1, Imm: 8},  // 2
+		{Op: isa.LoadA, I: 4, J: 1, Imm: 9},  // 3: same base, other disp
+		{Op: isa.Halt},                       // 4
+	}}
+	ai := Analyze(p).Interpret(EntryTop(), 0)
+	if k := ai.Alias(1, 2); k != MustAlias {
+		t.Errorf("same unique base def + disp: %v, want must-alias", k)
+	}
+	// Different displacement defeats the symbolic rule; with Top ranges
+	// the pair stays may-alias (the intervals overlap).
+	if k := ai.Alias(1, 3); k != MayAlias {
+		t.Errorf("same base, different disp, unknown range: %v, want may-alias", k)
+	}
+}
+
+func TestAliasStrideDisjoint(t *testing.T) {
+	// The loop walks A1 by 2: stores hit even offsets, loads odd ones —
+	// the congruence classes mod 2 never meet.
+	ai := memProg(t, []isa.Instruction{
+		{Op: isa.LoadAImm, I: 0, Imm: 4},       // 0: counter
+		{Op: isa.LoadAImm, I: 1, Imm: 100},     // 1: base
+		{Op: isa.StoreA, I: 2, J: 1, Imm: 0},   // 2: 100, 102, ... (loop head)
+		{Op: isa.LoadA, I: 3, J: 1, Imm: 1},    // 3: 101, 103, ...
+		{Op: isa.AddAImm, I: 1, J: 1, Imm: 2},  // 4
+		{Op: isa.AddAImm, I: 0, J: 0, Imm: -1}, // 5
+		{Op: isa.BrANZ, Imm: 2},                // 6
+		{Op: isa.Halt},                         // 7
+	})
+	if got := ai.Addr[2].Stride; got != 2 {
+		t.Fatalf("store address stride = %d (%v), want 2", got, ai.Addr[2])
+	}
+	if k := ai.Alias(2, 3); k != NoAlias {
+		t.Errorf("even/odd strided accesses: %v, want no-alias", k)
+	}
+	d := ai.MemDeps()
+	for _, e := range d.Edges {
+		if (e.From == 2 && e.To == 3) || (e.From == 3 && e.To == 2) {
+			t.Errorf("unexpected dependence edge %+v between stride-disjoint accesses", e)
+		}
+	}
+}
+
+func TestMemDepsLoopCarried(t *testing.T) {
+	// A loop storing and reloading one fixed word: the intra-iteration
+	// pair is must-alias, and both the store→load and the store's
+	// self-dependence are carried across iterations as must-alias
+	// because the address is loop-invariant.
+	ai := memProg(t, []isa.Instruction{
+		{Op: isa.LoadAImm, I: 0, Imm: 3},       // 0
+		{Op: isa.LoadAImm, I: 1, Imm: 200},     // 1
+		{Op: isa.StoreA, I: 2, J: 1, Imm: 0},   // 2: loop head, [200]
+		{Op: isa.LoadA, I: 3, J: 1, Imm: 0},    // 3: [200]
+		{Op: isa.AddAImm, I: 0, J: 0, Imm: -1}, // 4
+		{Op: isa.BrANZ, Imm: 2},                // 5
+		{Op: isa.Halt},                         // 6
+	})
+	d := ai.MemDeps()
+	want := map[[2]int]AliasKind{}
+	carried := map[[2]int]bool{}
+	for _, e := range d.Edges {
+		key := [2]int{e.From, e.To}
+		if e.Carried {
+			carried[key] = true
+		} else {
+			want[key] = e.Kind
+		}
+	}
+	if want[[2]int{2, 3}] != MustAlias {
+		t.Errorf("intra-iteration store→load not must-alias: %+v", d.Edges)
+	}
+	if !carried[[2]int{3, 2}] || !carried[[2]int{2, 2}] {
+		t.Errorf("missing carried edges (load→store wraparound, store self): %+v", d.Edges)
+	}
+	if d.Must == 0 || d.Carried == 0 {
+		t.Errorf("summary counts Must=%d Carried=%d, want both > 0", d.Must, d.Carried)
+	}
+}
+
+func TestMemDepsCarriedStrideWalkDowngraded(t *testing.T) {
+	// The store walks a stride: within one iteration nothing else
+	// accesses memory, but across iterations the store depends on
+	// itself only as may-alias (it never rewrites the same word — but
+	// the interval overlap cannot prove that about *pairs* of
+	// iterations without relative distance, so MayAlias is the sound
+	// verdict; MustAlias would be wrong).
+	ai := memProg(t, []isa.Instruction{
+		{Op: isa.LoadAImm, I: 0, Imm: 4},       // 0
+		{Op: isa.LoadAImm, I: 1, Imm: 100},     // 1
+		{Op: isa.StoreA, I: 2, J: 1, Imm: 0},   // 2: loop head
+		{Op: isa.AddAImm, I: 1, J: 1, Imm: 1},  // 3
+		{Op: isa.AddAImm, I: 0, J: 0, Imm: -1}, // 4
+		{Op: isa.BrANZ, Imm: 2},                // 5
+		{Op: isa.Halt},                         // 6
+	})
+	d := ai.MemDeps()
+	found := false
+	for _, e := range d.Edges {
+		if e.Carried && e.From == 2 && e.To == 2 {
+			found = true
+			if e.Kind != MayAlias {
+				t.Errorf("stride-walking store self-dependence = %v, want may-alias", e.Kind)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing carried self-dependence of the walking store")
+	}
+}
+
+// TestCrossCheckCleanEverywhere replays every Livermore kernel and a
+// progsynth corpus and asserts the executor never contradicts the
+// static alias classification — the must-alias-violation rule stays
+// silent on sound analyses.
+func TestCrossCheckCleanEverywhere(t *testing.T) {
+	for _, k := range livermore.Kernels() {
+		u, err := k.Unit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := k.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ai := Analyze(u.Prog).InterpretState(st)
+		fs, err := ai.CrossCheckMemDeps(st, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s: %v", k.Name, f)
+		}
+	}
+	opts := progsynth.Options{Nested: true, CondBranches: true}
+	for seed := int64(1); seed <= 15; seed++ {
+		p := progsynth.Generate(seed, opts)
+		st := progsynth.NewState(seed, opts)
+		ai := Analyze(p).InterpretState(st)
+		fs, err := ai.CrossCheckMemDeps(st, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, f := range fs {
+			t.Errorf("seed %d: %v", seed, f)
+		}
+	}
+}
+
+// TestLintOOBAccess checks the oob-access rule fires on a definitely
+// out-of-range address and carries error severity.
+func TestLintOOBAccess(t *testing.T) {
+	p := &isa.Program{Instructions: []isa.Instruction{
+		{Op: isa.LoadAImm, I: 1, Imm: -5}, // 0
+		{Op: isa.LoadA, I: 2, J: 1},       // 1: [-5] always faults
+		{Op: isa.Halt},                    // 2
+	}}
+	ai := Analyze(p).Interpret(AbsRegs{}, 64)
+	fs := ai.Lint()
+	if len(fs) != 1 || fs[0].Rule != RuleOOBAccess || fs[0].Idx != 1 {
+		t.Fatalf("findings = %v, want one oob-access at instr 1", fs)
+	}
+	if fs[0].Rule.Severity() != SevError {
+		t.Errorf("oob-access severity = %v, want error", fs[0].Rule.Severity())
+	}
+
+	// Beyond the top of the image is equally definite.
+	p2 := &isa.Program{Instructions: []isa.Instruction{
+		{Op: isa.LoadAImm, I: 1, Imm: 100},
+		{Op: isa.LoadAImm, I: 2, Imm: 1},
+		{Op: isa.StoreA, I: 2, J: 1},
+		{Op: isa.Halt},
+	}}
+	ai2 := Analyze(p2).Interpret(AbsRegs{}, 64)
+	fs2 := ai2.Lint()
+	if len(fs2) != 1 || fs2[0].Rule != RuleOOBAccess {
+		t.Fatalf("findings = %v, want one oob-access", fs2)
+	}
+}
+
+// TestLintLoopInvariantLoad checks the advisory rule: a loop reloading
+// an unchanging word is flagged, but only when no store in the loop may
+// alias the load.
+func TestLintLoopInvariantLoad(t *testing.T) {
+	hoistable := []isa.Instruction{
+		{Op: isa.LoadAImm, I: 0, Imm: 3},       // 0
+		{Op: isa.LoadAImm, I: 1, Imm: 50},      // 1
+		{Op: isa.LoadA, I: 2, J: 1},            // 2: loop head, [50] every iter
+		{Op: isa.AddAImm, I: 3, J: 2, Imm: 1},  // 3: consume the load
+		{Op: isa.AddAImm, I: 0, J: 0, Imm: -1}, // 4
+		{Op: isa.BrANZ, Imm: 2},                // 5
+		{Op: isa.Halt},                         // 6
+	}
+	ai := memProg(t, hoistable)
+	var got []Finding
+	for _, f := range ai.Lint() {
+		if f.Rule == RuleLoopInvariantLoad {
+			got = append(got, f)
+		}
+	}
+	if len(got) != 1 || got[0].Idx != 2 {
+		t.Fatalf("loop-invariant-load findings = %v, want one at instr 2", got)
+	}
+	if got[0].Rule.Severity() != SevNote {
+		t.Errorf("loop-invariant-load severity = %v, want note", got[0].Rule.Severity())
+	}
+
+	// Adding an aliasing store into the loop silences the rule.
+	aliased := append([]isa.Instruction{}, hoistable...)
+	aliased[3] = isa.Instruction{Op: isa.StoreA, I: 2, J: 1} // store [50] in loop
+	ai = memProg(t, aliased)
+	for _, f := range ai.Lint() {
+		if f.Rule == RuleLoopInvariantLoad {
+			t.Errorf("unexpected loop-invariant-load with aliasing store: %v", f)
+		}
+	}
+}
+
+// TestKernelsFreeOfErrorFindings pins every Livermore kernel clean of
+// gating (error-severity) findings under the full value-aware rule set.
+func TestKernelsFreeOfErrorFindings(t *testing.T) {
+	for _, k := range livermore.Kernels() {
+		u, err := k.Unit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := k.NewState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ai := Analyze(u.Prog).InterpretState(st)
+		for _, f := range ai.Lint() {
+			if f.Rule.Severity() == SevError {
+				t.Errorf("%s: %v", k.Name, f)
+			}
+		}
+	}
+}

@@ -332,10 +332,45 @@ type RunResult struct {
 // DefaultMaxInstructions bounds Run against runaway programs.
 const DefaultMaxInstructions = 50_000_000
 
+// MemEvent describes one retired dynamic memory access: the accessing
+// instruction, its effective address, and the value transferred (the
+// loaded value for loads, the stored data for stores). The address is
+// sampled before the instruction executes, so a load that overwrites
+// its own base register still reports the address it actually accessed.
+type MemEvent struct {
+	PC    int
+	Ins   isa.Instruction
+	Addr  int64
+	Value int64
+	Store bool
+}
+
+// Hooks are the optional per-instruction observation points of a
+// functional run. They exist for oracle cross-checks: the static
+// analyses in internal/dfa replay programs through them to compare
+// their claims (value ranges, memory-dependence edges) against the
+// architectural truth. Nil hooks cost nothing.
+type Hooks struct {
+	// Trace is invoked for every retired instruction with its PC.
+	Trace func(pc int, ins isa.Instruction)
+	// Mem is invoked for every retired load and store.
+	Mem func(ev MemEvent)
+	// Pre is invoked before each instruction executes, with the PC
+	// about to execute (the architectural state is the instruction's
+	// input state). It is not called for the trapping instruction's
+	// retry after a trap, because RunHooks returns at the trap.
+	Pre func(pc int)
+}
+
 // Run executes the program until HALT, a trap, or maxInstr dynamic
 // instructions (DefaultMaxInstructions if maxInstr<=0). If trace is
 // non-nil it is invoked for every retired instruction with its PC.
 func (st *State) Run(p *isa.Program, maxInstr int64, trace func(pc int, ins isa.Instruction)) (RunResult, error) {
+	return st.RunHooks(p, maxInstr, Hooks{Trace: trace})
+}
+
+// RunHooks is Run with the full observation-hook set.
+func (st *State) RunHooks(p *isa.Program, maxInstr int64, h Hooks) (RunResult, error) {
 	if maxInstr <= 0 {
 		maxInstr = DefaultMaxInstructions
 	}
@@ -345,6 +380,19 @@ func (st *State) Run(p *isa.Program, maxInstr int64, trace func(pc int, ins isa.
 			return res, fmt.Errorf("exec: instruction budget %d exhausted at pc=%d (runaway program?)", maxInstr, st.PC)
 		}
 		pc := st.PC
+		if h.Pre != nil {
+			h.Pre(pc)
+		}
+		// Sample the effective address before the step: a load may
+		// overwrite its own base register.
+		var addr int64
+		memHook := false
+		if h.Mem != nil && pc >= 0 && pc < len(p.Instructions) {
+			if ins := p.Instructions[pc]; ins.Op.IsMem() {
+				addr = EffAddr(ins, st.Reg(isa.A(int(ins.J))))
+				memHook = true
+			}
+		}
 		ins, trap := st.Step(p)
 		if trap != nil {
 			res.Trap = trap
@@ -359,11 +407,19 @@ func (st *State) Run(p *isa.Program, maxInstr int64, trace func(pc int, ins isa.
 		}
 		if info := ins.Op.Info(); info.Load {
 			res.Loads++
+			if memHook {
+				dst, _ := ins.Dst()
+				h.Mem(MemEvent{PC: pc, Ins: ins, Addr: addr, Value: st.Reg(dst)})
+			}
 		} else if info.Store {
 			res.Stores++
+			if memHook {
+				data := st.Reg(isa.Reg{File: info.File, Idx: ins.I})
+				h.Mem(MemEvent{PC: pc, Ins: ins, Addr: addr, Value: data, Store: true})
+			}
 		}
-		if trace != nil {
-			trace(pc, ins)
+		if h.Trace != nil {
+			h.Trace(pc, ins)
 		}
 	}
 	return res, nil

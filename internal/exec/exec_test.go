@@ -313,3 +313,50 @@ func TestTraceCallback(t *testing.T) {
 		t.Fatalf("trace pcs = %v", pcs)
 	}
 }
+
+func TestRunHooksMemEvents(t *testing.T) {
+	// A load that overwrites its own base register must still report the
+	// address it accessed (sampled before the step), and a store reports
+	// the data it wrote.
+	p := &isa.Program{Instructions: []isa.Instruction{
+		{Op: isa.LoadAImm, I: 1, Imm: 100},   // A1 = 100
+		{Op: isa.LoadSImm, I: 2, Imm: 7},     // S2 = 7
+		{Op: isa.StoreS, I: 2, J: 1, Imm: 3}, // M[103] = S2
+		{Op: isa.LoadA, I: 1, J: 1, Imm: 3},  // A1 = M[103] (base clobbered)
+		{Op: isa.Halt},
+	}}
+	st := NewState(nil)
+	var evs []MemEvent
+	var pres []int
+	res, err := st.RunHooks(p, 0, Hooks{
+		Mem: func(ev MemEvent) { evs = append(evs, ev) },
+		Pre: func(pc int) { pres = append(pres, pc) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loads != 1 || res.Stores != 1 {
+		t.Fatalf("loads/stores = %d/%d, want 1/1", res.Loads, res.Stores)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("got %d mem events, want 2", len(evs))
+	}
+	if !evs[0].Store || evs[0].Addr != 103 || evs[0].Value != 7 || evs[0].PC != 2 {
+		t.Errorf("store event = %+v", evs[0])
+	}
+	if evs[1].Store || evs[1].Addr != 103 || evs[1].Value != 7 || evs[1].PC != 3 {
+		t.Errorf("load event = %+v", evs[1])
+	}
+	if st.A[1] != 7 {
+		t.Errorf("A1 = %d, want 7", st.A[1])
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(pres) != len(want) {
+		t.Fatalf("pre pcs = %v", pres)
+	}
+	for i, pc := range want {
+		if pres[i] != pc {
+			t.Fatalf("pre pcs = %v, want %v", pres, want)
+		}
+	}
+}

@@ -59,7 +59,7 @@ func routeLabel(r *http.Request) string {
 	switch {
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		p = "/v1/jobs/{id}"
-	case p == "/v1/simulate", p == "/v1/sweep", p == "/healthz", p == "/metrics":
+	case p == "/v1/simulate", p == "/v1/analyze", p == "/v1/sweep", p == "/healthz", p == "/metrics":
 	default:
 		p = "other"
 	}
@@ -271,6 +271,10 @@ func (s *Server) wireMetrics(build BuildInfo) {
 			})
 	}
 
+	reg.CounterFunc("ruu_analyze_reject_total",
+		"Programs rejected by the POST /v1/analyze static pre-screen "+
+			"(error-severity lint findings or a trapping replay).",
+		func() float64 { return float64(s.analyzeRejects.Load()) })
 	reg.CounterFunc("ruu_sim_cycles_total",
 		"Simulated machine cycles, summed over synchronous simulations.",
 		func() float64 { return float64(s.simCycles.Load()) })

@@ -100,6 +100,7 @@ type Server struct {
 	simCycles       atomic.Int64
 	simInstructions atomic.Int64
 	simWallMS       atomic.Int64
+	analyzeRejects  atomic.Int64 // programs 422-rejected by the static pre-screen
 
 	jobsWG sync.WaitGroup
 }
@@ -147,6 +148,7 @@ func New(cfg Config) *Server {
 		p.SetOnJobSpan(s.onJobSpan)
 	}
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
