@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-smoke lint lint-fix-check dfa analyze serve quickstart-http
+.PHONY: all build test race vet bench bench-json bench-smoke lint lint-timing lint-fix-check dfa analyze serve quickstart-http
 
 all: build test vet lint analyze
 
@@ -39,12 +39,26 @@ bench-smoke:
 # produces every format off a single load and shared callgraph: the
 # plain-text findings (the CI problem matcher consumes these), JSON
 # lines in out/ruulint.json for tooling, a SARIF 2.1.0 log in
-# out/ruulint.sarif for GitHub code scanning, and a per-pass timing
-# summary on stderr.
+# out/ruulint.sarif for GitHub code scanning, a per-pass timing
+# summary on stderr, and a machine-readable timing report in
+# out/lint-timings.json. The incremental cache (out/lintcache/) is on
+# by default, so an unchanged tree answers in milliseconds; `make
+# lint-timing` measures the cold/warm split explicitly.
 lint:
 	$(GO) build ./...
 	@mkdir -p out
-	$(GO) run ./cmd/ruulint -out out/ruulint.json -sarif out/ruulint.sarif -timings ./...
+	$(GO) run ./cmd/ruulint -out out/ruulint.json -sarif out/ruulint.sarif -timings -timings-out out/lint-timings.json ./...
+
+# lint-timing is the cache benchmark as a Make step: a cold run (cache
+# bypassed and repopulated) then a warm run of the identical command,
+# each writing its timing report to out/. CI uploads both JSON files as
+# the lint-timings artifact; the warm report's cache_full_hit must be
+# true and its total_ns sits ~2-3 orders of magnitude under cold.
+lint-timing:
+	$(GO) build ./...
+	@mkdir -p out
+	$(GO) run ./cmd/ruulint -cold -timings -timings-out out/lint-timings-cold.json ./...
+	$(GO) run ./cmd/ruulint -timings -timings-out out/lint-timings-warm.json ./...
 
 # analyze runs ruudfa, the ISA-level static analysis (see docs/DFA.md):
 # value-aware program lint (abstract interpretation), the static

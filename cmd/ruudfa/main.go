@@ -13,7 +13,14 @@
 //	ruudfa -kernel LLL3        # one built-in kernel
 //	ruudfa prog.s other.s      # assembly files
 //	ruudfa -json ...           # one JSON object per program per line
+//	ruudfa -out f.json ...     # also write the JSON lines to a file
 //	ruudfa -sarif f.sarif ...  # also write a SARIF 2.1.0 log
+//	ruudfa -timings ...        # per-program wall-clock summary on stderr
+//	ruudfa -timings-out t.json # same summary as JSON
+//
+// The machine-output flag set (-json, -out, -sarif, -timings,
+// -timings-out) is shared with ruulint through
+// analysis.RegisterOutputFlags, so the two analysis CLIs cannot drift.
 //
 // Lint findings print as program: severity: position: [rule] message,
 // deterministically ordered by (file, line, rule). Exit status: 0
@@ -28,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"ruu/internal/analysis"
 	"ruu/internal/asm"
@@ -39,13 +47,10 @@ import (
 )
 
 func main() {
-	var (
-		kernel    = flag.String("kernel", "", "analyze one built-in Livermore kernel (LLL1..LLL14)")
-		asJSON    = flag.Bool("json", false, "emit one JSON object per program per line")
-		sarifPath = flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file")
-	)
+	kernel := flag.String("kernel", "", "analyze one built-in Livermore kernel (LLL1..LLL14)")
+	out := analysis.RegisterOutputFlags(flag.CommandLine)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruudfa [-json] [-sarif file] [-kernel NAME | file.s ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ruudfa [-json] [-out file] [-sarif file] [-timings] [-timings-out file] [-kernel NAME | file.s ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -75,28 +80,60 @@ func main() {
 	mc := machine.DefaultConfig()
 	bcfg := dfa.BoundConfig{Lat: mc.Lat, FwdLatency: mc.FwdLatency}
 
+	start := time.Now()
 	var results []result
+	var perProgram []analysis.PassTiming
+	totalFindings := 0
 	for _, p := range progs {
+		progStart := time.Now()
 		r, err := analyze(p, bcfg)
 		if err != nil {
 			fatal(err)
 		}
 		results = append(results, r)
+		perProgram = append(perProgram, analysis.PassTiming{
+			Name: p.name, Findings: len(r.Findings), Elapsed: time.Since(progStart),
+		})
+		totalFindings += len(r.Findings)
 	}
+	timRep := analysis.NewTimingsReport("ruudfa", time.Since(start), perProgram, totalFindings, analysis.CacheStats{})
 
-	if *sarifPath != "" {
+	if out.SARIF != "" {
 		cwd, _ := os.Getwd()
 		b, err := marshalSARIF(results, cwd)
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*sarifPath, b, 0o644); err != nil {
+		if err := os.WriteFile(out.SARIF, b, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if out.Out != "" {
+		f, err := os.Create(out.Out)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		for _, r := range results {
+			if err := enc.Encode(r); err != nil {
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if out.Timings {
+		timRep.Print(os.Stderr)
+	}
+	if out.TimingsOut != "" {
+		if err := timRep.WriteFile(out.TimingsOut); err != nil {
 			fatal(err)
 		}
 	}
 
 	nErrors, nNotes := 0, 0
-	if *asJSON {
+	if out.JSON {
 		enc := json.NewEncoder(os.Stdout)
 		for _, r := range results {
 			if err := enc.Encode(r); err != nil {

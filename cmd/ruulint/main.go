@@ -2,10 +2,10 @@
 // (internal/analysis) over the module: determinism hygiene in
 // simulation packages, obs probe coverage in the issue engines, the
 // precise-state mutation discipline, hot-path allocation freedom, enum
-// switch exhaustiveness, paper-constant conformance, and the
-// service-layer concurrency and HTTP-contract passes (mutexguard,
-// ctxflow, goroutineleak, httpcontract), plus the suppression
-// meta-pass.
+// switch exhaustiveness, paper-constant conformance, the service-layer
+// concurrency and HTTP-contract passes (mutexguard, ctxflow,
+// goroutineleak, httpcontract), the SSA value-flow passes (nilness,
+// policycontract), plus the suppression meta-pass.
 //
 // Usage:
 //
@@ -14,14 +14,24 @@
 //	ruulint -passes precisestate,probeemit ./...
 //	ruulint -json ./...        # one JSON object per finding per line
 //	ruulint -out f.json -sarif f.sarif ./...   # machine formats, one load
-//	ruulint -timings ./...     # per-pass wall-clock summary on stderr
+//	ruulint -timings ./...     # wall-clock summary on stderr
+//	ruulint -timings-out t.json ./...          # same summary as JSON
+//	ruulint -cold ./...        # ignore cached entries, repopulate them
+//	ruulint -cache=false ./... # bypass the cache entirely
+//
+// By default runs go through the persistent incremental cache under
+// out/lintcache/ (module-relative; -cache-dir overrides): per-(pass,
+// package) finding sets keyed by content hashes, so an unchanged tree
+// lints without type-checking and an edit re-analyzes only the
+// packages whose hash inputs moved. Cached results are byte-identical
+// to a cold run's.
 //
 // Findings print as file:line:col: [pass] message, relative to the
 // working directory; with -json, as one {"pos","pass","msg"} object per
 // line. -out writes the JSON lines to a file and -sarif writes a SARIF
-// 2.1.0 log (for GitHub code scanning), both from the same single load
-// and pass run as the terminal output. Exit status: 0 clean, 1
-// findings, 2 usage or load error.
+// 2.1.0 log (for GitHub code scanning), both from the same single pass
+// run as the terminal output. Exit status: 0 clean, 1 findings, 2
+// usage or load error.
 package main
 
 import (
@@ -39,15 +49,15 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the passes and exit")
-		passes  = flag.String("passes", "", "comma-separated pass names to run (default: all)")
-		asJSON  = flag.Bool("json", false, "emit one JSON object per finding per line")
-		outPath = flag.String("out", "", "also write JSON-lines findings to this file")
-		sarif   = flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file")
-		timings = flag.Bool("timings", false, "print a per-pass timing summary to stderr")
+		list     = flag.Bool("list", false, "list the passes and exit")
+		passes   = flag.String("passes", "", "comma-separated pass names to run (default: all)")
+		cache    = flag.Bool("cache", true, "use the persistent incremental lint cache")
+		cacheDir = flag.String("cache-dir", "out/lintcache", "cache directory, relative to the module root")
+		cold     = flag.Bool("cold", false, "ignore cached entries but still write fresh ones")
 	)
+	out := analysis.RegisterOutputFlags(flag.CommandLine)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ruulint [-list] [-json] [-out file] [-sarif file] [-timings] [-passes p1,p2] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: ruulint [-list] [-json] [-out file] [-sarif file] [-timings] [-timings-out file] [-passes p1,p2] [-cache=false] [-cache-dir dir] [-cold] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -61,11 +71,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	mod, err := analysis.Load(root)
+	modPath, err := analysis.ModulePathOf(root)
 	if err != nil {
 		fatal(err)
 	}
-	all := analysis.DefaultPasses(mod.Path)
+	all := analysis.DefaultPasses(modPath)
 	if *list {
 		for _, p := range all {
 			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
@@ -77,15 +87,38 @@ func main() {
 		fatal(err)
 	}
 
-	// One load, one snapshot: every output format below reads the same
-	// pass run (the callgraph is built once and shared through the
-	// snapshot).
-	snap := analysis.NewSnapshot(mod.Packages)
-	findings, passTimings := analysis.CheckSnapshot(snap, selected)
+	// One pass run feeds every output format below; on the cached path
+	// an unchanged tree answers from disk without type-checking.
+	start := time.Now()
+	var (
+		findings    []analysis.Finding
+		passTimings []analysis.PassTiming
+		stats       analysis.CacheStats
+	)
+	if *cache {
+		dir := *cacheDir
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, dir)
+		}
+		findings, passTimings, stats, err = analysis.CheckCached(root, dir, selected, *cold)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		loadStart := time.Now()
+		mod, err := analysis.Load(root)
+		if err != nil {
+			fatal(err)
+		}
+		stats.LoadElapsed = time.Since(loadStart)
+		snap := analysis.NewSnapshot(mod.Packages)
+		findings, passTimings = analysis.CheckSnapshot(snap, selected)
+	}
+	report := analysis.NewTimingsReport("ruulint", time.Since(start), passTimings, len(findings), stats)
 
 	cwd, _ := os.Getwd()
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
+	if out.Out != "" {
+		f, err := os.Create(out.Out)
 		if err != nil {
 			fatal(err)
 		}
@@ -96,16 +129,16 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *sarif != "" {
+	if out.SARIF != "" {
 		b, err := analysis.MarshalSARIF(findings, selected, root)
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*sarif, b, 0o644); err != nil {
+		if err := os.WriteFile(out.SARIF, b, 0o644); err != nil {
 			fatal(err)
 		}
 	}
-	if *asJSON {
+	if out.JSON {
 		if err := writeJSONLines(os.Stdout, findings, cwd); err != nil {
 			fatal(err)
 		}
@@ -114,13 +147,13 @@ func main() {
 			fmt.Printf("%s:%d:%d: [%s] %s\n", relTo(cwd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Pass, f.Message)
 		}
 	}
-	if *timings {
-		var total time.Duration
-		for _, pt := range passTimings {
-			fmt.Fprintf(os.Stderr, "ruulint: %-16s %4d finding(s) %12s\n", pt.Name, pt.Findings, pt.Elapsed.Round(time.Microsecond))
-			total += pt.Elapsed
+	if out.Timings {
+		report.Print(os.Stderr)
+	}
+	if out.TimingsOut != "" {
+		if err := report.WriteFile(out.TimingsOut); err != nil {
+			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "ruulint: %-16s %4d finding(s) %12s\n", "total", len(findings), total.Round(time.Microsecond))
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "ruulint: %d finding(s)\n", len(findings))

@@ -1,0 +1,415 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// This file is the persistent incremental cache behind `ruulint
+// -cache`: per-(pass, package) finding sets keyed by content hashes, so
+// a lint of an unchanged tree answers from disk without type-checking
+// anything — the load is ~98% of a cold run's wall clock — and an
+// incremental edit re-analyzes only the packages whose hash inputs
+// moved.
+//
+// The key construction is what makes replaying a cached entry safe:
+//
+//	key = SHA-256(format version, module dir, pass name, pass version,
+//	              package path, dependency hash)
+//
+// where the dependency hash is, per the pass's CacheMode, either the
+// package's deps-hash — its own file contents plus the file contents of
+// every in-module package it transitively imports — or the module hash
+// over every package's files (for call-graph passes, where interface
+// dispatch can route through a package the importer never mentions).
+// File contents cover everything else a pass can observe: suppression
+// markers are comments in the hashed files, scope is a function of the
+// package path, and pass configuration changes arrive as pass-version
+// bumps (Pass.Version exists precisely to be bumped when logic or
+// message formats change).
+//
+// Hashing needs file contents and import clauses only, so the scan
+// parses with parser.ImportsOnly — two orders of magnitude cheaper than
+// the full load — while walking the same directories, honoring the same
+// build constraints, and therefore seeing the same package set as
+// Load (the scan reuses the loader's helpers). Entries are one JSON
+// file each under the cache directory, written atomically; a corrupt or
+// missing entry is a miss, never an error. See docs/ANALYSIS.md (v4).
+
+// cacheFormat invalidates every entry when the entry layout or key
+// recipe itself changes.
+const cacheFormat = "ruulint-cache-v1"
+
+// CacheStats reports what a CheckCached run did, for the -timings
+// summary and the warm-vs-cold assertions in CI.
+type CacheStats struct {
+	// Hits and Misses count (pass, package) pairs.
+	Hits, Misses int
+	// FullHit marks a run answered entirely from the cache, skipping
+	// the load.
+	FullHit bool
+	// ScanElapsed is the cost of hashing the tree and probing entries.
+	ScanElapsed time.Duration
+	// LoadElapsed is the cost of the full parse+typecheck, zero on a
+	// full hit.
+	LoadElapsed time.Duration
+}
+
+// cacheEntry is the on-disk format of one (pass, package) result.
+type cacheEntry struct {
+	Format   string    `json:"format"`
+	Pass     string    `json:"pass"`
+	Version  int       `json:"version"`
+	Package  string    `json:"package"`
+	Findings []Finding `json:"findings"`
+}
+
+// pkgScan is one package's hash inputs.
+type pkgScan struct {
+	path    string   // import path
+	dir     string   // directory
+	hash    [32]byte // SHA-256 of the package's (included) file names+contents
+	imports []string // in-module imports, sorted
+}
+
+// moduleScan is the hashed view of the whole module.
+type moduleScan struct {
+	modPath, dir string
+	pkgs         []*pkgScan          // sorted by import path
+	depsHash     map[string][32]byte // package → hash incl. transitive in-module deps
+	moduleHash   [32]byte
+}
+
+// scanModule hashes the module's packages without type-checking,
+// walking exactly the directories Load would load.
+func scanModule(dir string) (*moduleScan, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	scan := &moduleScan{modPath: modPath, dir: root, depsHash: map[string][32]byte{}}
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (len(name) > 0 && (name[0] == '.' || name[0] == '_') || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ps, err := scanPackage(path, root, modPath)
+		if err != nil || ps == nil {
+			return err
+		}
+		scan.pkgs = append(scan.pkgs, ps)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(scan.pkgs, func(i, j int) bool { return scan.pkgs[i].path < scan.pkgs[j].path })
+
+	byPath := map[string]*pkgScan{}
+	mh := sha256.New()
+	for _, ps := range scan.pkgs {
+		byPath[ps.path] = ps
+		fmt.Fprintf(mh, "%s\n", ps.path)
+		mh.Write(ps.hash[:])
+	}
+	copy(scan.moduleHash[:], mh.Sum(nil))
+	for _, ps := range scan.pkgs {
+		depsHashOf(ps, byPath, scan.depsHash)
+	}
+	return scan, nil
+}
+
+// scanPackage hashes one directory's included files and collects its
+// in-module imports; nil when the directory holds no non-test Go files.
+func scanPackage(dir, root, modPath string) (*pkgScan, error) {
+	names, err := goFileNames(dir)
+	if err != nil || len(names) == 0 {
+		return nil, err
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	imp := modPath
+	if rel != "." {
+		imp = modPath + "/" + filepath.ToSlash(rel)
+	}
+	ps := &pkgScan{path: imp, dir: dir}
+	h := sha256.New()
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	included := 0
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		// ImportsOnly stops after the import block but still records the
+		// comments fileExcluded needs (they precede the package clause).
+		f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly|parser.ParseComments)
+		if err != nil {
+			// Unparseable file: hash it anyway (the content still decides
+			// validity) and let the full load surface the real error.
+			fmt.Fprintf(h, "%s\n%d\n", name, len(data))
+			h.Write(data)
+			included++
+			continue
+		}
+		if fileExcluded(f) {
+			continue
+		}
+		fmt.Fprintf(h, "%s\n%d\n", name, len(data))
+		h.Write(data)
+		included++
+		for _, is := range f.Imports {
+			p := importPathOf(is.Path.Value)
+			if (p == modPath || len(p) > len(modPath) && p[:len(modPath)+1] == modPath+"/") && !seen[p] {
+				seen[p] = true
+				ps.imports = append(ps.imports, p)
+			}
+		}
+	}
+	if included == 0 {
+		return nil, nil
+	}
+	sort.Strings(ps.imports)
+	copy(ps.hash[:], h.Sum(nil))
+	return ps, nil
+}
+
+// importPathOf strips the quotes from an import spec path literal.
+func importPathOf(lit string) string {
+	if len(lit) >= 2 && lit[0] == '"' && lit[len(lit)-1] == '"' {
+		return lit[1 : len(lit)-1]
+	}
+	return lit
+}
+
+// depsHashOf memoizes the package's hash combined with its in-module
+// transitive dependencies' hashes (imports are acyclic in Go, so plain
+// recursion terminates).
+func depsHashOf(ps *pkgScan, byPath map[string]*pkgScan, memo map[string][32]byte) [32]byte {
+	if h, ok := memo[ps.path]; ok {
+		return h
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n", ps.path)
+	h.Write(ps.hash[:])
+	for _, imp := range ps.imports {
+		dep, ok := byPath[imp]
+		if !ok {
+			continue // not a loadable package (pruned dir); Load will complain if real
+		}
+		dh := depsHashOf(dep, byPath, memo)
+		fmt.Fprintf(h, "%s\n", imp)
+		h.Write(dh[:])
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	memo[ps.path] = out
+	return out
+}
+
+// entryKey derives the content-hash cache key of one (pass, package)
+// pair.
+func entryKey(scan *moduleScan, p *Pass, ps *pkgScan) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%s\n%d\n%s\n", cacheFormat, scan.dir, p.Name, p.Version, ps.path)
+	if p.Cache == CacheModule {
+		h.Write(scan.moduleHash[:])
+	} else {
+		dh := scan.depsHash[ps.path]
+		h.Write(dh[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// readEntry loads one cache entry; ok is false on any miss, mismatch,
+// or decode failure.
+func readEntry(cacheDir, key string, p *Pass, pkgPath string) (cacheEntry, bool) {
+	var e cacheEntry
+	data, err := os.ReadFile(filepath.Join(cacheDir, key+".json"))
+	if err != nil {
+		return e, false
+	}
+	if json.Unmarshal(data, &e) != nil {
+		return e, false
+	}
+	if e.Format != cacheFormat || e.Pass != p.Name || e.Version != p.Version || e.Package != pkgPath {
+		return e, false
+	}
+	return e, true
+}
+
+// writeEntry persists one entry atomically (write-rename, so a
+// concurrent reader sees either nothing or a complete entry).
+func writeEntry(cacheDir, key string, e cacheEntry) error {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(cacheDir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(cacheDir, key+".json"))
+}
+
+// CheckCached is the incremental front end to CheckSnapshot: it hashes
+// the module rooted at dir, answers every (pass, package) pair it can
+// from cacheDir, and loads/type-checks only when at least one pair
+// missed — running exactly the passes that missed somewhere, on exactly
+// the packages they missed, and persisting the fresh results. With cold
+// set, existing entries are ignored (but fresh ones are still written),
+// which is how a cache directory is (re)populated.
+//
+// The merged findings are identical — byte for byte, in the same total
+// order — to what CheckSnapshot over a fresh load would produce,
+// because entries store the final (suppression-filtered) finding sets
+// and SortFindings is a total order.
+func CheckCached(dir, cacheDir string, passes []*Pass, cold bool) ([]Finding, []PassTiming, CacheStats, error) {
+	var stats CacheStats
+	scanStart := time.Now()
+	scan, err := scanModule(dir)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+
+	type pair struct{ pass, pkg int }
+	keys := make(map[pair]string, len(passes)*len(scan.pkgs))
+	cached := make(map[pair][]Finding)
+	missed := make(map[pair]bool)
+	for pi, p := range passes {
+		for ki, ps := range scan.pkgs {
+			pr := pair{pi, ki}
+			keys[pr] = entryKey(scan, p, ps)
+			if cold {
+				missed[pr] = true
+				continue
+			}
+			if e, ok := readEntry(cacheDir, keys[pr], p, ps.path); ok {
+				cached[pr] = e.Findings
+				stats.Hits++
+			} else {
+				missed[pr] = true
+			}
+		}
+	}
+	stats.Misses = len(missed)
+	stats.ScanElapsed = time.Since(scanStart)
+
+	timings := make([]PassTiming, len(passes))
+	for i, p := range passes {
+		timings[i].Name = p.Name
+	}
+	var out []Finding
+	if len(missed) == 0 {
+		for pr, fs := range cached {
+			out = append(out, fs...)
+			timings[pr.pass].Findings += len(fs)
+		}
+		SortFindings(out)
+		stats.FullHit = true
+		return out, timings, stats, nil
+	}
+
+	loadStart := time.Now()
+	mod, err := Load(dir)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.LoadElapsed = time.Since(loadStart)
+	// The scan and the load walk the same tree with the same exclusion
+	// rules; if they ever disagree, replaying entries against the wrong
+	// package set would corrupt the merge, so refuse loudly.
+	if len(mod.Packages) != len(scan.pkgs) {
+		return nil, nil, stats, fmt.Errorf("cache scan saw %d packages, load saw %d; not caching", len(scan.pkgs), len(mod.Packages))
+	}
+	for i, pkg := range mod.Packages {
+		if pkg.Path != scan.pkgs[i].path {
+			return nil, nil, stats, fmt.Errorf("cache scan package %q, load package %q; not caching", scan.pkgs[i].path, pkg.Path)
+		}
+	}
+
+	snap := NewSnapshot(mod.Packages)
+	suppCache := make(map[int]map[string]map[int]map[string]bool)
+	suppOf := func(ki int) map[string]map[int]map[string]bool {
+		if s, ok := suppCache[ki]; ok {
+			return s
+		}
+		s := suppressedPasses(mod.Packages[ki])
+		suppCache[ki] = s
+		return s
+	}
+	for pi, p := range passes {
+		ran := false
+		for ki := range scan.pkgs {
+			if !missed[pair{pi, ki}] {
+				continue
+			}
+			if !ran {
+				ran = true
+				if p.Init != nil {
+					start := time.Now()
+					p.Init(snap)
+					timings[pi].Elapsed += time.Since(start)
+				}
+			}
+			pkg := mod.Packages[ki]
+			start := time.Now()
+			var fs []Finding
+			suppressed := suppOf(ki)
+			for _, f := range p.Run(pkg) {
+				if suppressed[f.Pos.Filename][f.Pos.Line][f.Pass] {
+					continue
+				}
+				fs = append(fs, f)
+			}
+			timings[pi].Elapsed += time.Since(start)
+			pr := pair{pi, ki}
+			cached[pr] = fs
+			if err := writeEntry(cacheDir, keys[pr], cacheEntry{
+				Format: cacheFormat, Pass: p.Name, Version: p.Version,
+				Package: pkg.Path, Findings: fs,
+			}); err != nil {
+				return nil, nil, stats, err
+			}
+		}
+	}
+	for pr, fs := range cached {
+		out = append(out, fs...)
+		timings[pr.pass].Findings += len(fs)
+	}
+	SortFindings(out)
+	return out, timings, stats, nil
+}

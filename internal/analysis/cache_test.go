@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCacheWarmSpeedupAndIdentity is the acceptance gate for the
+// incremental cache: over the real module, a warm run on an unchanged
+// tree must answer entirely from the cache, at least 5× faster than the
+// cold run that populated it, with byte-identical findings.
+func TestCacheWarmSpeedupAndIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping full-module cache benchmark")
+	}
+	root := repoRoot(t)
+	cacheDir := t.TempDir()
+	passes := DefaultPasses("ruu")
+
+	coldStart := time.Now()
+	coldFindings, _, coldStats, err := CheckCached(root, cacheDir, passes, true)
+	if err != nil {
+		t.Fatalf("cold CheckCached: %v", err)
+	}
+	coldElapsed := time.Since(coldStart)
+	if coldStats.FullHit {
+		t.Fatal("cold run reported a full cache hit")
+	}
+
+	warmStart := time.Now()
+	warmFindings, _, warmStats, err := CheckCached(root, cacheDir, passes, false)
+	if err != nil {
+		t.Fatalf("warm CheckCached: %v", err)
+	}
+	warmElapsed := time.Since(warmStart)
+
+	if !warmStats.FullHit {
+		t.Errorf("warm run on unchanged tree: FullHit=false (%d misses)", warmStats.Misses)
+	}
+	if warmStats.LoadElapsed != 0 {
+		t.Errorf("warm run loaded the module (%v); a full hit must not", warmStats.LoadElapsed)
+	}
+	if coldElapsed < 5*warmElapsed {
+		t.Errorf("warm run not ≥5× faster: cold %v, warm %v (%.1fx)",
+			coldElapsed, warmElapsed, float64(coldElapsed)/float64(warmElapsed))
+	}
+
+	coldJSON, err := json.Marshal(coldFindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := json.Marshal(warmFindings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Errorf("cached findings are not byte-identical to the cold run's:\ncold: %s\nwarm: %s", coldJSON, warmJSON)
+	}
+}
+
+// writeCacheModule lays out a two-package module (b imports a) for the
+// invalidation tests.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachemod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\n// V is exported state.\nvar V = 1\n\nfunc Get() int { return V }\n",
+		"b/b.go": "package b\n\nimport \"cachemod/a\"\n\nfunc Use() int { return a.Get() }\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestCachePerPackageInvalidation edits one leaf package and checks the
+// blast radius: a CacheDeps pass keeps the untouched package's entry, a
+// CacheModule pass loses everything.
+func TestCachePerPackageInvalidation(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	// One pass per CacheMode: nilness is CacheDeps, policycontract is
+	// CacheModule.
+	passes := []*Pass{NewNilness(nil), NewPolicyContract(nil)}
+	if passes[0].Cache != CacheDeps || passes[1].Cache != CacheModule {
+		t.Fatal("test premise broken: pass cache modes changed")
+	}
+
+	if _, _, stats, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	} else if stats.Hits != 0 || stats.Misses != 4 {
+		t.Fatalf("first run: hits=%d misses=%d, want 0/4", stats.Hits, stats.Misses)
+	}
+	if _, _, stats, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	} else if !stats.FullHit || stats.Hits != 4 {
+		t.Fatalf("unchanged rerun: hits=%d fullHit=%v, want 4/true", stats.Hits, stats.FullHit)
+	}
+
+	// Editing leaf package b: a's nilness entry is the only survivor —
+	// b's own hash moved, and the module hash (policycontract) moved.
+	bPath := filepath.Join(dir, "b", "b.go")
+	if err := os.WriteFile(bPath, []byte("package b\n\nimport \"cachemod/a\"\n\nfunc Use() int { return a.Get() + 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stats, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	} else if stats.Hits != 1 || stats.Misses != 3 {
+		t.Fatalf("after editing b: hits=%d misses=%d, want 1/3", stats.Hits, stats.Misses)
+	}
+
+	// Editing a invalidates b's deps-entry too (b imports a).
+	aPath := filepath.Join(dir, "a", "a.go")
+	if err := os.WriteFile(aPath, []byte("package a\n\n// V is exported state.\nvar V = 2\n\nfunc Get() int { return V }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stats, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	} else if stats.Hits != 0 || stats.Misses != 4 {
+		t.Fatalf("after editing a: hits=%d misses=%d, want 0/4", stats.Hits, stats.Misses)
+	}
+}
+
+// TestCachePassVersionInvalidates pins the pass-version key component:
+// bumping Version orphans every entry of that pass and only that pass.
+func TestCachePassVersionInvalidates(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	passes := []*Pass{NewNilness(nil), NewPolicyContract(nil)}
+	if _, _, _, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	}
+	passes[0].Version++
+	if _, _, stats, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	} else if stats.Hits != 2 || stats.Misses != 2 {
+		t.Fatalf("after version bump: hits=%d misses=%d, want 2/2", stats.Hits, stats.Misses)
+	}
+}
+
+// TestCacheColdIgnoresEntries: -cold reruns everything but repopulates,
+// so the next warm run full-hits.
+func TestCacheColdIgnoresEntries(t *testing.T) {
+	dir := writeCacheModule(t)
+	cacheDir := t.TempDir()
+	passes := []*Pass{NewNilness(nil)}
+	if _, _, _, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, stats, err := CheckCached(dir, cacheDir, passes, true); err != nil {
+		t.Fatal(err)
+	} else if stats.Hits != 0 || stats.Misses != 2 {
+		t.Fatalf("cold rerun: hits=%d misses=%d, want 0/2", stats.Hits, stats.Misses)
+	}
+	if _, _, stats, err := CheckCached(dir, cacheDir, passes, false); err != nil {
+		t.Fatal(err)
+	} else if !stats.FullHit {
+		t.Fatalf("warm after cold: fullHit=false (%d misses)", stats.Misses)
+	}
+}
+
+// TestCacheSuppressionInvalidates: adding a suppression marker is a
+// file edit, so the affected package re-runs and the cached findings
+// track the marker.
+func TestCacheSuppressionInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module supmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "p")
+	if err := os.MkdirAll(src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	body := "package p\n\nfunc mayFail() error { return nil }\n\nfunc drop() {\n\tmayFail()%s\n}\n"
+	if err := os.WriteFile(filepath.Join(src, "p.go"), []byte(fmt.Sprintf(body, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := t.TempDir()
+	passes := []*Pass{NewNilness(nil)}
+	findings, _, _, err := CheckCached(dir, cacheDir, passes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 discarded error: %v", len(findings), findings)
+	}
+	if err := os.WriteFile(filepath.Join(src, "p.go"), []byte(fmt.Sprintf(body, " //ruulint:ok nilness fire-and-forget by design")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, _, stats, err := CheckCached(dir, cacheDir, passes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FullHit {
+		t.Error("marker edit did not invalidate the package entry")
+	}
+	if len(findings) != 0 {
+		t.Errorf("suppressed finding still reported: %v", findings)
+	}
+}

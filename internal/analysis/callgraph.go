@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"sync"
 )
 
 // This file builds the lightweight dataflow layer the allocation pass
@@ -29,6 +30,10 @@ type CallGraph struct {
 	// namedTypes are all named (non-interface) types declared in the
 	// loaded packages, the RTA universe for interface dispatch.
 	namedTypes []*types.Named
+	// implMu guards implCache: resolution happens both during the
+	// single-threaded build and later from Callees, which concurrent
+	// passes may call through the snapshot's value-flow program.
+	implMu sync.Mutex
 	// implCache memoizes interface-method resolution.
 	implCache map[*types.Func][]*types.Func
 }
@@ -154,12 +159,32 @@ func (g *CallGraph) collectEdges(n *cgNode) {
 	walk(n.decl.Body, false, false)
 }
 
-// callees resolves a call expression to the function objects it may
+// Callees resolves a call expression to the function objects it may
 // invoke: one for a static call, every module implementation for an
 // interface-method call, none for builtins and calls through plain
-// function values.
+// function values. This is the resolver the snapshot's value-flow
+// program injects into the ssa package. Safe for concurrent use.
+func (g *CallGraph) Callees(info *types.Info, call *ast.CallExpr) []*types.Func {
+	return g.callees(info, call)
+}
+
+// callees is the internal resolver behind Callees.
 func (g *CallGraph) callees(info *types.Info, call *ast.CallExpr) []*types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fun := ast.Unparen(call.Fun)
+	// A generic call f[T](...) or f[T1, T2](...) instantiates through
+	// an index expression; the callee object sits under it. (An index
+	// into a slice/map of funcs also parses this way — then the inner
+	// expression resolves to a variable, not a function, and falls
+	// through to nil below.)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		if isFuncExpr(info, ix.X) {
+			fun = ast.Unparen(ix.X)
+		}
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		if fn, ok := info.Uses[fun].(*types.Func); ok {
 			return []*types.Func{fn}
@@ -180,9 +205,30 @@ func (g *CallGraph) callees(info *types.Info, call *ast.CallExpr) []*types.Func 
 	return nil
 }
 
+// isFuncExpr reports whether e resolves to a function object — which
+// makes an enclosing IndexExpr a generic instantiation rather than a
+// container index.
+func isFuncExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, ok := info.Uses[e].(*types.Func)
+		return ok
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			_, isFn := sel.Obj().(*types.Func)
+			return isFn
+		}
+		_, ok := info.Uses[e.Sel].(*types.Func)
+		return ok
+	}
+	return false
+}
+
 // implementations resolves an interface method to the corresponding
 // concrete method of every module type implementing the interface.
 func (g *CallGraph) implementations(m *types.Func, itf *types.Interface) []*types.Func {
+	g.implMu.Lock()
+	defer g.implMu.Unlock()
 	if out, ok := g.implCache[m]; ok {
 		return out
 	}

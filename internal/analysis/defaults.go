@@ -35,6 +35,19 @@ var ServicePackages = []string{
 	"cmd/ruuserve",
 }
 
+// NilnessPackages lists the packages (relative to the module path) the
+// nilness value-flow pass runs over: the service layer and the command
+// binaries, where pointers and errors cross API boundaries. The
+// simulation core is excluded by design — its invariants are enforced
+// by the engine-specific passes, and its inner loops use nil probes and
+// nil tables as deliberate sentinels.
+var NilnessPackages = []string{
+	"internal/sched",
+	"internal/server",
+	"internal/obs",
+	"cmd",
+}
+
 // EnginePackages lists the packages holding issue engines (relative to
 // the module path); the probeemit and precisestate passes run over
 // these.
@@ -182,6 +195,8 @@ func DefaultPasses(modulePath string) []*Pass {
 		NewCtxFlow(prefix(ServicePackages)...),
 		NewGoroutineLeak(prefix(ServicePackages)...),
 		NewHTTPContract(modulePath + "/internal/server"),
+		NewNilness(prefix(NilnessPackages)),
+		NewPolicyContract(allow, prefix(EnginePackages)...),
 	}
 	names := make([]string, 0, len(passes)+1)
 	for _, p := range passes {

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotPathAllocEscapeNotes pins the SSA upgrade to hotpathalloc:
+// the escape analysis must reproduce every allocation finding (notes
+// are append-only — no site gained or lost relative to the syntactic
+// pass, which checkWants already pins) and must actually explain the
+// sites whose values provably leave the frame.
+func TestHotPathAllocEscapeNotes(t *testing.T) {
+	pkg := loadFixture(t, "hotpathalloc")
+	findings := Check([]*Package{pkg}, []*Pass{NewHotPathAlloc(fixtureHotConfig())})
+	if len(findings) == 0 {
+		t.Fatal("no findings on the hotpathalloc fixture")
+	}
+
+	// Sites whose allocations flow out of the frame in the fixture must
+	// carry a value-flow route; frame-local ones must not.
+	wantNote := map[string]bool{
+		"&pair literal":  false, // p := &pair{...}; _ = p stays in-frame
+		"make allocates": true,  // stored to the receiver field e.buf
+		"new allocates":  false, // q stays local
+	}
+	noted := 0
+	for _, f := range findings {
+		hasNote := strings.Contains(f.Message, "; escapes: ")
+		if hasNote {
+			noted++
+		}
+		for prefix, want := range wantNote {
+			if strings.Contains(f.Message, prefix) && hasNote != want {
+				t.Errorf("site %q: escape note present=%v, want %v (%s)", prefix, hasNote, want, f.Message)
+			}
+		}
+	}
+	if noted == 0 {
+		t.Error("no finding carries an escape note; the SSA layer is disconnected from hotpathalloc")
+	}
+}

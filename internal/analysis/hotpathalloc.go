@@ -5,6 +5,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
+
+	"ruu/internal/analysis/ssa"
 )
 
 // The hotpathalloc pass statically checks the simulator's noalloc
@@ -64,13 +67,17 @@ func NewHotPathAlloc(cfg HotPathConfig) *Pass {
 	}
 	var graph *CallGraph
 	var hot map[*types.Func]bool
+	var prog *ssa.Program
 	loopRoots := map[*types.Func]bool{}
 	return &Pass{
-		Name: "hotpathalloc",
-		Doc:  "no heap allocation, boxing, or fmt on the per-cycle hot path",
+		Name:    "hotpathalloc",
+		Doc:     "no heap allocation, boxing, or fmt on the per-cycle hot path",
+		Version: 2, // v2: SSA escape paths appended to allocation findings
+		Cache:   CacheModule,
 		Init: func(snap *Snapshot) {
 			graph = snap.Graph()
 			hot = graph.Hot(cfg.Roots, cfg.ColdFuncs)
+			prog = snap.ValueFlow()
 			for _, r := range cfg.Roots {
 				if r.LoopOnly {
 					if fn := graph.Lookup(r.Pkg, r.Recv, r.Func); fn != nil {
@@ -97,6 +104,7 @@ func NewHotPathAlloc(cfg HotPathConfig) *Pass {
 				if nilFastPath(pkg, fd) {
 					continue
 				}
+				sf := prog.FuncOf(ssa.Source{Decl: fd, Fset: pkg.Fset, Info: pkg.Info})
 				s := &allocScanner{
 					pkg:         pkg,
 					cold:        cold,
@@ -106,7 +114,7 @@ func NewHotPathAlloc(cfg HotPathConfig) *Pass {
 						out = append(out, Finding{
 							Pass:    "hotpathalloc",
 							Pos:     pkg.Pos(n),
-							Message: fmt.Sprintf(format, args...),
+							Message: fmt.Sprintf(format, args...) + escapeNote(prog, sf, n),
 						})
 					},
 				}
@@ -115,6 +123,37 @@ func NewHotPathAlloc(cfg HotPathConfig) *Pass {
 			return out
 		},
 	}
+}
+
+// escapeNote runs the SSA escape analysis on an allocation finding's
+// node and renders the value-flow route as a message suffix — the
+// *why* behind the finding. Non-allocation sites (fmt calls, boxing,
+// string concatenation) and values the analysis proves frame-local get
+// no suffix: the finding itself is unchanged either way, the note only
+// explains it.
+func escapeNote(prog *ssa.Program, f *ssa.Func, n ast.Node) string {
+	if prog == nil || f == nil {
+		return ""
+	}
+	var alloc ast.Expr
+	switch n := n.(type) {
+	case *ast.UnaryExpr: // &T{}
+		alloc = n
+	case *ast.CompositeLit: // slice/map literal
+		alloc = n
+	case *ast.CallExpr: // make/new (fmt calls resolve non-escaping contexts anyway)
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); !ok || (id.Name != "make" && id.Name != "new") {
+			return ""
+		}
+		alloc = n
+	default:
+		return ""
+	}
+	esc := prog.Escapes(f, alloc)
+	if !esc.Escapes || len(esc.Path) == 0 {
+		return ""
+	}
+	return "; escapes: " + strings.Join(esc.Path, " -> ")
 }
 
 // allocScanner walks one hot function body reporting allocation sites.

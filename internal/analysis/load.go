@@ -170,6 +170,12 @@ func (l *loader) load(path string) (*Package, error) {
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		// Instances resolves uses of generic functions and methods to
+		// their type arguments; without it the call graph and SSA
+		// builder would see instantiation sites as bare generic
+		// objects and could neither resolve nor version them.
+		Instances: map[*ast.Ident]types.Instance{},
+		Implicits: map[ast.Node]types.Object{},
 	}
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(path, l.fset, files, info)
@@ -241,6 +247,13 @@ func goFileNames(dir string) ([]string, error) {
 func hasGoFiles(dir string) bool {
 	names, err := goFileNames(dir)
 	return err == nil && len(names) > 0
+}
+
+// ModulePathOf reads the module path from dir's go.mod without loading
+// anything — the cached lint path needs the pass set (whose scopes are
+// module-path-prefixed) before it knows whether a load is necessary.
+func ModulePathOf(dir string) (string, error) {
+	return modulePath(filepath.Join(dir, "go.mod"))
 }
 
 // modulePath extracts the module path from a go.mod file.

@@ -1,0 +1,16 @@
+package analysis
+
+import "testing"
+
+func TestNilnessFixtures(t *testing.T) {
+	pkg := loadFixture(t, "nilness")
+	checkWants(t, pkg, NewNilness(nil))
+}
+
+func TestNilnessScope(t *testing.T) {
+	pkg := loadFixture(t, "nilness")
+	findings := Check([]*Package{pkg}, []*Pass{NewNilness([]string{"elsewhere"})})
+	if len(findings) != 0 {
+		t.Errorf("out-of-scope package produced findings: %v", findings)
+	}
+}

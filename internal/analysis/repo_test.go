@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"os/exec"
-	"path/filepath"
 	"testing"
 )
 
@@ -10,14 +9,7 @@ import (
 // the real tree must carry zero findings, so every convention the
 // passes encode is live, not aspirational.
 func TestRepoTreeClean(t *testing.T) {
-	root, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
-	mod, err := Load(root)
-	if err != nil {
-		t.Fatalf("Load(%s): %v", root, err)
-	}
+	mod := loadRepo(t)
 	if mod.Path != "ruu" {
 		t.Fatalf("module path = %q, want ruu", mod.Path)
 	}
@@ -71,10 +63,7 @@ func TestRuulintCommandExitsZero(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: skipping go run subprocess")
 	}
-	root, err := filepath.Abs(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
+	root := repoRoot(t)
 	cmd := exec.Command("go", "run", "./cmd/ruulint", "./...")
 	cmd.Dir = root
 	out, err := cmd.CombinedOutput()

@@ -1,5 +1,13 @@
 package analysis
 
+import (
+	"go/ast"
+	"go/types"
+	"sync"
+
+	"ruu/internal/analysis/ssa"
+)
+
 // Snapshot is one loaded, type-checked view of the packages under
 // analysis plus the expensive derived structures the passes share.
 // Before the snapshot existed every dataflow pass built its own module
@@ -15,7 +23,12 @@ type Snapshot struct {
 	Packages []*Package
 
 	byPath map[string]*Package
-	graph  *CallGraph
+
+	graphOnce sync.Once
+	graph     *CallGraph
+
+	vfOnce sync.Once
+	vf     *ssa.Program
 }
 
 // NewSnapshot wraps the packages for shared analysis.
@@ -32,10 +45,34 @@ func NewSnapshot(pkgs []*Package) *Snapshot {
 func (s *Snapshot) ByPath(path string) *Package { return s.byPath[path] }
 
 // Graph returns the module call graph, building it on first use and
-// sharing it across every pass of this snapshot.
+// sharing it across every pass of this snapshot. Safe for concurrent
+// use: passes may run in parallel off one snapshot.
 func (s *Snapshot) Graph() *CallGraph {
-	if s.graph == nil {
+	s.graphOnce.Do(func() {
 		s.graph = BuildCallGraph(s.Packages)
-	}
+	})
 	return s.graph
+}
+
+// ValueFlow returns the snapshot's interprocedural SSA view, lazily
+// built over the call graph. The two resolver closures are the only
+// coupling between the ssa package and the analysis layer: ssa never
+// imports analysis.
+func (s *Snapshot) ValueFlow() *ssa.Program {
+	s.vfOnce.Do(func() {
+		g := s.Graph()
+		s.vf = ssa.NewProgram(
+			func(fn *types.Func) (ssa.Source, bool) {
+				decl, pkg := g.Decl(fn)
+				if decl == nil {
+					return ssa.Source{}, false
+				}
+				return ssa.Source{Decl: decl, Fset: pkg.Fset, Info: pkg.Info}, true
+			},
+			func(info *types.Info, call *ast.CallExpr) []*types.Func {
+				return g.Callees(info, call)
+			},
+		)
+	})
+	return s.vf
 }

@@ -1,0 +1,416 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file lowers a function body to the basic-block CFG the SSA
+// construction runs on. Compound statements are decomposed: blocks
+// hold only simple statements and branch conditions, and every
+// control construct becomes edges. break/continue (labeled or not)
+// and fallthrough are modeled exactly; goto marks the function
+// approximate (no function in this repository uses it — the flag is a
+// soundness valve, not a feature).
+
+// cfgBuilder threads the under-construction CFG through the statement
+// walk.
+type cfgBuilder struct {
+	fn   *Func
+	cur  *Block
+	exit *Block // synthetic sink for returns and panics
+
+	// breaks and continues map the innermost (and labeled) enclosing
+	// loop or switch to its break/continue targets.
+	breaks    []loopTarget
+	continues []loopTarget
+}
+
+type loopTarget struct {
+	label string
+	block *Block
+}
+
+func (c *cfgBuilder) newBlock() *Block {
+	b := &Block{Index: -1}
+	c.fn.Blocks = append(c.fn.Blocks, b)
+	return b
+}
+
+func addEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// seal ends the current block with an unconditional edge to next and
+// makes next current. A nil current block (after return/break) just
+// switches.
+func (c *cfgBuilder) seal(next *Block) {
+	if c.cur != nil {
+		addEdge(c.cur, next)
+	}
+	c.cur = next
+}
+
+// emit appends a simple node to the current block, opening a fresh
+// (unreachable) block if control already left.
+func (c *cfgBuilder) emit(n ast.Node) {
+	if c.cur == nil {
+		c.cur = c.newBlock()
+	}
+	c.cur.Nodes = append(c.cur.Nodes, n)
+}
+
+// buildCFG lowers the body and returns the entry block.
+func buildCFG(fn *Func) *Block {
+	c := &cfgBuilder{fn: fn}
+	entry := c.newBlock()
+	c.exit = c.newBlock()
+	c.cur = entry
+	c.stmts(fn.Decl.Body.List, "")
+	if c.cur != nil {
+		addEdge(c.cur, c.exit)
+	}
+	return entry
+}
+
+func (c *cfgBuilder) stmts(list []ast.Stmt, label string) {
+	for i, s := range list {
+		// Only the first statement of the list can legitimately carry
+		// the enclosing label (labeled loops).
+		l := ""
+		if i == 0 {
+			l = label
+		}
+		c.stmt(s, l)
+	}
+}
+
+func (c *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.stmts(s.List, "")
+	case *ast.LabeledStmt:
+		// Attach the label to the labeled construct; a label on a
+		// simple statement is a goto target — approximate.
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			c.stmt(s.Stmt, s.Label.Name)
+		default:
+			c.fn.Approx = true
+			c.stmt(s.Stmt, "")
+		}
+	case *ast.IfStmt:
+		c.ifStmt(s)
+	case *ast.ForStmt:
+		c.forStmt(s, label)
+	case *ast.RangeStmt:
+		c.rangeStmt(s, label)
+	case *ast.SwitchStmt:
+		c.switchStmt(s, label)
+	case *ast.TypeSwitchStmt:
+		c.typeSwitchStmt(s, label)
+	case *ast.SelectStmt:
+		c.selectStmt(s, label)
+	case *ast.ReturnStmt:
+		c.emit(s)
+		c.seal(c.exit)
+		c.cur = nil
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			c.jump(c.breaks, s.Label)
+		case token.CONTINUE:
+			c.jump(c.continues, s.Label)
+		case token.GOTO:
+			c.fn.Approx = true
+			c.cur = nil
+		case token.FALLTHROUGH:
+			// Handled structurally by switchStmt; nothing to emit.
+		}
+	case nil:
+	default:
+		// Simple statements: assignments, declarations, expression
+		// statements, inc/dec, send, defer, go.
+		c.emit(s)
+	}
+}
+
+// jump resolves a break/continue to its target and ends the block.
+func (c *cfgBuilder) jump(stack []loopTarget, label *ast.Ident) {
+	want := ""
+	if label != nil {
+		want = label.Name
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if want == "" || stack[i].label == want {
+			c.seal(stack[i].block)
+			c.cur = nil
+			return
+		}
+	}
+	// Unresolvable target (label out of scope): approximate.
+	c.fn.Approx = true
+	c.cur = nil
+}
+
+func (c *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		c.emit(s.Init)
+	}
+	c.emit(s.Cond)
+	condBlock := c.cur
+	condBlock.Cond = s.Cond
+	then := c.newBlock()
+	join := c.newBlock()
+	addEdge(condBlock, then) // Succs[0]: true edge
+	c.cur = then
+	c.stmt(s.Body, "")
+	c.seal(join)
+	c.cur = nil
+	if s.Else != nil {
+		els := c.newBlock()
+		addEdge(condBlock, els) // Succs[1]: false edge
+		c.cur = els
+		c.stmt(s.Else, "")
+		c.seal(join)
+	} else {
+		addEdge(condBlock, join)
+	}
+	c.cur = join
+}
+
+func (c *cfgBuilder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		c.emit(s.Init)
+	}
+	head := c.newBlock()
+	body := c.newBlock()
+	exitB := c.newBlock()
+	post := head
+	if s.Post != nil {
+		post = c.newBlock()
+	}
+	c.seal(head)
+	if s.Cond != nil {
+		c.emit(s.Cond)
+		head.Cond = s.Cond
+		addEdge(head, body)  // true
+		addEdge(head, exitB) // false
+	} else {
+		addEdge(head, body)
+	}
+	c.pushLoop(label, exitB, post)
+	c.cur = body
+	c.stmt(s.Body, "")
+	c.popLoop()
+	c.seal(post)
+	if s.Post != nil {
+		c.emit(s.Post)
+		c.seal(head)
+	}
+	c.cur = exitB
+}
+
+func (c *cfgBuilder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := c.newBlock()
+	body := c.newBlock()
+	exitB := c.newBlock()
+	c.seal(head)
+	// The range statement itself sits in the header: it (re)binds the
+	// iteration variables on every entry to the body.
+	head.Nodes = append(head.Nodes, s)
+	addEdge(head, body)  // another iteration
+	addEdge(head, exitB) // exhausted
+	c.pushLoop(label, exitB, head)
+	c.cur = body
+	c.stmt(s.Body, "")
+	c.popLoop()
+	c.seal(head)
+	c.cur = exitB
+}
+
+func (c *cfgBuilder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		c.emit(s.Init)
+	}
+	if s.Tag != nil {
+		c.emit(s.Tag)
+	}
+	c.caseClauses(s.Body, label, func(cc *ast.CaseClause) []ast.Node {
+		nodes := make([]ast.Node, len(cc.List))
+		for i, e := range cc.List {
+			nodes[i] = e
+		}
+		return nodes
+	})
+}
+
+func (c *cfgBuilder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		c.emit(s.Init)
+	}
+	c.emit(s.Assign)
+	c.caseClauses(s.Body, label, func(cc *ast.CaseClause) []ast.Node { return nil })
+}
+
+// caseClauses lowers a switch body: the dispatch block fans out to one
+// block per clause (plus the exit when no default exists), clause
+// bodies converge on the exit, and fallthrough chains a clause to the
+// next clause's body.
+func (c *cfgBuilder) caseClauses(body *ast.BlockStmt, label string, guards func(*ast.CaseClause) []ast.Node) {
+	dispatch := c.cur
+	if dispatch == nil {
+		dispatch = c.newBlock()
+		c.cur = dispatch
+	}
+	exitB := c.newBlock()
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = c.newBlock()
+		addEdge(dispatch, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		addEdge(dispatch, exitB)
+	}
+	c.pushBreak(label, exitB)
+	for i, cc := range clauses {
+		c.cur = blocks[i]
+		for _, g := range guards(cc) {
+			c.emit(g)
+		}
+		fall := false
+		for _, st := range cc.Body {
+			if bs, ok := st.(*ast.BranchStmt); ok && bs.Tok == token.FALLTHROUGH {
+				fall = true
+				continue
+			}
+			c.stmt(st, "")
+		}
+		if fall && i+1 < len(blocks) {
+			c.seal(blocks[i+1])
+			c.cur = nil
+		} else {
+			c.seal(exitB)
+			c.cur = nil
+		}
+	}
+	c.popBreak()
+	c.cur = exitB
+}
+
+func (c *cfgBuilder) selectStmt(s *ast.SelectStmt, label string) {
+	dispatch := c.cur
+	if dispatch == nil {
+		dispatch = c.newBlock()
+		c.cur = dispatch
+	}
+	exitB := c.newBlock()
+	c.pushBreak(label, exitB)
+	any := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		b := c.newBlock()
+		addEdge(dispatch, b)
+		c.cur = b
+		if cc.Comm != nil {
+			c.emit(cc.Comm)
+		}
+		c.stmts(cc.Body, "")
+		c.seal(exitB)
+		c.cur = nil
+	}
+	c.popBreak()
+	if !any {
+		// select{} blocks forever.
+		c.cur = nil
+		_ = exitB
+		return
+	}
+	c.cur = exitB
+}
+
+func (c *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	c.breaks = append(c.breaks, loopTarget{"", brk})
+	c.continues = append(c.continues, loopTarget{"", cont})
+	if label != "" {
+		c.breaks = append(c.breaks, loopTarget{label, brk})
+		c.continues = append(c.continues, loopTarget{label, cont})
+	}
+}
+
+func (c *cfgBuilder) popLoop() {
+	n := 1
+	if len(c.breaks) >= 2 && c.breaks[len(c.breaks)-1].label != "" {
+		n = 2
+	}
+	c.breaks = c.breaks[:len(c.breaks)-n]
+	c.continues = c.continues[:len(c.continues)-n]
+}
+
+func (c *cfgBuilder) pushBreak(label string, brk *Block) {
+	c.breaks = append(c.breaks, loopTarget{"", brk})
+	if label != "" {
+		c.breaks = append(c.breaks, loopTarget{label, brk})
+	}
+}
+
+func (c *cfgBuilder) popBreak() {
+	n := 1
+	if len(c.breaks) >= 2 && c.breaks[len(c.breaks)-1].label != "" {
+		n = 2
+	}
+	c.breaks = c.breaks[:len(c.breaks)-n]
+}
+
+// pruneAndOrder drops unreachable blocks and renumbers the survivors
+// in reverse postorder from entry, so Blocks[0] is the entry and every
+// dominator computation can iterate in RPO.
+func pruneAndOrder(fn *Func, entry *Block) {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	// Reverse postorder.
+	fn.Blocks = fn.Blocks[:0]
+	for i := len(post) - 1; i >= 0; i-- {
+		b := post[i]
+		b.Index = len(fn.Blocks)
+		b.postnum = i
+		fn.Blocks = append(fn.Blocks, b)
+	}
+	// Strip edges into pruned blocks.
+	for _, b := range fn.Blocks {
+		preds := b.Preds[:0]
+		for _, p := range b.Preds {
+			if seen[p] {
+				preds = append(preds, p)
+			}
+		}
+		b.Preds = preds
+	}
+}

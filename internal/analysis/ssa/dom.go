@@ -1,0 +1,81 @@
+package ssa
+
+// Dominator tree and dominance frontiers, per Cooper, Harvey & Kennedy,
+// "A Simple, Fast Dominance Algorithm". Blocks must already be in
+// reverse postorder (pruneAndOrder), so intersect() can walk postorder
+// numbers upward.
+
+// buildDominators fills Idom, children, and frontier for every block.
+func buildDominators(fn *Func) {
+	if len(fn.Blocks) == 0 {
+		return
+	}
+	entry := fn.Blocks[0]
+	entry.Idom = nil
+	// idom[entry] is conventionally entry itself during iteration.
+	idom := map[*Block]*Block{entry: entry}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range fn.Blocks[1:] {
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(idom, p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	for _, b := range fn.Blocks[1:] {
+		b.Idom = idom[b]
+		if b.Idom != nil {
+			b.Idom.children = append(b.Idom.children, b)
+		}
+	}
+
+	// Dominance frontiers (the standard two-finger climb): for each
+	// join point, walk each predecessor up to the idom, adding the
+	// join to every frontier on the way.
+	for _, b := range fn.Blocks {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			for runner := p; runner != nil && runner != b.Idom; runner = runner.Idom {
+				if !containsBlock(runner.frontier, b) {
+					runner.frontier = append(runner.frontier, b)
+				}
+			}
+		}
+	}
+}
+
+func intersect(idom map[*Block]*Block, a, b *Block) *Block {
+	for a != b {
+		for a.postnum < b.postnum {
+			a = idom[a]
+		}
+		for b.postnum < a.postnum {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+func containsBlock(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}

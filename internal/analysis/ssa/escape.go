@@ -1,0 +1,433 @@
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sync"
+)
+
+// Program is the interprocedural view: a cache of per-function SSA
+// plus memoized parameter-escape summaries. It is deliberately
+// decoupled from the analysis package's Snapshot — the two injection
+// points below are closures so this package never imports the call
+// graph (the dependency runs analysis → ssa, not back).
+type Program struct {
+	// DeclOf locates a module function's declaration, reporting false
+	// for functions outside the module (their bodies are unknown).
+	DeclOf func(fn *types.Func) (Source, bool)
+	// Callees resolves a call expression to its possible targets —
+	// the static callee, or every module implementer for an interface
+	// method call. An empty slice means the call is unresolvable.
+	Callees func(info *types.Info, call *ast.CallExpr) []*types.Func
+
+	mu        sync.Mutex
+	funcs     map[*ast.FuncDecl]*Func
+	summaries map[sumKey]bool
+}
+
+// Source bundles a declaration with its package context.
+type Source struct {
+	Decl *ast.FuncDecl
+	Fset *token.FileSet
+	Info *types.Info
+}
+
+// NewProgram returns a Program with the two resolvers injected.
+func NewProgram(declOf func(*types.Func) (Source, bool), callees func(*types.Info, *ast.CallExpr) []*types.Func) *Program {
+	return &Program{
+		DeclOf:    declOf,
+		Callees:   callees,
+		funcs:     map[*ast.FuncDecl]*Func{},
+		summaries: map[sumKey]bool{},
+	}
+}
+
+// FuncOf returns the (cached) SSA form of src. Safe for concurrent
+// use.
+func (p *Program) FuncOf(src Source) *Func {
+	p.mu.Lock()
+	f, ok := p.funcs[src.Decl]
+	if ok {
+		p.mu.Unlock()
+		return f
+	}
+	p.mu.Unlock()
+	f = Build(src.Decl, src.Fset, src.Info)
+	p.mu.Lock()
+	if prev, ok := p.funcs[src.Decl]; ok {
+		f = prev // another goroutine won the race; keep one canonical Func
+	} else {
+		p.funcs[src.Decl] = f
+	}
+	p.mu.Unlock()
+	return f
+}
+
+type sumKey struct {
+	fn  *types.Func
+	idx int
+}
+
+// Escape is one escape verdict: whether the value outlives its frame,
+// and the value-flow steps that show why.
+type Escape struct {
+	// Escapes reports whether the value escapes the function.
+	Escapes bool
+	// Path is the step-by-step route (innermost first) when Escapes
+	// is true, each step a short human-readable clause with a
+	// position, e.g. "assigned to buf (x.go:12)" → "returned
+	// (x.go:20)".
+	Path []string
+}
+
+// maxEscapeSteps bounds the reported path (and the walk itself) so a
+// pathological chain cannot run away; a cut-off walk reports escape
+// conservatively.
+const maxEscapeSteps = 24
+
+// Escapes analyzes where the value of expression e — typically an
+// allocation site — flows within f, following SSA def-use chains and
+// parameter summaries across calls. It errs toward Escapes=true: an
+// unresolvable call or an untracked variable is assumed to leak.
+func (p *Program) Escapes(f *Func, e ast.Expr) Escape {
+	w := &escWalker{p: p, f: f, seenDefs: map[*Def]bool{}}
+	path, esc := w.fromExpr(e, 0)
+	return Escape{Escapes: esc, Path: path}
+}
+
+// escWalker carries one Escapes query.
+type escWalker struct {
+	p        *Program
+	f        *Func
+	seenDefs map[*Def]bool
+}
+
+func (w *escWalker) pos(n ast.Node) string {
+	p := w.f.Fset.Position(n.Pos())
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// fromExpr climbs from the expression whose value we are tracking to
+// its consuming context. Returns the escape path and verdict.
+func (w *escWalker) fromExpr(e ast.Expr, depth int) ([]string, bool) {
+	if depth > maxEscapeSteps {
+		return []string{"flow too deep to follow"}, true
+	}
+	var cur ast.Node = e
+	for {
+		par := w.f.Parent(cur)
+		if par == nil {
+			return nil, false
+		}
+		switch par := par.(type) {
+		case *ast.ParenExpr, *ast.KeyValueExpr, *ast.CompositeLit, *ast.TypeAssertExpr:
+			// Value-preserving wrappers: the enclosing expression
+			// carries (or embeds) the value.
+			cur = par
+		case *ast.SliceExpr:
+			if exprIs(par.X, cur) {
+				cur = par // reslicing shares the backing array
+			} else {
+				return nil, false // an index operand; the value is just read
+			}
+		case *ast.UnaryExpr:
+			if par.Op == token.AND {
+				cur = par // &lit: the pointer carries the value
+			} else {
+				return nil, false
+			}
+		case *ast.ReturnStmt:
+			return []string{"returned (" + w.pos(par) + ")"}, true
+		case *ast.SendStmt:
+			if exprIs(par.Value, cur) {
+				return []string{"sent on channel (" + w.pos(par) + ")"}, true
+			}
+			return nil, false
+		case *ast.AssignStmt:
+			return w.fromAssign(par, cur, depth)
+		case *ast.ValueSpec:
+			return w.fromValueSpec(par, cur, depth)
+		case *ast.CallExpr:
+			if exprIs(par.Fun, cur) {
+				return nil, false // calling a value does not leak it
+			}
+			return w.fromCallArg(par, cur, depth)
+		default:
+			// Read-only contexts (conditions, arithmetic, indexing,
+			// selector bases, statements that just evaluate): the
+			// value does not leave the frame through them.
+			return nil, false
+		}
+	}
+}
+
+func exprIs(e ast.Expr, n ast.Node) bool { return ast.Node(e) == n }
+
+// fromAssign handles `lhs = cur` (and :=): a store to anything but a
+// tracked local escapes; a tracked local continues the chain through
+// its uses.
+func (w *escWalker) fromAssign(as *ast.AssignStmt, cur ast.Node, depth int) ([]string, bool) {
+	// Locate the matching left-hand side. Allocation expressions are
+	// single-valued, so a 1:1 pairing always exists when cur is a
+	// direct operand.
+	idx := -1
+	for i, r := range as.Rhs {
+		if ast.Node(r) == cur {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(as.Lhs) != len(as.Rhs) {
+		return nil, false
+	}
+	lhs := unparen(as.Lhs[idx])
+	id, isIdent := lhs.(*ast.Ident)
+	if !isIdent {
+		return []string{"stored to " + exprString(lhs) + " (" + w.pos(as) + ")"}, true
+	}
+	if id.Name == "_" {
+		return nil, false
+	}
+	v := w.f.ObjOf(id)
+	if v == nil {
+		return nil, false
+	}
+	if !w.trackedVar(v) {
+		// Address-taken, captured, package-level, …: the variable's
+		// lifetime is not frame-local.
+		return []string{"assigned to non-local " + id.Name + " (" + w.pos(as) + ")"}, true
+	}
+	d := w.defAt(v, as)
+	if d == nil {
+		return nil, false
+	}
+	step := "assigned to " + id.Name + " (" + w.pos(as) + ")"
+	path, esc := w.fromDef(d, depth+1)
+	if esc {
+		return append([]string{step}, path...), true
+	}
+	return nil, false
+}
+
+func (w *escWalker) fromValueSpec(vs *ast.ValueSpec, cur ast.Node, depth int) ([]string, bool) {
+	idx := -1
+	for i, val := range vs.Values {
+		if ast.Node(val) == cur {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || len(vs.Names) != len(vs.Values) {
+		return nil, false
+	}
+	id := vs.Names[idx]
+	if id.Name == "_" {
+		return nil, false
+	}
+	v := w.f.ObjOf(id)
+	if v == nil {
+		return nil, false
+	}
+	if !w.trackedVar(v) {
+		return []string{"assigned to non-local " + id.Name + " (" + w.pos(vs) + ")"}, true
+	}
+	d := w.defAt(v, vs)
+	if d == nil {
+		return nil, false
+	}
+	step := "assigned to " + id.Name + " (" + w.pos(vs) + ")"
+	path, esc := w.fromDef(d, depth+1)
+	if esc {
+		return append([]string{step}, path...), true
+	}
+	return nil, false
+}
+
+// fromCallArg asks the callee's parameter summary whether the argument
+// outlives the call.
+func (w *escWalker) fromCallArg(call *ast.CallExpr, cur ast.Node, depth int) ([]string, bool) {
+	argIdx := -1
+	for i, a := range call.Args {
+		if ast.Node(a) == cur {
+			argIdx = i
+			break
+		}
+	}
+	if argIdx < 0 {
+		return nil, false
+	}
+	if w.p == nil || w.p.Callees == nil {
+		return []string{"passed to call (" + w.pos(call) + ")"}, true
+	}
+	callees := w.p.Callees(w.f.Info, call)
+	if len(callees) == 0 {
+		return []string{"passed to unresolved call (" + w.pos(call) + ")"}, true
+	}
+	for _, callee := range callees {
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return []string{"passed to " + callee.Name() + " (" + w.pos(call) + ")"}, true
+		}
+		pi := paramIndex(sig, argIdx)
+		if pi < 0 {
+			continue
+		}
+		if w.p.paramEscapes(callee, pi) {
+			return []string{"passed to " + callee.Name() + ", whose parameter " + paramName(sig, pi) + " escapes (" + w.pos(call) + ")"}, true
+		}
+	}
+	return nil, false
+}
+
+// fromDef follows every use of an SSA definition (and every phi that
+// merges it) looking for an escaping route.
+func (w *escWalker) fromDef(d *Def, depth int) ([]string, bool) {
+	if w.seenDefs[d] || depth > maxEscapeSteps {
+		return nil, false
+	}
+	w.seenDefs[d] = true
+	for _, id := range w.f.UsesOf(d) {
+		if path, esc := w.fromExpr(id, depth+1); esc {
+			return path, true
+		}
+	}
+	for _, phi := range w.f.PhisOver(d) {
+		if path, esc := w.fromDef(phi, depth+1); esc {
+			return path, true
+		}
+	}
+	return nil, false
+}
+
+func (w *escWalker) trackedVar(v *types.Var) bool {
+	for _, tv := range w.f.Vars {
+		if tv == v {
+			return true
+		}
+	}
+	return false
+}
+
+// defAt finds the definition of v created at the given site.
+func (w *escWalker) defAt(v *types.Var, site ast.Node) *Def {
+	for _, d := range w.f.Defs[v] {
+		if d.Node == site {
+			return d
+		}
+	}
+	return nil
+}
+
+// paramEscapes reports whether the idx'th declared parameter of fn can
+// outlive a call to fn (returned, stored, sent, or handed to a callee
+// whose own parameter escapes). Unknown bodies are conservatively
+// escaping; recursion bottoms out as escaping too.
+func (p *Program) paramEscapes(fn *types.Func, idx int) bool {
+	key := sumKey{fn, idx}
+	p.mu.Lock()
+	if v, ok := p.summaries[key]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	// Mark in-progress: a recursive cycle resolves conservatively.
+	p.summaries[key] = true
+	p.mu.Unlock()
+
+	result := p.computeParamEscape(fn, idx)
+
+	p.mu.Lock()
+	p.summaries[key] = result
+	p.mu.Unlock()
+	return result
+}
+
+func (p *Program) computeParamEscape(fn *types.Func, idx int) bool {
+	if p.DeclOf == nil {
+		return true
+	}
+	src, ok := p.DeclOf(fn)
+	if !ok || src.Decl == nil {
+		return true // external: unknown body
+	}
+	f := p.FuncOf(src)
+	if f == nil || f.Approx {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || idx >= sig.Params().Len() {
+		return true
+	}
+	pv := sig.Params().At(idx)
+	// Match the signature object to the tracked variable (they are the
+	// same *types.Var for a declared function).
+	var defs []*Def
+	for v, dd := range f.Defs {
+		if v == pv || (v.Name() == pv.Name() && v.Pos() == pv.Pos()) {
+			defs = dd
+			break
+		}
+	}
+	if defs == nil {
+		// The parameter is untracked (address-taken or captured):
+		// assume it leaks.
+		return !isBlankOrUnused(pv)
+	}
+	w := &escWalker{p: p, f: f, seenDefs: map[*Def]bool{}}
+	for _, d := range defs {
+		if d.Kind != DefParam {
+			continue
+		}
+		if _, esc := w.fromDef(d, 0); esc {
+			return true
+		}
+	}
+	return false
+}
+
+func isBlankOrUnused(v *types.Var) bool {
+	return v.Name() == "" || v.Name() == "_"
+}
+
+// paramIndex maps a call-site argument position to a declared
+// parameter index, folding variadic tails onto the last parameter.
+func paramIndex(sig *types.Signature, arg int) int {
+	n := sig.Params().Len()
+	if n == 0 {
+		return -1
+	}
+	if sig.Variadic() && arg >= n-1 {
+		return n - 1
+	}
+	if arg < n {
+		return arg
+	}
+	return -1
+}
+
+func paramName(sig *types.Signature, idx int) string {
+	if idx < sig.Params().Len() {
+		if n := sig.Params().At(idx).Name(); n != "" {
+			return n
+		}
+	}
+	return fmt.Sprintf("#%d", idx)
+}
+
+// exprString renders a short printable form of an assignment target.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	default:
+		return "expression"
+	}
+}

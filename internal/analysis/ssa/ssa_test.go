@@ -1,0 +1,524 @@
+package ssa
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFunc type-checks src (one file of package p) and returns the
+// named function's SSA form plus its package context.
+func parseFunc(t *testing.T, src, name string) (*Func, *token.FileSet, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     map[ast.Expr]types.TypeAndValue{},
+		Defs:      map[*ast.Ident]types.Object{},
+		Uses:      map[*ast.Ident]types.Object{},
+		Implicits: map[ast.Node]types.Object{},
+		Instances: map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != name {
+			continue
+		}
+		f := Build(fd, fset, info)
+		if f == nil {
+			t.Fatalf("Build(%s) = nil", name)
+		}
+		return f, fset, info
+	}
+	t.Fatalf("function %s not found", name)
+	return nil, nil, nil
+}
+
+func varNamed(t *testing.T, f *Func, name string) *types.Var {
+	t.Helper()
+	for _, v := range f.Vars {
+		if v.Name() == name {
+			return v
+		}
+	}
+	t.Fatalf("variable %s not tracked; tracked: %v", name, f.Vars)
+	return nil
+}
+
+func TestStraightLineDefUse(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f(a int) int {
+	x := a + 1
+	y := x * 2
+	return y
+}`, "f")
+	if f.Approx {
+		t.Fatal("straight-line function marked approximate")
+	}
+	x := varNamed(t, f, "x")
+	if got := len(f.Defs[x]); got != 1 {
+		t.Fatalf("defs of x = %d, want 1", got)
+	}
+	d := f.Defs[x][0]
+	if d.Kind != DefAssign || d.Rhs == nil {
+		t.Fatalf("x def: kind=%v rhs=%v", d.Kind, d.Rhs)
+	}
+	uses := f.UsesOf(d)
+	if len(uses) != 1 || uses[0].Name != "x" {
+		t.Fatalf("uses of x's def = %v, want the one use in y := x*2", uses)
+	}
+	a := varNamed(t, f, "a")
+	if f.Defs[a][0].Kind != DefParam {
+		t.Fatalf("a def kind = %v, want param", f.Defs[a][0].Kind)
+	}
+}
+
+func TestIfPhiPlacement(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`, "f")
+	x := varNamed(t, f, "x")
+	defs := f.Defs[x]
+	var phi *Def
+	for _, d := range defs {
+		if d.Kind == DefPhi {
+			phi = d
+		}
+	}
+	if phi == nil {
+		t.Fatalf("no phi for x; defs: %d", len(defs))
+	}
+	if len(phi.Args) != 2 {
+		t.Fatalf("phi arity = %d, want 2", len(phi.Args))
+	}
+	for i, a := range phi.Args {
+		if a == nil {
+			t.Fatalf("phi arg %d is nil", i)
+		}
+		if a.Kind != DefAssign {
+			t.Fatalf("phi arg %d kind = %v, want assign", i, a.Kind)
+		}
+	}
+	if phi.Args[0] == phi.Args[1] {
+		t.Fatal("phi merges the same def on both edges")
+	}
+	// The return's use of x must resolve to the phi.
+	found := false
+	for id, d := range f.UseDef {
+		if id.Name == "x" && d == phi {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("return use of x does not resolve to the phi")
+	}
+}
+
+func TestLoopPhi(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	s := varNamed(t, f, "s")
+	i := varNamed(t, f, "i")
+	phis := 0
+	for _, d := range f.Defs[s] {
+		if d.Kind == DefPhi {
+			phis++
+		}
+	}
+	if phis == 0 {
+		t.Fatal("loop-carried s has no phi")
+	}
+	// i++ both uses and redefines i.
+	sawIncDef := false
+	for _, d := range f.Defs[i] {
+		if _, ok := d.Node.(*ast.IncDecStmt); ok {
+			sawIncDef = true
+		}
+	}
+	if !sawIncDef {
+		t.Fatal("i++ did not create a definition")
+	}
+}
+
+func TestRangeAndSwitch(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f(xs []int, mode int) int {
+	total := 0
+	for _, v := range xs {
+		switch mode {
+		case 0:
+			total += v
+		case 1:
+			total -= v
+		default:
+			total = 0
+		}
+	}
+	return total
+}`, "f")
+	if f.Approx {
+		t.Fatal("range+switch marked approximate")
+	}
+	v := varNamed(t, f, "v")
+	var rangeDef *Def
+	for _, d := range f.Defs[v] {
+		if d.Kind == DefRange {
+			rangeDef = d
+		}
+	}
+	if rangeDef == nil {
+		t.Fatal("range binding produced no DefRange")
+	}
+	if got := len(f.UsesOf(rangeDef)); got != 2 {
+		t.Fatalf("uses of range v = %d, want 2", got)
+	}
+}
+
+func TestUntrackedVariables(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f() (int, int) {
+	addr := 1
+	p := &addr
+	captured := 2
+	g := func() { captured++ }
+	g()
+	return *p, captured
+}`, "f")
+	for _, v := range f.Vars {
+		if v.Name() == "addr" {
+			t.Fatal("address-taken variable tracked")
+		}
+		if v.Name() == "captured" {
+			t.Fatal("closure-captured variable tracked")
+		}
+	}
+	// Uses of untracked vars must have no UseDef entry.
+	for id := range f.UseDef {
+		if id.Name == "addr" || id.Name == "captured" {
+			t.Fatalf("untracked %s has a reaching definition", id.Name)
+		}
+	}
+}
+
+func TestGotoApprox(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f(n int) int {
+	x := 0
+loop:
+	x++
+	if x < n {
+		goto loop
+	}
+	return x
+}`, "f")
+	if !f.Approx {
+		t.Fatal("goto did not mark function approximate")
+	}
+}
+
+func TestCondNilCheck(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+type T struct{ v int }
+func f(p *T) int {
+	if p == nil {
+		return 0
+	}
+	return p.v
+}`, "f")
+	var checked *Block
+	for _, b := range f.Blocks {
+		if b.Cond != nil {
+			checked = b
+		}
+	}
+	if checked == nil {
+		t.Fatal("no conditional block")
+	}
+	d, nilOnTrue, ok := f.CondNilCheck(checked)
+	if !ok {
+		t.Fatal("nil check not recognized")
+	}
+	if !nilOnTrue {
+		t.Fatal("p == nil: true edge should be the nil side")
+	}
+	if d.Kind != DefParam || d.Var.Name() != "p" {
+		t.Fatalf("nil check resolves to %v of %s", d.Kind, d.Var.Name())
+	}
+	// True edge leads to return 0; false edge to return p.v.
+	if len(checked.Succs) != 2 {
+		t.Fatalf("cond block has %d succs", len(checked.Succs))
+	}
+}
+
+func TestDominates(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	entry := f.Blocks[0]
+	for _, b := range f.Blocks {
+		if !Dominates(entry, b) {
+			t.Fatalf("entry does not dominate block %d", b.Index)
+		}
+	}
+	// The two arms do not dominate each other or the join.
+	var arms []*Block
+	for _, b := range f.Blocks {
+		if len(b.Preds) == 1 && b.Preds[0] == entry {
+			arms = append(arms, b)
+		}
+	}
+	if len(arms) == 2 && Dominates(arms[0], arms[1]) {
+		t.Fatal("sibling arms dominate each other")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	f, _, _ := parseFunc(t, `package p
+func f(xs [][]int) int {
+	total := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}`, "f")
+	if f.Approx {
+		t.Fatal("labeled break marked function approximate")
+	}
+	total := varNamed(t, f, "total")
+	phis := 0
+	for _, d := range f.Defs[total] {
+		if d.Kind == DefPhi {
+			phis++
+		}
+	}
+	if phis == 0 {
+		t.Fatal("total crosses loop joins with no phi")
+	}
+}
+
+// escapeProgram builds a Program over the test file so interprocedural
+// summaries resolve static calls.
+func escapeProgram(t *testing.T, src string) (*Program, map[string]*ast.FuncDecl, *token.FileSet, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     map[ast.Expr]types.TypeAndValue{},
+		Defs:      map[*ast.Ident]types.Object{},
+		Uses:      map[*ast.Ident]types.Object{},
+		Implicits: map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	decls := map[string]*ast.FuncDecl{}
+	byObj := map[*types.Func]*ast.FuncDecl{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			decls[fd.Name.Name] = fd
+			if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+				byObj[obj] = fd
+			}
+		}
+	}
+	prog := NewProgram(
+		func(fn *types.Func) (Source, bool) {
+			if fd, ok := byObj[fn]; ok {
+				return Source{Decl: fd, Fset: fset, Info: info}, true
+			}
+			return Source{}, false
+		},
+		func(inf *types.Info, call *ast.CallExpr) []*types.Func {
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if fn, ok := inf.Uses[id].(*types.Func); ok {
+					return []*types.Func{fn}
+				}
+			}
+			return nil
+		},
+	)
+	return prog, decls, fset, info
+}
+
+// allocExprIn finds the first composite-literal or make/new call in
+// the named function.
+func allocExprIn(t *testing.T, decl *ast.FuncDecl) ast.Expr {
+	t.Helper()
+	var found ast.Expr
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			found = n
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "new") {
+				found = n
+				return false
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatal("no allocation expression found")
+	}
+	return found
+}
+
+func TestEscapeReturned(t *testing.T) {
+	src := `package p
+type T struct{ v int }
+func f() *T {
+	t := &T{v: 1}
+	return t
+}`
+	prog, decls, fset, info := escapeProgram(t, src)
+	f := prog.FuncOf(Source{Decl: decls["f"], Fset: fset, Info: info})
+	esc := prog.Escapes(f, allocExprIn(t, decls["f"]))
+	if !esc.Escapes {
+		t.Fatal("returned allocation reported as non-escaping")
+	}
+	joined := strings.Join(esc.Path, " -> ")
+	if !strings.Contains(joined, "assigned to t") || !strings.Contains(joined, "returned") {
+		t.Fatalf("path %q missing assignment/return steps", joined)
+	}
+}
+
+func TestEscapeLocalOnly(t *testing.T) {
+	src := `package p
+type T struct{ v int }
+func f() int {
+	t := T{v: 1}
+	return t.v
+}`
+	prog, decls, fset, info := escapeProgram(t, src)
+	f := prog.FuncOf(Source{Decl: decls["f"], Fset: fset, Info: info})
+	esc := prog.Escapes(f, allocExprIn(t, decls["f"]))
+	if esc.Escapes {
+		t.Fatalf("frame-local value reported escaping: %v", esc.Path)
+	}
+}
+
+func TestEscapeStoredToField(t *testing.T) {
+	src := `package p
+type T struct{ v int }
+type Box struct{ p *T }
+func f(b *Box) {
+	b.p = &T{v: 1}
+}`
+	prog, decls, fset, info := escapeProgram(t, src)
+	f := prog.FuncOf(Source{Decl: decls["f"], Fset: fset, Info: info})
+	esc := prog.Escapes(f, allocExprIn(t, decls["f"]))
+	if !esc.Escapes {
+		t.Fatal("field store reported as non-escaping")
+	}
+	if !strings.Contains(strings.Join(esc.Path, " "), "stored to b.p") {
+		t.Fatalf("path %v missing field-store step", esc.Path)
+	}
+}
+
+func TestEscapeThroughCall(t *testing.T) {
+	src := `package p
+type T struct{ v int }
+var sink *T
+func keep(t *T) { sink = t }
+func drop(t *T) int { return t.v }
+func f() {
+	a := &T{}
+	keep(a)
+}
+func g() {
+	b := &T{}
+	_ = drop(b)
+}`
+	prog, decls, fset, info := escapeProgram(t, src)
+
+	ff := prog.FuncOf(Source{Decl: decls["f"], Fset: fset, Info: info})
+	escF := prog.Escapes(ff, allocExprIn(t, decls["f"]))
+	if !escF.Escapes {
+		t.Fatal("value stored to a global through keep() reported as non-escaping")
+	}
+	if !strings.Contains(strings.Join(escF.Path, " "), "keep") {
+		t.Fatalf("path %v does not mention keep", escF.Path)
+	}
+
+	fg := prog.FuncOf(Source{Decl: decls["g"], Fset: fset, Info: info})
+	escG := prog.Escapes(fg, allocExprIn(t, decls["g"]))
+	if escG.Escapes {
+		t.Fatalf("value passed to read-only drop() reported escaping: %v", escG.Path)
+	}
+}
+
+func TestEscapeSendOnChannel(t *testing.T) {
+	src := `package p
+type T struct{ v int }
+func f(ch chan *T) {
+	ch <- &T{}
+}`
+	prog, decls, fset, info := escapeProgram(t, src)
+	f := prog.FuncOf(Source{Decl: decls["f"], Fset: fset, Info: info})
+	esc := prog.Escapes(f, allocExprIn(t, decls["f"]))
+	if !esc.Escapes || !strings.Contains(strings.Join(esc.Path, " "), "sent on channel") {
+		t.Fatalf("channel send: escapes=%v path=%v", esc.Escapes, esc.Path)
+	}
+}
+
+func TestEscapePhiMerge(t *testing.T) {
+	src := `package p
+type T struct{ v int }
+func f(c bool) *T {
+	t := &T{v: 1}
+	if c {
+		t = &T{v: 2}
+	}
+	return t
+}`
+	prog, decls, fset, info := escapeProgram(t, src)
+	f := prog.FuncOf(Source{Decl: decls["f"], Fset: fset, Info: info})
+	// The first allocation only reaches the return through the phi.
+	esc := prog.Escapes(f, allocExprIn(t, decls["f"]))
+	if !esc.Escapes {
+		t.Fatalf("phi-merged allocation reported as non-escaping")
+	}
+}

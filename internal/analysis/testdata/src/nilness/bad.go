@@ -1,0 +1,59 @@
+// Package nilness holds fixtures for the nilness value-flow pass:
+// provably-nil dereferences (straight-line, reassigned, phi-merged, and
+// on the nil branch of the pointer's own nil check) and call statements
+// that silently discard an error result.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func doWork() error      { return nil }
+func pair() (int, error) { return 0, nil }
+func find() *node        { return nil }
+
+// zeroDeref dereferences a pointer that still holds its zero value.
+func zeroDeref() int {
+	var p *node
+	return p.val // want `p is provably nil here`
+}
+
+// assignedNil dereferences after an explicit nil assignment kills the
+// earlier (unknown) definition.
+func assignedNil() int {
+	p := find()
+	p = nil
+	return p.val // want `p is provably nil here`
+}
+
+// starDeref: an explicit *p of a nil pointer.
+func starDeref() {
+	var p *int
+	_ = *p // want `p is provably nil here`
+}
+
+// phiNil merges two nil definitions: the phi is provably nil too.
+func phiNil(cond bool) int {
+	var p *node
+	if cond {
+		p = nil
+	}
+	return p.val // want `p is provably nil here`
+}
+
+// nilBranch dereferences on the nil side of the pointer's own check —
+// the definition is unknown, but the path makes it nil.
+func nilBranch() int {
+	p := find()
+	if p == nil {
+		return p.val // want `dereferenced on the nil branch`
+	}
+	return 0
+}
+
+// dropsError throws away error results on the floor.
+func dropsError() {
+	doWork() // want `silently discarded`
+	pair()   // want `silently discarded`
+}

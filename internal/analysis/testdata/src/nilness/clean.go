@@ -1,0 +1,54 @@
+package nilness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// guardedZero is why the dominating-guard rule exists: the definition
+// is provably nil, but the deref sits under the non-nil edge of an
+// explicit check, so it can never execute on the nil value.
+func guardedZero() int {
+	var p *node
+	if p == nil {
+		return 0
+	}
+	return p.val
+}
+
+// guardedNeq guards with the != form; the deref is on the true edge.
+func guardedNeq() int {
+	p := find()
+	if p != nil {
+		return p.val
+	}
+	return 0
+}
+
+// assignedReal dereferences a locally constructed value.
+func assignedReal() int {
+	p := &node{val: 3}
+	return p.val
+}
+
+// explicitDrop makes the discard visible: not a finding.
+func explicitDrop() {
+	_ = doWork()
+}
+
+// fmtDrop: discarding fmt print errors is idiomatic.
+func fmtDrop() {
+	fmt.Println("ok")
+}
+
+// builderDrop: strings.Builder writes are documented to never fail.
+func builderDrop() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}
+
+// deferDrop: defer statements are a different node kind, out of scope.
+func deferDrop() {
+	defer doWork()
+}

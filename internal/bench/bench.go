@@ -93,6 +93,7 @@ func Suite() []Benchmark {
 		{"PreciseInterruptRoundTrip", benchPreciseInterruptRoundTrip},
 		{"Ruulint", benchRuulint},
 		{"RuulintCheckOnly", benchRuulintCheckOnly},
+		{"RuulintWarm", benchRuulintWarm},
 		{"DFAAnalyze", benchDFAAnalyze},
 		{"BoundTightened", benchBoundTightened},
 	}

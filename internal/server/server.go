@@ -210,7 +210,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(v) //nolint:errcheck // the response is already committed
+	_ = enc.Encode(v) // response already committed; nothing to do with a late error
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -585,7 +585,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // execution per worker, with request IDs in the slice args.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	s.spans.WriteChromeTrace(w) //nolint:errcheck // response already committed
+	_ = s.spans.WriteChromeTrace(w) // response already committed
 }
 
 // observeLatency records one request's wall-clock service time in the
@@ -613,7 +613,7 @@ type metricsResponse struct {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if acceptsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.reg.WritePrometheus(w) //nolint:errcheck // response already committed
+		_ = s.reg.WritePrometheus(w) // response already committed
 		return
 	}
 	resp := metricsResponse{
