@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json bench-smoke lint lint-timing lint-fix-check dfa analyze serve quickstart-http
+.PHONY: all build test race vet bench bench-json bench-smoke lint lint-timing lint-fix-check dfa analyze serve quickstart-http fabric-smoke
 
 all: build test vet lint analyze
 
@@ -89,6 +89,14 @@ serve:
 # drains the server. CI runs this to cover the HTTP path.
 quickstart-http:
 	$(GO) run ./examples/quickstart/client
+
+# fabric-smoke boots a two-worker sweep fabric (coordinator + workers,
+# all in-process on loopback ports), pushes a small /v1/batch through
+# it, and diffs the NDJSON stream byte-for-byte against a serial
+# reference server — including after killing one worker mid-run. CI
+# runs this to cover the distributed path end to end.
+fabric-smoke:
+	$(GO) run ./examples/quickstart/fabric
 
 # lint-fix-check is the CI fail-fast gate: formatting and lint findings
 # fail before the slower race/bench stages run. The timing summary

@@ -128,3 +128,20 @@ func BenchmarkDFAAnalyze(b *testing.B) { runBench(b, "DFAAnalyze") }
 // BenchmarkBoundTightened measures the dataflow-limit replay with the
 // memory-dependence tightening on (the default oracle).
 func BenchmarkBoundTightened(b *testing.B) { runBench(b, "BoundTightened") }
+
+// BenchmarkStoreWrite measures persistent-store Put throughput: the
+// encode, tmp+rename, fsync, and index-append cost per entry.
+func BenchmarkStoreWrite(b *testing.B) { runBench(b, "StoreWrite") }
+
+// BenchmarkStoreRead measures persistent-store Get throughput over a
+// warm working set (decode plus checksum verification per hit).
+func BenchmarkStoreRead(b *testing.B) { runBench(b, "StoreRead") }
+
+// BenchmarkBatchThroughput posts the canonical six-item /v1/batch
+// request through the real HTTP handler with the cache disabled, at
+// pool widths 1, 2, and 4, so batch-path scaling is a tracked number.
+func BenchmarkBatchThroughput(b *testing.B) {
+	b.Run("workers=1", func(b *testing.B) { runBench(b, "BatchThroughput1") })
+	b.Run("workers=2", func(b *testing.B) { runBench(b, "BatchThroughput2") })
+	b.Run("workers=4", func(b *testing.B) { runBench(b, "BatchThroughput4") })
+}

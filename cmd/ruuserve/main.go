@@ -9,10 +9,23 @@
 //	ruuserve -addr :9000 -workers 8
 //	ruuserve -cachesize 0            # default cache; negative disables
 //	ruuserve -debug-addr :6060      # pprof on a separate admin listener
+//	ruuserve -store-dir /var/ruu    # persistent result store (warm restarts)
+//	ruuserve -coordinator http://w1:8093,http://w2:8093
+//	                                 # fabric coordinator over two workers
+//
+// With -store-dir, completed results are written through to a
+// disk-backed content-addressed store and survive restarts: a
+// redeployed server answers its previous working set from disk.
+//
+// With -coordinator, this instance routes POST /v1/batch items to the
+// listed workers by consistent-hash job key (retrying on a different
+// worker on connect/5xx failure, health-checking members in and out of
+// the ring); other endpoints still run on the local pool.
 //
 // Endpoints (see docs/SERVICE.md for the full reference):
 //
 //	POST   /v1/simulate   run one program (inline asm or built-in kernel)
+//	POST   /v1/batch      run many programs, results streamed as NDJSON
 //	POST   /v1/sweep      start an async entry-count sweep job
 //	GET    /v1/jobs/{id}  poll a sweep job
 //	DELETE /v1/jobs/{id}  cancel a sweep job
@@ -39,11 +52,14 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"ruu"
+	"ruu/internal/fabric"
 	"ruu/internal/server"
+	"ruu/internal/store"
 )
 
 func main() {
@@ -59,6 +75,11 @@ func main() {
 		maxJobs   = flag.Int("max-jobs", server.DefaultMaxActiveJobs, "max queued+running sweep jobs before 429 (negative = unlimited)")
 		drainFor  = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 		logJobs   = flag.Bool("log-jobs", false, "log one line per finished scheduler job (debug level)")
+
+		storeDir      = flag.String("store-dir", "", "directory of the persistent result store (empty = memory only)")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "persistent-store byte bound (0 = 1 GiB default, negative = unbounded)")
+		coordinator   = flag.String("coordinator", "", "comma-separated worker base URLs; non-empty runs this instance as the fabric coordinator")
+		healthEvery   = flag.Duration("health-interval", 2*time.Second, "fabric worker health-check period (coordinator mode)")
 	)
 	flag.Parse()
 
@@ -68,7 +89,36 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	runner := ruu.NewRunner(ruu.RunnerConfig{Workers: *workers, CacheEntries: *cachesize})
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		log.Printf("persistent store at %s (%d entries warm)", *storeDir, st.Stats().Entries)
+	}
+
+	var coord *fabric.Coordinator
+	if *coordinator != "" {
+		workerURLs := strings.Split(*coordinator, ",")
+		for i := range workerURLs {
+			workerURLs[i] = strings.TrimSuffix(strings.TrimSpace(workerURLs[i]), "/")
+		}
+		var err error
+		coord, err = fabric.New(fabric.Config{
+			Workers:        workerURLs,
+			HealthInterval: *healthEvery,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer coord.Close()
+		log.Printf("coordinator over %d workers: %s", len(workerURLs), *coordinator)
+	}
+
+	runner := ruu.NewRunner(ruu.RunnerConfig{Workers: *workers, CacheEntries: *cachesize, Store: st})
 	defer runner.Close()
 
 	srv := server.New(server.Config{
@@ -76,6 +126,8 @@ func main() {
 		MaxRequestBytes: *maxBody,
 		RequestTimeout:  *timeout,
 		MaxActiveJobs:   *maxJobs,
+		Store:           st,
+		Fabric:          coord,
 		Log:             logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

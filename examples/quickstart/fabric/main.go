@@ -1,0 +1,182 @@
+// Fabric smoke test: boot a two-worker sweep fabric plus a serial
+// reference server, push one small /v1/batch through both, and require
+// the NDJSON result streams to be byte-identical — the distributed
+// path must be invisible in the results. Then kill one worker and
+// re-post: the coordinator ejects it, retries on the survivor, and the
+// stream must still match the golden. `make fabric-smoke` runs this in
+// CI after the single-server quickstart.
+//
+// Everything is self-contained: workers, coordinator, and the serial
+// reference all run in-process on loopback ports.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"ruu"
+	"ruu/internal/fabric"
+	"ruu/internal/server"
+)
+
+// batchBody is the smoke batch: a handful of items spanning the
+// engines, including a duplicate (items 0 and 3 must produce identical
+// lines).
+const batchBody = `{"items":[
+	{"engine":"ruu","entries":8,"kernel":"LLL1"},
+	{"engine":"rstu","entries":10,"kernel":"LLL3"},
+	{"engine":"ruu","entries":16,"bypass":"none","kernel":"LLL7"},
+	{"engine":"ruu","entries":8,"kernel":"LLL1"},
+	{"engine":"simple","kernel":"LLL12"}
+]}`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fabric-smoke: ")
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// Serial golden: the zero-value Runner runs every job on the
+	// calling goroutine — no pool, no cache, no fabric.
+	serialBase, serialStop := host(server.Config{Runner: &ruu.Runner{}})
+	defer serialStop()
+	golden := postBatch(client, serialBase)
+	log.Printf("serial golden: %d result lines", lines(golden))
+
+	// Two workers, each with its own pool, and a coordinator routing
+	// batch items across them by consistent-hash job key.
+	var workerURLs []string
+	for i := 0; i < 2; i++ {
+		r := ruu.NewRunner(ruu.RunnerConfig{Workers: 2})
+		defer r.Close()
+		base, stop := host(server.Config{Runner: r})
+		defer stop()
+		workerURLs = append(workerURLs, base)
+	}
+	coord, err := fabric.New(fabric.Config{
+		Workers:     workerURLs,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffCap:  50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+	coordBase, coordStop := host(server.Config{Runner: &ruu.Runner{}, Fabric: coord})
+	defer coordStop()
+
+	got := postBatch(client, coordBase)
+	if !bytes.Equal(got, golden) {
+		log.Fatalf("fabric batch differs from serial golden:\n--- fabric ---\n%s--- serial ---\n%s", got, golden)
+	}
+	routed := coord.Stats().Routed
+	fmt.Printf("fabric over 2 workers: byte-identical to serial (%d lines, %d items routed)\n",
+		lines(got), routed)
+	if routed == 0 {
+		log.Fatal("coordinator routed nothing — batch did not go through the fabric")
+	}
+
+	// Worker loss: stop worker 0 hard and re-post. Connect failures
+	// eject it from the ring; retries land every item on the survivor,
+	// and the stream must still match the golden byte for byte.
+	stopWorker(workerURLs[0])
+	got = postBatch(client, coordBase)
+	if !bytes.Equal(got, golden) {
+		log.Fatalf("post-worker-loss batch differs from serial golden:\n%s", got)
+	}
+	fmt.Printf("after killing worker 0: still byte-identical (%d retried)\n", coord.Stats().Retried)
+
+	// The coordinator's scrape must show the routing counters moving
+	// and the dead worker marked unhealthy.
+	scrape := scrapeText(client, coordBase+"/metrics")
+	for _, want := range []string{"ruu_fabric_routed_total", "ruu_fabric_worker_healthy"} {
+		if !strings.Contains(scrape, want) {
+			log.Fatalf("coordinator scrape missing %s", want)
+		}
+	}
+	fmt.Println("fabric smoke: OK")
+}
+
+// servers tracks the http.Server per base URL so stopWorker can kill
+// one abruptly (no drain — the point is an unreachable worker).
+var servers = map[string]*http.Server{}
+
+// host starts a server in-process on a loopback port and returns its
+// base URL and a graceful-shutdown func.
+func host(cfg server.Config) (string, func()) {
+	srv := server.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // reported via requests failing
+	base := "http://" + ln.Addr().String()
+	servers[base] = httpSrv
+	return base, func() {
+		srv.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck // smoke teardown
+		srv.Drain(ctx)        //nolint:errcheck // smoke teardown
+	}
+}
+
+// stopWorker closes the listener out from under a worker so the next
+// connection attempt fails outright.
+func stopWorker(base string) {
+	if err := servers[base].Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// postBatch posts the smoke batch and returns the raw NDJSON stream.
+func postBatch(c *http.Client, base string) []byte {
+	resp, err := c.Post(base+"/v1/batch", "application/json", strings.NewReader(batchBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s/v1/batch: HTTP %d: %s", base, resp.StatusCode, buf.Bytes())
+	}
+	body := buf.Bytes()
+	if bytes.Contains(body, []byte(`"error"`)) {
+		log.Fatalf("batch stream carries an error line:\n%s", body)
+	}
+	return body
+}
+
+// lines counts the NDJSON result lines in a batch stream.
+func lines(b []byte) int {
+	return bytes.Count(b, []byte("\n"))
+}
+
+// scrapeText fetches a Prometheus text exposition.
+func scrapeText(c *http.Client, url string) string {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := c.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(raw)
+}

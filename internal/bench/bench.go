@@ -96,6 +96,11 @@ func Suite() []Benchmark {
 		{"RuulintWarm", benchRuulintWarm},
 		{"DFAAnalyze", benchDFAAnalyze},
 		{"BoundTightened", benchBoundTightened},
+		{"StoreWrite", benchStoreWrite},
+		{"StoreRead", benchStoreRead},
+		{"BatchThroughput1", func(b B, n int) { benchBatchThroughput(b, n, 1) }},
+		{"BatchThroughput2", func(b B, n int) { benchBatchThroughput(b, n, 2) }},
+		{"BatchThroughput4", func(b B, n int) { benchBatchThroughput(b, n, 4) }},
 	}
 }
 

@@ -1,0 +1,142 @@
+// Package fabric shards sweep jobs across multiple ruuserve workers: a
+// consistent-hash ring routes each content-addressed job key to a
+// worker, and a thin coordinator forwards requests with retry,
+// backoff, and health checking. Because job keys are content addresses
+// and simulation is deterministic, every request is idempotent — a
+// retry on a different worker returns byte-identical results, and the
+// ring's stability under membership change keeps most keys pinned to
+// the same worker (warm store) when one worker leaves or joins.
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Key is a content-addressed job key, as produced by the scheduler.
+type Key = [sha256.Size]byte
+
+// DefaultReplicas is the virtual-node count per worker. 64 points per
+// node keeps the load split within a few percent of even for small
+// rings while the ring stays tiny (a handful of workers).
+const DefaultReplicas = 64
+
+// Ring is a consistent-hash ring over named nodes (worker URLs). Each
+// node owns Replicas points on a uint64 circle; a key routes to the
+// first point clockwise from its hash. Adding or removing one node
+// moves only the keys that node owned — the property that keeps
+// worker-local persistent stores warm under membership change.
+//
+// Ring is safe for concurrent use.
+type Ring struct {
+	mu       sync.Mutex
+	replicas int
+	points   []point         // sorted by hash
+	nodes    map[string]bool // current members
+}
+
+// point is one virtual node: a position on the circle and its owner.
+type point struct {
+	hash uint64
+	node string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (<= 0 means DefaultReplicas).
+func NewRing(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, nodes: make(map[string]bool)}
+}
+
+// Add inserts a node (idempotent).
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: pointHash(node, i), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node and all its points (idempotent).
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports whether node is a current member.
+func (r *Ring) Has(node string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nodes[node]
+}
+
+// Len returns the current member count.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.nodes)
+}
+
+// Lookup returns the node owning key, or false on an empty ring.
+func (r *Ring) Lookup(key Key) (string, bool) {
+	nodes := r.LookupN(key, 1)
+	if len(nodes) == 0 {
+		return "", false
+	}
+	return nodes[0], true
+}
+
+// LookupN returns up to n distinct nodes for key in preference order:
+// the owner first, then successive distinct owners clockwise — the
+// retry targets for a failed worker.
+func (r *Ring) LookupN(key Key, n int) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	// The job key is already a SHA-256 content address — uniformly
+	// distributed — so its first 8 bytes serve as the ring position.
+	h := binary.BigEndian.Uint64(key[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// pointHash positions virtual node i of a member on the circle.
+func pointHash(node string, i int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%d", node, i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -117,6 +117,19 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
+// Backing is an optional persistent layer under a Cache: a memory miss
+// falls through to Load, and every Put is written through via Store.
+// Implementations translate between the cache's dynamic values and
+// their durable encoding (internal/store holds raw bytes); both
+// methods must be safe for concurrent use and are expected to absorb
+// I/O errors (a failed Load is a miss, a failed Store is a no-op) —
+// the persistent layer degrades the service to re-simulation, it never
+// fails a job.
+type Backing interface {
+	Load(k Key) (any, bool)
+	Store(k Key, v any)
+}
+
 // Cache is a content-addressed result cache with LRU eviction. It is
 // safe for concurrent use. Values are stored as given; the simulator's
 // result types are immutable-by-convention (plain data, no shared
@@ -130,6 +143,11 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// backing is set once before the cache is shared (WithBacking) and
+	// only read afterwards; it is deliberately accessed outside mu so
+	// disk I/O never blocks concurrent memory lookups.
+	backing Backing
 }
 
 type cacheEntry struct {
@@ -150,11 +168,39 @@ func NewCache(capacity int) *Cache {
 	}
 }
 
+// WithBacking layers a persistent store under the cache and returns
+// the cache. Call it once, before the cache is shared; the memory
+// layer's hit/miss/eviction stats keep describing memory alone (the
+// backing keeps its own counters).
+func (c *Cache) WithBacking(b Backing) *Cache {
+	c.backing = b
+	return c
+}
+
 // Get returns the value stored under k, marking it most recently used.
+// A memory miss falls through to the backing store (when configured)
+// and a backing hit is promoted into memory.
 func (c *Cache) Get(k Key) (any, bool) {
 	if k.IsZero() {
 		return nil, false
 	}
+	if v, ok := c.getMem(k); ok {
+		return v, true
+	}
+	if c.backing == nil {
+		return nil, false
+	}
+	v, ok := c.backing.Load(k)
+	if !ok {
+		return nil, false
+	}
+	// Promote without re-storing: the backing already holds it.
+	c.putMem(k, v)
+	return v, true
+}
+
+// getMem is the memory layer of Get.
+func (c *Cache) getMem(k Key) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.entries[k]
@@ -168,11 +214,21 @@ func (c *Cache) Get(k Key) (any, bool) {
 }
 
 // Put stores v under k, evicting the least recently used entry when
-// the cache is full. A zero key is ignored.
+// the cache is full, and writes through to the backing store when one
+// is configured. A zero key is ignored.
 func (c *Cache) Put(k Key, v any) {
 	if k.IsZero() {
 		return
 	}
+	c.putMem(k, v)
+	if c.backing != nil {
+		c.backing.Store(k, v)
+	}
+}
+
+// putMem is the memory layer of Put (eviction never touches the
+// backing: a memory eviction only demotes the entry to disk residency).
+func (c *Cache) putMem(k Key, v any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[k]; ok {

@@ -59,7 +59,7 @@ func routeLabel(r *http.Request) string {
 	switch {
 	case strings.HasPrefix(p, "/v1/jobs/"):
 		p = "/v1/jobs/{id}"
-	case p == "/v1/simulate", p == "/v1/analyze", p == "/v1/sweep", p == "/healthz", p == "/metrics":
+	case p == "/v1/simulate", p == "/v1/analyze", p == "/v1/batch", p == "/v1/sweep", p == "/healthz", p == "/metrics":
 	default:
 		p = "other"
 	}
@@ -76,6 +76,15 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the NDJSON batch lines) to the
+// underlying writer; embedding alone would hide its Flusher from the
+// interface assertion in the batch handler.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // withObservability is the outermost middleware: it assigns the
@@ -270,6 +279,72 @@ func (s *Server) wireMetrics(build BuildInfo) {
 				return []obs.LabeledHist{{Snap: snap}}
 			})
 	}
+
+	if s.store != nil {
+		reg.CounterFunc("ruu_store_hits_total",
+			"Persistent result-store hits (results served from disk).",
+			func() float64 { return float64(s.store.Stats().Hits) })
+		reg.CounterFunc("ruu_store_misses_total",
+			"Persistent result-store misses.",
+			func() float64 { return float64(s.store.Stats().Misses) })
+		reg.CounterFunc("ruu_store_evictions_total",
+			"Persistent result-store entries displaced by the byte bound.",
+			func() float64 { return float64(s.store.Stats().Evictions) })
+		reg.CounterFunc("ruu_store_bytes_total",
+			"Payload bytes written to the persistent result store.",
+			func() float64 { return float64(s.store.Stats().BytesWritten) })
+		reg.GaugeFunc("ruu_store_entries",
+			"Persistent result-store resident entries.",
+			func() float64 { return float64(s.store.Stats().Entries) })
+		reg.GaugeFunc("ruu_store_resident_bytes",
+			"Persistent result-store resident payload bytes.",
+			func() float64 { return float64(s.store.Stats().Bytes) })
+	}
+
+	reg.CounterFunc("ruu_fabric_routed_total",
+		"Batch items routed across the sweep fabric (0 off coordinator).",
+		func() float64 {
+			if s.fabric == nil {
+				return 0
+			}
+			return float64(s.fabric.Stats().Routed)
+		})
+	reg.CounterFunc("ruu_fabric_retried_total",
+		"Fabric attempts beyond each request's first (connect/5xx retry).",
+		func() float64 {
+			if s.fabric == nil {
+				return 0
+			}
+			return float64(s.fabric.Stats().Retried)
+		})
+	reg.CounterFunc("ruu_fabric_shed_total",
+		"Batches shed 429 by admission control.",
+		func() float64 { return float64(s.batchShed.Load()) })
+	reg.CollectFunc("ruu_fabric_worker_healthy",
+		"1 per fabric worker currently in the ring, 0 when ejected.",
+		"gauge", func() []obs.Point {
+			if s.fabric == nil {
+				return nil
+			}
+			workers := s.fabric.Workers()
+			names := make([]string, 0, len(workers))
+			for w := range workers {
+				names = append(names, w)
+			}
+			sort.Strings(names)
+			points := make([]obs.Point, 0, len(names))
+			for _, w := range names {
+				v := 0.0
+				if workers[w] {
+					v = 1
+				}
+				points = append(points, obs.Point{
+					Labels: []obs.Label{{Name: "worker", Value: w}},
+					Value:  v,
+				})
+			}
+			return points
+		})
 
 	reg.CounterFunc("ruu_analyze_reject_total",
 		"Programs rejected by the POST /v1/analyze static pre-screen "+

@@ -86,6 +86,10 @@ func TestPrometheusMetricsEndpoint(t *testing.T) {
 		"ruu_sim_instructions_total",
 		"ruu_draining 0",
 		"ruu_sweep_jobs{state=\"done\"}",
+		"ruu_fabric_routed_total 0",
+		"ruu_fabric_retried_total 0",
+		"ruu_fabric_shed_total 0",
+		"# TYPE ruu_fabric_worker_healthy gauge",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)

@@ -27,8 +27,10 @@ import (
 
 	"ruu"
 	"ruu/internal/asm"
+	"ruu/internal/fabric"
 	"ruu/internal/livermore"
 	"ruu/internal/obs"
+	"ruu/internal/store"
 )
 
 // Defaults for Config's zero values.
@@ -68,6 +70,25 @@ type Config struct {
 	// jobs (default DefaultMaxActiveJobs; negative disables the cap).
 	// A full server answers POST /v1/sweep with 429 + Retry-After.
 	MaxActiveJobs int
+	// Store, when non-nil, is the persistent result store layered
+	// under the Runner's cache; the server only exports its counters
+	// (the Runner is wired to it by the caller).
+	Store *store.Store
+	// Fabric, when non-nil, puts the server in coordinator mode:
+	// POST /v1/batch items are forwarded to the fabric worker owning
+	// each job key instead of simulating locally. Other endpoints keep
+	// running on the local pool.
+	Fabric *fabric.Coordinator
+	// MaxBatchItems bounds the items of one POST /v1/batch (default
+	// DefaultMaxBatchItems; negative disables the cap).
+	MaxBatchItems int
+	// MaxBatchInFlight bounds batch items admitted across all
+	// concurrent requests (default DefaultMaxBatchInFlight; negative
+	// disables). A batch that would exceed it is shed with 429.
+	MaxBatchInFlight int
+	// MaxClientInFlight bounds batch items admitted per client
+	// (default DefaultMaxClientInFlight; negative disables).
+	MaxClientInFlight int
 	// Log, when non-nil, receives structured request and job logs.
 	Log *slog.Logger
 }
@@ -86,12 +107,20 @@ type Server struct {
 	spans           *obs.SpanRecorder
 	build           BuildInfo
 
-	mu       sync.Mutex
-	jobs     map[string]*jobEntry
-	nextJob  int
-	draining bool
-	latency  map[string]*obs.Hist // per-engine wall-clock ms histograms
-	httpReqs map[string]int64     // "route\x00code" -> request count
+	store             *store.Store
+	fabric            *fabric.Coordinator
+	maxBatchItems     int
+	maxBatchInFlight  int
+	maxClientInFlight int
+
+	mu             sync.Mutex
+	jobs           map[string]*jobEntry
+	nextJob        int
+	draining       bool
+	latency        map[string]*obs.Hist // per-engine wall-clock ms histograms
+	httpReqs       map[string]int64     // "route\x00code" -> request count
+	batchInFlight  int                  // admitted /v1/batch items
+	clientInFlight map[string]int       // admitted items per client
 
 	qwMu      sync.Mutex
 	queueWait *obs.Hist // job queue-wait ms, fed by the pool span hook
@@ -101,6 +130,7 @@ type Server struct {
 	simInstructions atomic.Int64
 	simWallMS       atomic.Int64
 	analyzeRejects  atomic.Int64 // programs 422-rejected by the static pre-screen
+	batchShed       atomic.Int64 // batches 429-shed by admission control
 
 	jobsWG sync.WaitGroup
 }
@@ -127,6 +157,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxActiveJobs == 0 {
 		cfg.MaxActiveJobs = DefaultMaxActiveJobs
 	}
+	if cfg.MaxBatchItems == 0 {
+		cfg.MaxBatchItems = DefaultMaxBatchItems
+	}
+	if cfg.MaxBatchInFlight == 0 {
+		cfg.MaxBatchInFlight = DefaultMaxBatchInFlight
+	}
+	if cfg.MaxClientInFlight == 0 {
+		cfg.MaxClientInFlight = DefaultMaxClientInFlight
+	}
 	s := &Server{
 		runner:          cfg.Runner,
 		mux:             http.NewServeMux(),
@@ -137,10 +176,18 @@ func New(cfg Config) *Server {
 		reg:             obs.NewRegistry(),
 		spans:           obs.NewSpanRecorder(),
 		build:           ReadBuildInfo(),
-		jobs:            make(map[string]*jobEntry),
-		latency:         make(map[string]*obs.Hist),
-		httpReqs:        make(map[string]int64),
-		queueWait:       obs.NewHist(10, 100), // 10 ms buckets, 1 s overflow
+
+		store:             cfg.Store,
+		fabric:            cfg.Fabric,
+		maxBatchItems:     cfg.MaxBatchItems,
+		maxBatchInFlight:  cfg.MaxBatchInFlight,
+		maxClientInFlight: cfg.MaxClientInFlight,
+
+		jobs:           make(map[string]*jobEntry),
+		latency:        make(map[string]*obs.Hist),
+		httpReqs:       make(map[string]int64),
+		clientInFlight: make(map[string]int),
+		queueWait:      obs.NewHist(10, 100), // 10 ms buckets, 1 s overflow
 	}
 	s.spans.SetLimit(DefaultSpanLimit)
 	s.wireMetrics(s.build)
@@ -149,6 +196,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)

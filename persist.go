@@ -1,0 +1,108 @@
+package ruu
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"ruu/internal/sched"
+	"ruu/internal/store"
+)
+
+// This file adapts the disk-backed result store (internal/store) to
+// the scheduler cache's Backing interface: the in-memory LRU holds
+// live Go values, the store holds their durable JSON encoding, and a
+// memory miss falls through to disk before anything re-simulates.
+//
+// The encoding is a typed envelope around the two value shapes the
+// pool ever caches — SimOutcome (RunProgram) and KernelRun (the
+// sweep/table fan-outs) — so a decoded value round-trips to the exact
+// struct a fresh simulation would have produced. encoding/json renders
+// float64 with the shortest round-trip form and map keys sorted, which
+// is what keeps results served from disk byte-identical to freshly
+// computed ones all the way out to the HTTP surface.
+
+// persistEnvelope frames one persisted cache value with its type tag.
+type persistEnvelope struct {
+	Type  string          `json:"type"`
+	Value json.RawMessage `json:"value"`
+}
+
+const (
+	persistSimOutcome = "SimOutcome"
+	persistKernelRun  = "KernelRun"
+)
+
+// encodeCached renders a cache value to its durable form; false for
+// value shapes the store does not persist.
+func encodeCached(v any) ([]byte, bool) {
+	var tag string
+	switch v.(type) {
+	case SimOutcome:
+		tag = persistSimOutcome
+	case KernelRun:
+		tag = persistKernelRun
+	default:
+		return nil, false
+	}
+	inner, err := json.Marshal(v)
+	if err != nil {
+		return nil, false
+	}
+	data, err := json.Marshal(persistEnvelope{Type: tag, Value: inner})
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// decodeCached parses a durable entry back to its live value; false on
+// any mismatch (a corrupt or future-format entry is a cache miss, not
+// an error).
+func decodeCached(data []byte) (any, bool) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var env persistEnvelope
+	if err := dec.Decode(&env); err != nil {
+		return nil, false
+	}
+	switch env.Type {
+	case persistSimOutcome:
+		var v SimOutcome
+		if err := json.Unmarshal(env.Value, &v); err != nil {
+			return nil, false
+		}
+		return v, true
+	case persistKernelRun:
+		var v KernelRun
+		if err := json.Unmarshal(env.Value, &v); err != nil {
+			return nil, false
+		}
+		return v, true
+	}
+	return nil, false
+}
+
+// persistBacking plugs a *store.Store in under a sched.Cache.
+type persistBacking struct {
+	s *store.Store
+}
+
+// Load fetches and decodes a persisted result; a miss, unreadable
+// entry, or unknown shape is simply not found.
+func (b persistBacking) Load(k sched.Key) (any, bool) {
+	data, ok := b.s.Get(store.Key(k))
+	if !ok {
+		return nil, false
+	}
+	return decodeCached(data)
+}
+
+// Store writes a result through to disk; unsupported shapes are
+// skipped (they stay memory-only).
+func (b persistBacking) Store(k sched.Key, v any) {
+	data, ok := encodeCached(v)
+	if !ok {
+		return
+	}
+	b.s.Put(store.Key(k), data)
+}

@@ -1,0 +1,135 @@
+package ruu
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ruu/internal/livermore"
+	"ruu/internal/store"
+)
+
+func TestPersistCodecRoundTrip(t *testing.T) {
+	outcome := SimOutcome{
+		Engine:       "ruu",
+		Instructions: 424214,
+		Cycles:       352174,
+		IssueRate:    1.2045387,
+		Branches:     9000,
+		Taken:        4500,
+		MaxInFlight:  16,
+		Stalls:       map[string]int64{"ruu_full": 12, "raw": 3},
+		Verified:     true,
+	}
+	data, ok := encodeCached(outcome)
+	if !ok {
+		t.Fatal("encodeCached rejected SimOutcome")
+	}
+	got, ok := decodeCached(data)
+	if !ok {
+		t.Fatal("decodeCached rejected its own encoding")
+	}
+	if gotOut, ok := got.(SimOutcome); !ok || gotOut.Cycles != outcome.Cycles || gotOut.Stalls["ruu_full"] != 12 || gotOut.IssueRate != outcome.IssueRate {
+		t.Fatalf("round trip mangled SimOutcome: %#v", got)
+	}
+
+	kr := KernelRun{Kernel: "LLL3", Instructions: 100, Cycles: 80}
+	data, ok = encodeCached(kr)
+	if !ok {
+		t.Fatal("encodeCached rejected KernelRun")
+	}
+	if got, ok := decodeCached(data); !ok || got.(KernelRun) != kr {
+		t.Fatalf("round trip mangled KernelRun: %#v", got)
+	}
+}
+
+func TestPersistCodecRejects(t *testing.T) {
+	if _, ok := encodeCached("a string"); ok {
+		t.Fatal("encodeCached accepted an unknown shape")
+	}
+	for name, data := range map[string][]byte{
+		"garbage":      []byte("not json"),
+		"unknown type": []byte(`{"type":"Future","value":{}}`),
+		"bad value":    []byte(`{"type":"SimOutcome","value":[1,2]}`),
+	} {
+		if _, ok := decodeCached([]byte(data)); ok {
+			t.Errorf("decodeCached accepted %s", name)
+		}
+	}
+}
+
+// TestPersistCodecByteStable: encoding the same outcome twice — and
+// encoding a decode of it — must produce identical bytes. This is the
+// property the cross-wire golden tests lean on.
+func TestPersistCodecByteStable(t *testing.T) {
+	outcome := SimOutcome{
+		Engine:    "ruu",
+		Cycles:    3,
+		IssueRate: 0.1 + 0.2, // a float with no short decimal form
+		Stalls:    map[string]int64{"b": 2, "a": 1, "c": 3},
+	}
+	d1, _ := encodeCached(outcome)
+	d2, _ := encodeCached(outcome)
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("re-encoding differs:\n%s\n%s", d1, d2)
+	}
+	decoded, ok := decodeCached(d1)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	d3, _ := encodeCached(decoded)
+	if !bytes.Equal(d1, d3) {
+		t.Fatalf("decode->encode differs:\n%s\n%s", d1, d3)
+	}
+}
+
+// TestRunnerServesFromStoreAcrossRestart is the library-level half of
+// the persist-and-reload guarantee: a fresh Runner over the same store
+// directory answers a previously computed program without running the
+// simulator again.
+func TestRunnerServesFromStoreAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	u, err := livermore.ByName("LLL3").Unit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Engine: EngineRUU, Entries: 8, Bypass: BypassFull}
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := NewRunner(RunnerConfig{Workers: 2, Store: st1})
+	first, err := r1.RunProgram(context.Background(), cfg, u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r2 := NewRunner(RunnerConfig{Workers: 2, Store: st2})
+	defer r2.Close()
+	second, err := r2.RunProgram(context.Background(), cfg, u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d1, _ := encodeCached(first)
+	d2, _ := encodeCached(second)
+	if !bytes.Equal(d1, d2) {
+		t.Fatalf("restart changed the outcome:\n%s\n%s", d1, d2)
+	}
+	if n := r2.Pool().Metrics().Completed; n != 0 {
+		t.Fatalf("restarted runner executed %d jobs, want 0 (store hit)", n)
+	}
+	if hits := st2.Stats().Hits; hits < 1 {
+		t.Fatalf("store recorded %d hits, want >= 1", hits)
+	}
+}

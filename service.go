@@ -8,6 +8,7 @@ import (
 	"ruu/internal/isa"
 	"ruu/internal/livermore"
 	"ruu/internal/sched"
+	"ruu/internal/store"
 )
 
 // This file is the simulation-service layer over the experiment
@@ -40,6 +41,12 @@ type RunnerConfig struct {
 	// CacheEntries sizes the content-addressed result cache (default
 	// DefaultCacheEntries; negative disables caching).
 	CacheEntries int
+	// Store, when non-nil, layers a disk-backed persistent result
+	// store under the in-memory cache (ignored when caching is
+	// disabled): memory misses fall through to disk and completed
+	// results are written through, so a restarted Runner serves its
+	// previous working set without re-simulating.
+	Store *store.Store
 }
 
 // Runner executes experiment-harness work on a worker pool with a
@@ -63,6 +70,9 @@ func NewRunner(cfg RunnerConfig) *Runner {
 			n = DefaultCacheEntries
 		}
 		cache = sched.NewCache(n)
+		if cfg.Store != nil {
+			cache.WithBacking(persistBacking{s: cfg.Store})
+		}
 	}
 	return &Runner{pool: sched.New(sched.Config{
 		Workers:    cfg.Workers,
@@ -352,27 +362,15 @@ type SimOutcome struct {
 	Verified     bool             `json:"verified"`
 }
 
-// RunProgram simulates one assembled unit under cfg as a single pool
-// job, returning the run statistics. With verify set, the final state
-// is checked against the functional reference and a mismatch is an
-// error. Identical submissions (same config, program, initial state)
-// are answered from the content-addressed cache.
-func (r *Runner) RunProgram(ctx context.Context, cfg Config, u *Unit, verify bool) (SimOutcome, error) {
-	run := func(context.Context) (any, error) {
-		return simulateUnit(cfg, u, verify)
-	}
-	p := r.poolFor(cfg)
-	if p == nil {
-		if err := ctx.Err(); err != nil {
-			return SimOutcome{}, err
-		}
-		v, err := run(ctx)
-		if err != nil {
-			return SimOutcome{}, err
-		}
-		return v.(SimOutcome), nil
-	}
+// ProgramKey returns the content address a (cfg, u, verify) program
+// simulation is cached — and routed across the fabric — under; NoKey
+// when the job is uncacheable (observer attached or unencodable
+// program).
+func ProgramKey(cfg Config, u *Unit, verify bool) sched.Key {
 	key := jobKey(cfg, u, NewState(u))
+	if key.IsZero() {
+		return key
+	}
 	if !verify {
 		// The verdict is part of the outcome, so verified and
 		// unverified runs must not share a cache slot.
@@ -380,15 +378,55 @@ func (r *Runner) RunProgram(ctx context.Context, cfg Config, u *Unit, verify boo
 		h.Bytes("unverified", key[:])
 		key = h.Sum()
 	}
-	t, err := p.Submit(ctx, key, run)
+	return key
+}
+
+// SubmitProgram enqueues one program simulation and returns a wait
+// function redeeming its outcome — the split that lets a batch submit
+// every item before waiting on any, so the pool runs them concurrently
+// while results are still consumed in submission order. On a serial
+// Runner the returned function runs the simulation when called.
+func (r *Runner) SubmitProgram(ctx context.Context, cfg Config, u *Unit, verify bool) (func(context.Context) (SimOutcome, error), error) {
+	run := func(context.Context) (any, error) {
+		return simulateUnit(cfg, u, verify)
+	}
+	p := r.poolFor(cfg)
+	if p == nil {
+		return func(ctx context.Context) (SimOutcome, error) {
+			if err := ctx.Err(); err != nil {
+				return SimOutcome{}, err
+			}
+			v, err := run(ctx)
+			if err != nil {
+				return SimOutcome{}, err
+			}
+			return v.(SimOutcome), nil
+		}, nil
+	}
+	t, err := p.Submit(ctx, ProgramKey(cfg, u, verify), run)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (SimOutcome, error) {
+		v, err := t.Wait(ctx)
+		if err != nil {
+			return SimOutcome{}, err
+		}
+		return v.(SimOutcome), nil
+	}, nil
+}
+
+// RunProgram simulates one assembled unit under cfg as a single pool
+// job, returning the run statistics. With verify set, the final state
+// is checked against the functional reference and a mismatch is an
+// error. Identical submissions (same config, program, initial state)
+// are answered from the content-addressed cache.
+func (r *Runner) RunProgram(ctx context.Context, cfg Config, u *Unit, verify bool) (SimOutcome, error) {
+	wait, err := r.SubmitProgram(ctx, cfg, u, verify)
 	if err != nil {
 		return SimOutcome{}, err
 	}
-	v, err := t.Wait(ctx)
-	if err != nil {
-		return SimOutcome{}, err
-	}
-	return v.(SimOutcome), nil
+	return wait(ctx)
 }
 
 // simulateUnit is the body of a RunProgram job.
